@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction harnesses: table printing and
+// a driver that runs a workload coroutine to completion on a testbed.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace gvfs::bench {
+
+template <typename T>
+sim::Task<void> CaptureInto(sim::Task<T> task, std::optional<T>* out) {
+  *out = co_await std::move(task);
+}
+
+/// Runs `task` to completion, stepping the scheduler (sessions keep
+/// background pollers alive, so we cannot simply drain the queue).
+template <typename T>
+T Drive(sim::Scheduler& sched, sim::Task<T> task) {
+  std::optional<T> out;
+  sim::Spawn(CaptureInto(std::move(task), &out));
+  while (!out.has_value() && !sched.Idle()) sched.Run(1);
+  if (!out.has_value()) {
+    std::fprintf(stderr, "FATAL: workload did not complete\n");
+    std::abort();
+  }
+  return std::move(*out);
+}
+
+inline sim::Task<void> MarkDone(sim::Task<void> task, bool* done) {
+  co_await std::move(task);
+  *done = true;
+}
+
+/// void overload.
+inline void Drive(sim::Scheduler& sched, sim::Task<void> task) {
+  bool done = false;
+  sim::Spawn(MarkDone(std::move(task), &done));
+  while (!done && !sched.Idle()) sched.Run(1);
+  if (!done) {
+    std::fprintf(stderr, "FATAL: workload did not complete\n");
+    std::abort();
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("---------------------------------------------------------------"
+              "---------------\n");
+}
+
+}  // namespace gvfs::bench

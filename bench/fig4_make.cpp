@@ -1,0 +1,135 @@
+// Figure 4 (paper §5.1.1): the Make microbenchmark on a Tcl/Tk-sized tree
+// (357 sources, 103 headers, 168 objects).
+//
+//  (a) RPCs transferred over the network, by procedure, for NFS / GVFS
+//      (read-only caching) / GVFS-WB (write-back caching) in the WAN.
+//  (b) Runtime in LAN and WAN for the same three setups. The LAN columns
+//      also quantify the user-level interception overhead the paper reports
+//      (~4 % read-only, ~8 % write-back).
+//
+// Paper shape to reproduce: GVFS eliminates nearly all GETATTR consistency
+// checks (tens of GETINVs instead), cuts LOOKUPs via the large disk cache,
+// write-back removes most WRITEs, and WAN runtime improves ~3x; in LAN the
+// proxy costs only a few percent.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "workloads/make_bench.h"
+#include "workloads/testbed.h"
+
+namespace gvfs::bench {
+namespace {
+
+using workloads::MakeConfig;
+using workloads::PopulateMakeTree;
+using workloads::RunMake;
+using workloads::Testbed;
+using workloads::TestbedConfig;
+
+enum class Setup { kNfs, kGvfs, kGvfsWb };
+
+const char* SetupName(Setup setup) {
+  switch (setup) {
+    case Setup::kNfs:
+      return "NFS";
+    case Setup::kGvfs:
+      return "GVFS";
+    case Setup::kGvfsWb:
+      return "GVFS-WB";
+  }
+  return "?";
+}
+
+struct Result {
+  double runtime_seconds = 0;
+  rpc::StatsMap rpcs;
+};
+
+Result RunOne(Setup setup, bool wan) {
+  TestbedConfig net_config;
+  if (!wan) {
+    // LAN: 100 Mbps, sub-millisecond RTT (the paper's 100 Mbps LAN).
+    net_config.wan = net_config.lan;
+  }
+  Testbed bed(net_config);
+  bed.AddWanClient();
+  MakeConfig make_config;
+  PopulateMakeTree(bed.fs(), make_config);
+
+  Result result;
+  if (setup == Setup::kNfs) {
+    auto& mount = bed.NativeMount(0);
+    auto report = Drive(bed.sched(), RunMake(bed.sched(), mount, make_config));
+    result.runtime_seconds = report.RuntimeSeconds();
+    result.rpcs = bed.StatsOf(mount);
+  } else {
+    proxy::SessionConfig session_config;
+    session_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+    session_config.poll_period = Seconds(30);
+    session_config.poll_max_period = Seconds(30);
+    session_config.cache_mode = setup == Setup::kGvfsWb
+                                    ? proxy::CacheMode::kWriteBack
+                                    : proxy::CacheMode::kReadOnly;
+    session_config.wb_flush_period = 0;  // flush on shutdown
+    auto& session = bed.CreateSession(session_config, {0});
+    auto report =
+        Drive(bed.sched(), RunMake(bed.sched(), session.mount(0), make_config));
+    // Count the RPCs of the measured window; the deferred write-back flush
+    // happens afterwards (the paper's counts likewise cover the run itself).
+    result.runtime_seconds = report.RuntimeSeconds();
+    result.rpcs = *session.stats;
+    Drive(bed.sched(), session.Shutdown());
+  }
+  return result;
+}
+
+void Main() {
+  PrintHeader("Figure 4(a): Make benchmark - RPCs over the WAN (thousands)");
+  std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "setup", "GETATTR",
+              "LOOKUP", "READ", "WRITE", "GETINV", "total");
+  PrintRule();
+
+  Result wan_results[3];
+  const Setup setups[3] = {Setup::kNfs, Setup::kGvfs, Setup::kGvfsWb};
+  for (int i = 0; i < 3; ++i) {
+    wan_results[i] = RunOne(setups[i], /*wan=*/true);
+    const auto& rpcs = wan_results[i].rpcs;
+    std::printf("%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+                SetupName(setups[i]), rpcs.Calls("GETATTR") / 1000.0,
+                rpcs.Calls("LOOKUP") / 1000.0, rpcs.Calls("READ") / 1000.0,
+                (rpcs.Calls("WRITE") + rpcs.Calls("COMMIT")) / 1000.0,
+                rpcs.Calls("GETINV") / 1000.0, rpcs.TotalCalls() / 1000.0);
+  }
+
+  PrintHeader("Figure 4(b): Make benchmark - runtime (seconds)");
+  std::printf("%-10s %12s %12s\n", "setup", "LAN", "WAN");
+  PrintRule();
+  double lan_nfs = 0;
+  for (int i = 0; i < 3; ++i) {
+    Result lan = RunOne(setups[i], /*wan=*/false);
+    if (setups[i] == Setup::kNfs) lan_nfs = lan.runtime_seconds;
+    std::printf("%-10s %12.1f %12.1f", SetupName(setups[i]), lan.runtime_seconds,
+                wan_results[i].runtime_seconds);
+    if (setups[i] != Setup::kNfs && lan_nfs > 0) {
+      std::printf("   (LAN overhead vs NFS: %+.1f%%)",
+                  100.0 * (lan.runtime_seconds - lan_nfs) / lan_nfs);
+    }
+    std::printf("\n");
+  }
+
+  const double speedup =
+      wan_results[0].runtime_seconds / wan_results[2].runtime_seconds;
+  std::printf("\nWAN speedup GVFS-WB over NFS: %.2fx (paper: ~3x)\n", speedup);
+  std::printf("Paper shape: GVFS serves the GETATTR storm locally (tens of "
+              "GETINVs instead),\nreduces LOOKUPs via the disk cache, and "
+              "write-back removes most WRITEs.\n");
+}
+
+}  // namespace
+}  // namespace gvfs::bench
+
+int main() {
+  gvfs::bench::Main();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 5 (paper §5.1.1): PostMark runtime versus network round-trip time.
+//
+// Setups:
+//   NFS    — native kernel NFS (30 s attribute cache).
+//   GVFS1  — GVFS with the default kernel buffer configuration, base for the
+//            invalidation-polling model.
+//   GVFS2  — GVFS with kernel attribute caching disabled (noac), base for
+//            the strong delegation/callback model.
+//
+// Paper shape to reproduce: both GVFS setups lose slightly at sub-10 ms RTT
+// (user-level interception + disk-cache access), overtake NFS once the RTT
+// exceeds ~10 ms, and reach >2x speedup at the 40 ms WAN point.
+//
+// PostMark parameters (from the figure): 600 files, 600 transactions,
+// 32-640 KB files, 100 subdirectories, 32 KB blocks, read/append bias 9,
+// create/delete bias 5.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/postmark.h"
+#include "workloads/testbed.h"
+
+namespace gvfs::bench {
+namespace {
+
+using workloads::PostmarkConfig;
+using workloads::RunPostmark;
+using workloads::Testbed;
+using workloads::TestbedConfig;
+
+enum class Setup { kNfs, kGvfs1, kGvfs2 };
+
+double RunOne(Setup setup, double rtt_ms) {
+  TestbedConfig net_config;
+  net_config.wan.one_way_latency = SecondsF(rtt_ms / 2.0 / 1000.0);
+  net_config.wan.bandwidth_bps = 4'000'000;
+  Testbed bed(net_config);
+  bed.AddWanClient();
+
+  PostmarkConfig config;  // paper defaults
+
+  if (setup == Setup::kNfs) {
+    auto& mount = bed.NativeMount(0);
+    auto report = Drive(bed.sched(), RunPostmark(bed.sched(), mount, config));
+    return report.TransactionSeconds();
+  }
+
+  proxy::SessionConfig session_config;
+  kclient::MountOptions kernel_options;
+  if (setup == Setup::kGvfs1) {
+    // Default kernel buffers; invalidation polling overlays them.
+    session_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+    session_config.poll_period = Seconds(30);
+    session_config.poll_max_period = Seconds(30);
+  } else {
+    // noac kernel: every consistency check reaches the proxy, which realizes
+    // strong consistency with delegations.
+    session_config.model = proxy::ConsistencyModel::kDelegationCallback;
+    kernel_options.noac = true;
+  }
+  // Write-through (read caching only): writes reach the server
+  // synchronously in all setups, keeping durability comparable to NFS.
+  session_config.cache_mode = proxy::CacheMode::kReadOnly;
+  auto& session = bed.CreateSession(session_config, {0}, kernel_options);
+  auto report =
+      Drive(bed.sched(), RunPostmark(bed.sched(), session.mount(0), config));
+  Drive(bed.sched(), session.Shutdown());
+  return report.TransactionSeconds();
+}
+
+void Main() {
+  PrintHeader("Figure 5: PostMark transaction-phase runtime (seconds) vs RTT");
+  std::printf("%-10s %10s %10s %10s\n", "RTT (ms)", "NFS", "GVFS1", "GVFS2");
+  PrintRule();
+  const double rtts[] = {0.5, 5, 10, 20, 40};
+  double crossover_seen = -1;
+  double nfs40 = 0, gvfs40 = 0;
+  for (double rtt : rtts) {
+    const double nfs = RunOne(Setup::kNfs, rtt);
+    const double gvfs1 = RunOne(Setup::kGvfs1, rtt);
+    const double gvfs2 = RunOne(Setup::kGvfs2, rtt);
+    std::printf("%-10.1f %10.1f %10.1f %10.1f\n", rtt, nfs, gvfs1, gvfs2);
+    if (crossover_seen < 0 && gvfs1 < nfs) crossover_seen = rtt;
+    if (rtt == 40) {
+      nfs40 = nfs;
+      gvfs40 = std::min(gvfs1, gvfs2);
+    }
+  }
+  std::printf("\nGVFS overtakes NFS from RTT ~%.1f ms on; "
+              "speedup at 40 ms: %.2fx (paper: crossover ~10 ms, >2x at 40 ms)\n",
+              crossover_seen, nfs40 / gvfs40);
+  std::printf("Note: with the dataset exceeding the client page cache, the\n"
+              "proxy's disk-cache capacity advantage already pays off at LAN\n"
+              "latency in this model, which pulls the crossover below the\n"
+              "paper's ~10 ms (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace
+}  // namespace gvfs::bench
+
+int main() {
+  gvfs::bench::Main();
+  return 0;
+}

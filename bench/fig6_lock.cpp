@@ -1,0 +1,184 @@
+// Figure 6 (paper §5.1.2): the file-based lock benchmark across six WAN
+// clients — 10 acquisitions each, 10 s hold, 1 s retry.
+//
+//  (a) Consistency-related RPCs over the network for NFS-inv (30 s
+//      revalidation), GVFS-inv (30 s invalidation polling), NFS-noac, and
+//      GVFS-cb (delegation + callback).
+//  (b) Runtime for the same setups plus AFS as a strong-consistency
+//      reference.
+//
+// Paper shape to reproduce: the weak models run ~2x longer (stale caches
+// delay lock handoff; the previous owner tends to reacquire), GVFS-inv uses
+// ~44% fewer consistency calls than NFS-inv, and NFS-noac issues >10x the
+// consistency calls of GVFS-cb.
+//
+// `--sweep-period` additionally runs the GVFS-inv ablation over polling
+// periods (the §4.2.1 design knob).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "workloads/lock_bench.h"
+#include "workloads/testbed.h"
+
+namespace gvfs::bench {
+namespace {
+
+using workloads::LockBenchConfig;
+using workloads::LockBenchReport;
+using workloads::RunLockBench;
+using workloads::Testbed;
+
+constexpr int kClients = 6;
+
+enum class Setup { kNfsInv, kGvfsInv, kNfsNoac, kGvfsCb, kAfs };
+
+const char* SetupName(Setup setup) {
+  switch (setup) {
+    case Setup::kNfsInv:
+      return "NFS-inv";
+    case Setup::kGvfsInv:
+      return "GVFS-inv";
+    case Setup::kNfsNoac:
+      return "NFS-noac";
+    case Setup::kGvfsCb:
+      return "GVFS-cb";
+    case Setup::kAfs:
+      return "AFS";
+  }
+  return "?";
+}
+
+struct Result {
+  LockBenchReport report;
+  rpc::StatsMap rpcs;
+  bool rpcs_comparable = true;
+};
+
+Result RunOne(Setup setup, Duration poll_period = Seconds(30)) {
+  Testbed bed;
+  for (int i = 0; i < kClients; ++i) bed.AddWanClient();
+
+  LockBenchConfig config;  // paper parameters
+
+  Result result;
+  std::vector<kclient::Vfs*> mounts;
+
+  if (setup == Setup::kNfsInv || setup == Setup::kNfsNoac) {
+    kclient::MountOptions options;
+    options.noac = setup == Setup::kNfsNoac;
+    options.attr_timeout = Seconds(30);
+    std::vector<kclient::KernelClient*> kmounts;
+    for (int i = 0; i < kClients; ++i) {
+      kmounts.push_back(&bed.NativeMount(i, options));
+      mounts.push_back(kmounts.back());
+    }
+    result.report = Drive(bed.sched(), RunLockBench(bed.sched(), mounts, config));
+    for (auto* mount : kmounts) {
+      for (const auto& [label, count] : bed.StatsOf(*mount).calls()) {
+        for (std::uint64_t i = 0; i < count; ++i) result.rpcs.Count(label, 0);
+      }
+    }
+  } else if (setup == Setup::kAfs) {
+    for (int i = 0; i < kClients; ++i) mounts.push_back(&bed.AfsMount(i));
+    result.report = Drive(bed.sched(), RunLockBench(bed.sched(), mounts, config));
+    result.rpcs_comparable = false;  // different RPC protocol (as in the paper)
+  } else {
+    proxy::SessionConfig session_config;
+    kclient::MountOptions kernel_options;
+    if (setup == Setup::kGvfsInv) {
+      session_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+      session_config.poll_period = poll_period;
+      session_config.poll_max_period = poll_period;
+    } else {
+      session_config.model = proxy::ConsistencyModel::kDelegationCallback;
+      kernel_options.noac = true;
+    }
+    session_config.cache_mode = proxy::CacheMode::kReadOnly;
+    std::vector<int> indices;
+    for (int i = 0; i < kClients; ++i) indices.push_back(i);
+    auto& session = bed.CreateSession(session_config, indices, kernel_options);
+    for (auto* mount : session.mounts) mounts.push_back(mount);
+    result.report = Drive(bed.sched(), RunLockBench(bed.sched(), mounts, config));
+    result.rpcs = *session.stats;
+  }
+  return result;
+}
+
+std::uint64_t ConsistencyCalls(const rpc::StatsMap& rpcs) {
+  return rpcs.Calls("GETATTR") + rpcs.Calls("GETINV") + rpcs.Calls("CALLBACK") +
+         rpcs.Calls("LOOKUP");
+}
+
+void PrintResult(Setup setup, const Result& result) {
+  std::printf("%-10s %10.0f", SetupName(setup), result.report.RuntimeSeconds());
+  if (result.rpcs_comparable) {
+    std::printf(" %9.2fK %9.2fK %9.2fK %9.2fK %9.2fK",
+                result.rpcs.Calls("GETATTR") / 1000.0,
+                result.rpcs.Calls("LOOKUP") / 1000.0,
+                result.rpcs.Calls("GETINV") / 1000.0,
+                result.rpcs.Calls("CALLBACK") / 1000.0,
+                ConsistencyCalls(result.rpcs) / 1000.0);
+  } else {
+    std::printf(" %10s %10s %10s %10s %10s", "n/a", "n/a", "n/a", "n/a", "n/a");
+  }
+  std::printf("   handoffs-to-self=%d max-streak=%d\n",
+              result.report.self_handoffs,
+              result.report.MaxConsecutiveByOneClient());
+}
+
+void Main(bool sweep_period) {
+  PrintHeader("Figure 6: lock benchmark (6 clients, 10 acquisitions each)");
+  std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "setup", "runtime",
+              "GETATTR", "LOOKUP", "GETINV", "CALLBACK", "consist.");
+  PrintRule();
+
+  Result nfs_inv = RunOne(Setup::kNfsInv);
+  PrintResult(Setup::kNfsInv, nfs_inv);
+  Result gvfs_inv = RunOne(Setup::kGvfsInv);
+  PrintResult(Setup::kGvfsInv, gvfs_inv);
+  Result nfs_noac = RunOne(Setup::kNfsNoac);
+  PrintResult(Setup::kNfsNoac, nfs_noac);
+  Result gvfs_cb = RunOne(Setup::kGvfsCb);
+  PrintResult(Setup::kGvfsCb, gvfs_cb);
+  Result afs = RunOne(Setup::kAfs);
+  PrintResult(Setup::kAfs, afs);
+
+  std::printf("\nWeak/strong runtime ratio: %.2fx (paper figure 6b: weak setups "
+              "run ~10-20%% longer;\n  the release-visibility gaps also show as "
+              "handoffs-to-self / max-streak above)\n",
+              nfs_inv.report.RuntimeSeconds() / gvfs_cb.report.RuntimeSeconds());
+  std::printf("GVFS-inv consistency calls vs NFS-inv: %.0f%% fewer (paper: 44%%)\n",
+              100.0 * (1.0 - static_cast<double>(ConsistencyCalls(gvfs_inv.rpcs)) /
+                                 ConsistencyCalls(nfs_inv.rpcs)));
+  std::printf("NFS-noac / GVFS-cb consistency calls: %.1fx (paper: >10x)\n",
+              static_cast<double>(ConsistencyCalls(nfs_noac.rpcs)) /
+                  ConsistencyCalls(gvfs_cb.rpcs));
+
+  if (sweep_period) {
+    PrintHeader("Ablation: GVFS-inv polling period (staleness/traffic tradeoff)");
+    std::printf("%-12s %10s %10s %12s %12s\n", "period (s)", "runtime", "GETINV",
+                "consist.", "self-handoffs");
+    PrintRule();
+    for (int period : {5, 15, 30, 60}) {
+      Result r = RunOne(Setup::kGvfsInv, Seconds(period));
+      std::printf("%-12d %10.0f %10llu %12llu %12d\n", period,
+                  r.report.RuntimeSeconds(),
+                  static_cast<unsigned long long>(r.rpcs.Calls("GETINV")),
+                  static_cast<unsigned long long>(ConsistencyCalls(r.rpcs)),
+                  r.report.self_handoffs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gvfs::bench
+
+int main(int argc, char** argv) {
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-period") == 0) sweep = true;
+  }
+  gvfs::bench::Main(sweep);
+  return 0;
+}

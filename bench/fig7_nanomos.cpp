@@ -1,0 +1,121 @@
+// Figure 7 (paper §5.2.1): parallel NanoMOS executions on six WAN clients
+// read-sharing a software repository (MATLAB ~14K files/dirs, MPITB 540
+// files), 8 iterations; between the 4th and 5th a LAN administrator updates
+// (a) the entire MATLAB directory or (b) only MPITB. Repository shared via
+// native NFS or a GVFS session with 30 s invalidation polling.
+//
+// Paper shape to reproduce: >2x warm-iteration speedup for GVFS; the NFS
+// clients re-issue the full volume of consistency checks every run
+// regardless of update size, while GVFS's invalidations are proportional to
+// the update and batched (~30 GETINV calls/client for the MATLAB update,
+// ~2 for MPITB).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/nanomos.h"
+#include "workloads/testbed.h"
+
+namespace gvfs::bench {
+namespace {
+
+using workloads::NanomosConfig;
+using workloads::NanomosReport;
+using workloads::PopulateRepository;
+using workloads::RunNanomos;
+using workloads::Testbed;
+using workloads::UpdateKind;
+
+constexpr int kComputeClients = 6;
+
+struct Outcome {
+  NanomosReport report;
+  double getinv_per_client = 0;
+};
+
+Outcome RunOne(bool gvfs, UpdateKind kind) {
+  Testbed bed;
+  for (int i = 0; i < kComputeClients; ++i) bed.AddWanClient();
+  const int admin = bed.AddLanClient();
+
+  NanomosConfig config;  // paper-scale repository
+  PopulateRepository(bed.fs(), config);
+
+  Outcome outcome;
+  std::vector<kclient::KernelClient*> mounts;
+  if (gvfs) {
+    proxy::SessionConfig session_config;
+    session_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+    session_config.poll_period = Seconds(30);
+    session_config.poll_max_period = Seconds(30);
+    session_config.cache_mode = proxy::CacheMode::kReadOnly;
+    // Middleware tailoring: the repository session sizes its invalidation
+    // buffers for package-scale updates (>14K files).
+    session_config.inv_buffer_capacity = 20000;
+    std::vector<int> indices;
+    for (int i = 0; i <= kComputeClients; ++i) indices.push_back(i);
+    auto& session = bed.CreateSession(session_config, indices);
+    for (int i = 0; i < kComputeClients; ++i) mounts.push_back(&session.mount(i));
+    const auto polls_before = session.proxy(0).stats().polls;
+    outcome.report = Drive(
+        bed.sched(), RunNanomos(bed.sched(), mounts, &session.mount(kComputeClients),
+                                kind, config));
+    outcome.getinv_per_client =
+        static_cast<double>(session.proxy(0).stats().polls - polls_before);
+  } else {
+    for (int i = 0; i < kComputeClients; ++i) {
+      mounts.push_back(&bed.NativeMount(i));
+    }
+    auto& admin_mount = bed.NativeMount(admin);
+    outcome.report =
+        Drive(bed.sched(), RunNanomos(bed.sched(), mounts, &admin_mount, kind, config));
+  }
+  return outcome;
+}
+
+void PrintCase(const char* title, UpdateKind kind, double baseline_getinv) {
+  PrintHeader(title);
+  Outcome nfs = RunOne(/*gvfs=*/false, kind);
+  Outcome gvfs = RunOne(/*gvfs=*/true, kind);
+
+  std::printf("%-12s", "iteration");
+  for (std::size_t i = 0; i < nfs.report.iteration_seconds.size(); ++i) {
+    std::printf(" %7zu", i + 1);
+  }
+  std::printf("\n");
+  PrintRule();
+  std::printf("%-12s", "NFS (s)");
+  for (double t : nfs.report.iteration_seconds) std::printf(" %7.1f", t);
+  std::printf("\n%-12s", "GVFS (s)");
+  for (double t : gvfs.report.iteration_seconds) std::printf(" %7.1f", t);
+  std::printf("\n");
+
+  // Warm iterations: 3 and 4 (post-cold, pre-update).
+  const double warm_speedup =
+      (nfs.report.iteration_seconds[2] + nfs.report.iteration_seconds[3]) /
+      (gvfs.report.iteration_seconds[2] + gvfs.report.iteration_seconds[3]);
+  std::printf("\nwarm-iteration speedup: %.2fx (paper: >2x)\n", warm_speedup);
+  std::printf("GETINV calls per client attributable to the update: %.0f\n",
+              gvfs.getinv_per_client - baseline_getinv);
+}
+
+void Main() {
+  // Baseline (no update) isolates the GETINV traffic the update causes.
+  Outcome baseline = RunOne(/*gvfs=*/true, UpdateKind::kNone);
+  PrintCase("Figure 7(a): NanoMOS, whole-MATLAB update between runs 4 and 5",
+            UpdateKind::kMatlab, baseline.getinv_per_client);
+  PrintCase("Figure 7(b): NanoMOS, MPITB-only update between runs 4 and 5",
+            UpdateKind::kMpitb, baseline.getinv_per_client);
+  std::printf(
+      "\nPaper shape: NFS pays the same consistency-check volume every run\n"
+      "(and after any update); GVFS batches invalidations in GETINV replies\n"
+      "proportional to the update size (~30 calls/client for MATLAB, ~2 for\n"
+      "MPITB, at 512 handles per reply).\n");
+}
+
+}  // namespace
+}  // namespace gvfs::bench
+
+int main() {
+  gvfs::bench::Main();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Motivating scenario "Scientific Data Processing" (paper §3, Figure 1
+// session 1): real-time data are collected on-site and processed off-site,
+// sharing files through a GVFS session with strong delegation/callback
+// consistency — the consumer always sees complete, fresh inputs, with no
+// revalidation storms as the dataset grows.
+#include <cstdio>
+
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace gvfs;
+
+sim::Task<void> Scenario(workloads::Testbed* bed, workloads::GvfsSession* session) {
+  auto& sched = bed->sched();
+  auto& producer = session->mount(0);
+  auto& consumer = session->mount(1);
+
+  (void)co_await producer.Mkdir("/obs");
+
+  int total = 0;
+  for (int round = 1; round <= 5; ++round) {
+    // On-site: a burst of new observations.
+    for (int i = 0; i < 10; ++i) {
+      auto fd = co_await producer.Open(
+          "/obs/sample" + std::to_string(total + i),
+          kclient::OpenFlags{.read = true, .write = true, .create = true});
+      if (fd) {
+        (void)co_await producer.Write(*fd, 0, Bytes(16 * 1024, 'o'));
+        (void)co_await producer.Close(*fd);
+      }
+    }
+    total += 10;
+
+    // Off-site: process everything collected so far. Strong consistency:
+    // the listing and every file are guaranteed current — no polling window.
+    const SimTime start = sched.Now();
+    auto names = co_await consumer.ReadDir("/obs");
+    int processed = 0;
+    std::uint64_t bytes = 0;
+    if (names) {
+      for (const auto& name : *names) {
+        auto fd = co_await consumer.Open("/obs/" + name, kclient::OpenFlags{});
+        if (!fd) continue;
+        auto data = co_await consumer.Read(*fd, 0, 16 * 1024);
+        (void)co_await consumer.Close(*fd);
+        if (data) {
+          ++processed;
+          bytes += data->size();
+        }
+      }
+    }
+    std::printf("round %d: consumer saw %d/%d files (%llu KB) in %.2fs\n", round,
+                processed, total, static_cast<unsigned long long>(bytes / 1024),
+                ToSeconds(sched.Now() - start));
+
+    co_await sim::Sleep(sched, Seconds(30));
+  }
+
+  std::printf("\ncallbacks sent by the proxy server (delegation recalls): %llu\n",
+              static_cast<unsigned long long>(session->server->stats().callbacks_sent));
+}
+
+}  // namespace
+
+int main() {
+  using namespace gvfs;
+
+  workloads::Testbed bed;
+  bed.AddWanClient();  // on-site collection host
+  bed.AddWanClient();  // off-site compute center
+
+  // Strong consistency session: kernel attribute caching disabled, the GVFS
+  // delegation/callback protocol supplies correctness; write-back lets the
+  // producer absorb bursts locally.
+  proxy::SessionConfig config;
+  config.model = proxy::ConsistencyModel::kDelegationCallback;
+  config.cache_mode = proxy::CacheMode::kWriteBack;
+  kclient::MountOptions noac;
+  noac.noac = true;
+  auto& session = bed.CreateSession(config, {0, 1}, noac);
+
+  bool done = false;
+  sim::Spawn([](workloads::Testbed* b, workloads::GvfsSession* s,
+                bool* flag) -> sim::Task<void> {
+    co_await Scenario(b, s);
+    *flag = true;
+  }(&bed, &session, &done));
+  while (!done && !bed.sched().Idle()) bed.sched().Run(1);
+  return 0;
+}

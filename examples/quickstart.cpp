@@ -1,0 +1,93 @@
+// Quickstart: build a simulated WAN, export a filesystem over NFSv3, let
+// middleware establish a GVFS session with invalidation-polling consistency,
+// and do some file I/O through the unmodified kernel-client mount.
+//
+//   $ ./examples/quickstart
+//
+// Everything runs in virtual time on a discrete-event simulator; the printed
+// timings are simulated seconds over a 40 ms RTT / 4 Mbps WAN.
+#include <cstdio>
+#include <optional>
+
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace gvfs;
+
+template <typename T>
+sim::Task<void> Capture(sim::Task<T> task, std::optional<T>* out) {
+  *out = co_await std::move(task);
+}
+
+template <typename T>
+T Run(sim::Scheduler& sched, sim::Task<T> task) {
+  std::optional<T> out;
+  sim::Spawn(Capture(std::move(task), &out));
+  while (!out.has_value() && !sched.Idle()) sched.Run(1);
+  return std::move(*out);
+}
+
+sim::Task<void> Scenario(workloads::Testbed* bed, workloads::GvfsSession* session) {
+  auto& sched = bed->sched();
+  kclient::KernelClient& fs = session->mount(0);
+
+  std::printf("[%.3fs] creating /hello over the WAN...\n", ToSeconds(sched.Now()));
+  auto fd = co_await fs.Open(
+      "/hello", kclient::OpenFlags{.read = true, .write = true, .create = true});
+  if (!fd) co_return;
+
+  Bytes message = {'h', 'i', ',', ' ', 'g', 'v', 'f', 's', '!'};
+  (void)co_await fs.Write(*fd, 0, message);
+  (void)co_await fs.Close(*fd);
+  std::printf("[%.3fs] wrote and closed (data flushed to the server)\n",
+              ToSeconds(sched.Now()));
+
+  // Re-reads are served from caches; consistency checks are filtered by the
+  // proxy's invalidation-polling model, so repeated stats cost no WAN trips.
+  for (int i = 0; i < 3; ++i) {
+    auto attr = co_await fs.Stat("/hello");
+    std::printf("[%.3fs] stat #%d -> size=%llu\n", ToSeconds(sched.Now()), i + 1,
+                attr ? static_cast<unsigned long long>(attr->size) : 0ull);
+  }
+
+  auto fd2 = co_await fs.Open("/hello", kclient::OpenFlags{});
+  auto data = co_await fs.Read(*fd2, 0, 64);
+  (void)co_await fs.Close(*fd2);
+  if (data) {
+    std::printf("[%.3fs] read back %zu bytes: \"%.*s\"\n", ToSeconds(sched.Now()),
+                data->size(), static_cast<int>(data->size()),
+                reinterpret_cast<const char*>(data->data()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace gvfs;
+
+  // One file server, one WAN client (40 ms RTT / 4 Mbps, the paper's setup).
+  workloads::Testbed bed;
+  bed.AddWanClient();
+
+  // Middleware establishes the session: proxy server + proxy client + mount.
+  proxy::SessionConfig config;
+  config.model = proxy::ConsistencyModel::kInvalidationPolling;
+  config.poll_period = Seconds(30);
+  auto& session = bed.CreateSession(config, {0});
+
+  bool done = false;
+  sim::Spawn([](workloads::Testbed* b, workloads::GvfsSession* s,
+                bool* flag) -> sim::Task<void> {
+    co_await Scenario(b, s);
+    *flag = true;
+  }(&bed, &session, &done));
+  while (!done && !bed.sched().Idle()) bed.sched().Run(1);
+
+  std::printf("\nWAN RPCs used, by procedure:\n");
+  for (const auto& [label, count] : session.stats->calls()) {
+    std::printf("  %-10s %llu\n", label.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// A minimal expected<T, E> (C++23 std::expected is unavailable under C++20).
+// Protocol code returns errors as values; exceptions never cross coroutine
+// frames in the RPC / filesystem paths.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace gvfs {
+
+template <typename E>
+class Unexpected {
+ public:
+  explicit constexpr Unexpected(E e) : error_(std::move(e)) {}
+  constexpr const E& error() const& { return error_; }
+  constexpr E&& error() && { return std::move(error_); }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Expected<T, E>: either a value of type T or an error of type E.
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  constexpr Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  constexpr Expected(Unexpected<E> u)
+      : data_(std::in_place_index<1>, std::move(u).error()) {}
+
+  constexpr bool has_value() const { return data_.index() == 0; }
+  constexpr explicit operator bool() const { return has_value(); }
+
+  constexpr T& value() & {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  constexpr const T& value() const& {
+    assert(has_value());
+    return std::get<0>(data_);
+  }
+  constexpr T&& value() && {
+    assert(has_value());
+    return std::move(std::get<0>(data_));
+  }
+
+  constexpr T& operator*() & { return value(); }
+  constexpr const T& operator*() const& { return value(); }
+  constexpr T&& operator*() && { return std::move(*this).value(); }
+  constexpr T* operator->() { return &value(); }
+  constexpr const T* operator->() const { return &value(); }
+
+  constexpr const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(data_);
+  }
+  constexpr E&& error() && {
+    assert(!has_value());
+    return std::move(std::get<1>(data_));
+  }
+
+  constexpr T value_or(T fallback) const& {
+    return has_value() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Marker for Expected<void, E>.
+struct Ok {};
+
+template <typename E>
+class [[nodiscard]] Expected<void, E> {
+ public:
+  constexpr Expected() : ok_(true) {}
+  constexpr Expected(Ok) : ok_(true) {}
+  constexpr Expected(Unexpected<E> u) : ok_(false), error_(std::move(u).error()) {}
+
+  constexpr bool has_value() const { return ok_; }
+  constexpr explicit operator bool() const { return ok_; }
+  constexpr const E& error() const& {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  bool ok_;
+  E error_{};
+};
+
+}  // namespace gvfs

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+namespace gvfs::log {
+namespace {
+
+Level g_level = Level::kOff;
+const SimTime* g_clock = nullptr;
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level GetLevel() { return g_level; }
+void SetLevel(Level level) { g_level = level; }
+void SetClock(const SimTime* now) { g_clock = now; }
+
+void Emit(Level level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%10.4fs] %s %s\n", ToSeconds(*g_clock),
+                 LevelName(level), message.c_str());
+  } else {
+    std::fprintf(stderr, "%s %s\n", LevelName(level), message.c_str());
+  }
+}
+
+}  // namespace gvfs::log

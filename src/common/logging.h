@@ -1,0 +1,35 @@
+// Lightweight leveled logging. Off by default; enable per-run via
+// gvfs::log::SetLevel for debugging protocol traces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.h"
+
+namespace gvfs::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+Level GetLevel();
+void SetLevel(Level level);
+
+/// Sets the clock used to timestamp log lines (simulation time). May be null.
+void SetClock(const SimTime* now);
+
+void Emit(Level level, const std::string& message);
+
+template <typename... Args>
+void Logf(Level level, const char* fmt, Args... args) {
+  if (level < GetLevel()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  Emit(level, buf);
+}
+
+}  // namespace gvfs::log
+
+#define GVFS_TRACE(...) ::gvfs::log::Logf(::gvfs::log::Level::kTrace, __VA_ARGS__)
+#define GVFS_DEBUG(...) ::gvfs::log::Logf(::gvfs::log::Level::kDebug, __VA_ARGS__)
+#define GVFS_INFO(...) ::gvfs::log::Logf(::gvfs::log::Level::kInfo, __VA_ARGS__)
+#define GVFS_WARN(...) ::gvfs::log::Logf(::gvfs::log::Level::kWarn, __VA_ARGS__)

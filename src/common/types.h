@@ -1,0 +1,48 @@
+// Fundamental value types shared by every module: simulated time, byte
+// buffers, and identifiers for simulated hosts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gvfs {
+
+/// Simulated time since simulation start, in nanoseconds.
+/// All protocol timestamps, cache expirations, and runtimes are expressed in
+/// this virtual clock; the discrete-event scheduler advances it.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration Nanoseconds(std::int64_t n) { return n; }
+constexpr Duration Microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration Milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(std::int64_t n) { return n * kSecond; }
+constexpr Duration SecondsF(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a simulated duration to fractional seconds (for reporting).
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Raw message payload bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Identifies a simulated host (machine) in the network topology.
+using HostId = std::uint32_t;
+
+constexpr HostId kInvalidHost = ~0u;
+
+/// Human-readable label, e.g. for hosts and RPC procedures in stats output.
+using Label = std::string;
+
+}  // namespace gvfs

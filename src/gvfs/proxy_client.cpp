@@ -1,0 +1,769 @@
+#include "gvfs/proxy_client.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/sync.h"
+
+namespace gvfs::proxy {
+
+using nfs3::Fh;
+using nfs3::Serialize;
+using nfs3::Status;
+
+namespace {
+
+/// Negative lookup entries are stored with an invalid (ino 0) handle.
+const Fh kNegative{};
+
+}  // namespace
+
+ProxyClient::ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node,
+                         net::Address server, SessionConfig config)
+    : sched_(sched),
+      node_(node),
+      upstream_(node, server),
+      config_(std::move(config)),
+      cache_(config_.block_size),
+      poll_period_(config_.poll_period) {
+  auto bind = [this, &node](nfs3::Proc proc,
+                            sim::Task<Bytes> (ProxyClient::*method)(Bytes)) {
+    node.RegisterHandler(nfs3::kProgram, proc,
+                         [this, method](rpc::CallContext, Bytes args) {
+                           return (this->*method)(std::move(args));
+                         });
+  };
+  bind(nfs3::kGetAttr, &ProxyClient::HandleGetAttr);
+  bind(nfs3::kLookup, &ProxyClient::HandleLookup);
+  bind(nfs3::kAccess, &ProxyClient::HandleAccess);
+  bind(nfs3::kRead, &ProxyClient::HandleRead);
+  bind(nfs3::kWrite, &ProxyClient::HandleWrite);
+  bind(nfs3::kCommit, &ProxyClient::HandleCommit);
+  bind(nfs3::kCreate, &ProxyClient::HandleCreate);
+  bind(nfs3::kMkdir, &ProxyClient::HandleMkdir);
+  bind(nfs3::kRemove, &ProxyClient::HandleRemove);
+  bind(nfs3::kRmdir, &ProxyClient::HandleRmdir);
+  bind(nfs3::kRename, &ProxyClient::HandleRename);
+  bind(nfs3::kLink, &ProxyClient::HandleLink);
+  bind(nfs3::kSetAttr, &ProxyClient::HandleSetAttr);
+  node.RegisterHandler(nfs3::kProgram, nfs3::kReadDir,
+                       [this](rpc::CallContext, Bytes args) {
+                         return HandlePassthrough(nfs3::kReadDir, std::move(args));
+                       });
+  node.RegisterHandler(nfs3::kProgram, nfs3::kFsStat,
+                       [this](rpc::CallContext, Bytes args) {
+                         return HandlePassthrough(nfs3::kFsStat, std::move(args));
+                       });
+  node.RegisterHandler(kGvfsProgram, kCallback,
+                       [this](rpc::CallContext ctx, Bytes args) {
+                         return HandleCallback(ctx, std::move(args));
+                       });
+  node.RegisterHandler(kGvfsProgram, kRecovery,
+                       [this](rpc::CallContext ctx, Bytes args) {
+                         return HandleRecovery(ctx, std::move(args));
+                       });
+}
+
+// ---------------------------------------------------------------------------
+// Validity predicates
+// ---------------------------------------------------------------------------
+
+bool ProxyClient::DelegationFresh(const Fh& fh, bool need_write) const {
+  auto it = delegations_.find(fh);
+  if (it == delegations_.end()) return false;
+  if (it->second.type == DelegationType::kNone) return false;
+  if (need_write && it->second.type != DelegationType::kWrite) return false;
+  // Serve locally only while renewal is not due; past the renewal period a
+  // request bypasses the cache to refresh the delegation (§4.3.1).
+  return sched_.Now() - it->second.refreshed_at < config_.deleg_renew;
+}
+
+bool ProxyClient::AttrServable(const Fh& fh) const {
+  const DiskCache::AttrEntry* entry = cache_.ValidAttr(fh);
+  if (entry == nullptr) return false;
+  switch (config_.model) {
+    case ConsistencyModel::kTtl:
+      return sched_.Now() - entry->fetched_at <= config_.attr_ttl;
+    case ConsistencyModel::kInvalidationPolling:
+      return true;  // valid until a GETINV poll invalidates it
+    case ConsistencyModel::kDelegationCallback:
+      return DelegationFresh(fh, /*need_write=*/false);
+  }
+  return false;
+}
+
+void ProxyClient::StoreGrant(const Fh& fh, DelegationType type) {
+  if (type == DelegationType::kNone) {
+    delegations_.erase(fh);
+    return;
+  }
+  auto& deleg = delegations_[fh];
+  // A write delegation is never downgraded by a read grant refresh.
+  if (!(deleg.type == DelegationType::kWrite && type == DelegationType::kRead)) {
+    deleg.type = type;
+  }
+  deleg.refreshed_at = sched_.Now();
+}
+
+void ProxyClient::DropDelegation(const Fh& fh) { delegations_.erase(fh); }
+
+void ProxyClient::Absorb(const Fh& fh, const nfs3::PostOpAttr& attr, bool own_write) {
+  if (!attr.has_value()) return;
+  cache_.ObserveMtime(fh, attr->mtime, attr->size, own_write);
+  cache_.StoreAttr(fh, *attr, sched_.Now());
+}
+
+// ---------------------------------------------------------------------------
+// Upstream forwarding
+// ---------------------------------------------------------------------------
+
+sim::Task<std::optional<Bytes>> ProxyClient::Upstream(std::uint32_t proc, Bytes args,
+                                                      std::optional<Fh> granted_fh,
+                                                      std::string label) {
+  ++stats_.forwarded;
+  rpc::CallOptions opts;
+  opts.label = std::move(label);
+  opts.max_retries = 100;  // hard-mount semantics: requests are simply retried
+  auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc,
+                                   std::move(args), std::move(opts));
+  if (!reply) co_return std::nullopt;
+  Bytes body = std::move(*reply);
+  if (config_.model == ConsistencyModel::kDelegationCallback) {
+    GrantSuffix suffix = GrantSuffix::ExtractFrom(body);
+    if (granted_fh.has_value()) StoreGrant(*granted_fh, suffix.delegation);
+  }
+  co_return body;
+}
+
+namespace {
+
+template <typename Res>
+Bytes Fault() {
+  Res res;
+  res.status = Status::kIo;
+  return Serialize(res);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Kernel-facing handlers
+// ---------------------------------------------------------------------------
+
+sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::GetAttrArgs>(args);
+  if (!parsed) co_return Fault<nfs3::GetAttrRes>();
+  const Fh fh = parsed->object;
+
+  if (AttrServable(fh)) {
+    ++stats_.served_locally;
+    // Snapshot before the disk-access sleep: a concurrent callback may
+    // invalidate the entry while we wait (the reply is already "in flight").
+    nfs3::GetAttrRes res;
+    res.attr = cache_.ValidAttr(fh)->attr;
+    co_await sim::Sleep(sched_, config_.disk_access_time);
+    co_return Serialize(res);
+  }
+
+  auto body = co_await Upstream(nfs3::kGetAttr, std::move(args), fh, "GETATTR");
+  if (!body) co_return Fault<nfs3::GetAttrRes>();
+  auto res = nfs3::Parse<nfs3::GetAttrRes>(*body);
+  if (res && res->status == Status::kOk) {
+    Absorb(fh, res->attr, /*own_write=*/false);
+  } else if (res) {
+    cache_.InvalidateAttr(fh);
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<bool> ProxyClient::RefreshDirListing(Fh dir) {
+  const DiskCache::AttrEntry* dir_attr = cache_.ValidAttr(dir);
+  if (dir_attr == nullptr) co_return false;
+  const SimTime expected_mtime = dir_attr->attr.mtime;
+
+  // Collect the complete listing first; apply atomically afterwards.
+  std::vector<std::pair<std::string, Fh>> listing;
+  std::uint64_t cookie = 0;
+  while (true) {
+    nfs3::ReadDirArgs args;
+    args.dir = dir;
+    args.cookie = cookie;
+    args.max_entries = 256;
+    auto body = co_await Upstream(nfs3::kReadDir, Serialize(args), dir, "READDIR");
+    if (!body) co_return false;
+    auto res = nfs3::Parse<nfs3::ReadDirRes>(*body);
+    if (!res || res->status != Status::kOk) co_return false;
+    Absorb(dir, res->dir_attr, /*own_write=*/false);
+    for (auto& entry : res->entries) {
+      cookie = entry.cookie;
+      listing.push_back({std::move(entry.name), Fh{dir.fsid, entry.fileid}});
+    }
+    if (res->eof || res->entries.empty()) break;
+  }
+
+  // The directory may have changed while we paged: only commit if the
+  // attributes we trust now match what we started from (or were refreshed by
+  // the READDIR replies themselves).
+  const DiskCache::AttrEntry* now_attr = cache_.ValidAttr(dir);
+  if (now_attr == nullptr) co_return false;
+  if (now_attr->attr.mtime != expected_mtime &&
+      config_.model == ConsistencyModel::kInvalidationPolling) {
+    // Polling model: a newer mtime simply means our refresh already carries
+    // the latest state; proceed.
+  }
+  cache_.ClearLookups(dir);
+  for (const auto& [name, child] : listing) {
+    cache_.StoreLookup(dir, name, child);
+  }
+  co_await sim::Sleep(sched_, config_.disk_access_time);  // cache rebuild
+  co_return true;
+}
+
+sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::LookupArgs>(args);
+  if (!parsed) co_return Fault<nfs3::LookupRes>();
+  const Fh dir = parsed->dir;
+  const std::string name = parsed->name;
+
+  // Local reply possible when the directory state is trusted and (for
+  // positive entries) the child's attributes are also servable.
+  if (AttrServable(dir)) {
+    const Fh* child = cache_.ValidLookup(dir, name);
+    if (child == nullptr && config_.readdir_refresh &&
+        cache_.HasLookupEntries(dir)) {
+      // The directory changed and its old name entries are stale: rebuild
+      // them all with one paginated READDIR instead of per-name LOOKUPs.
+      if (co_await RefreshDirListing(dir) && AttrServable(dir)) {
+        child = cache_.ValidLookup(dir, name);
+        if (child == nullptr) {
+          // Complete listing seen: the name definitively does not exist.
+          cache_.StoreLookup(dir, name, kNegative);
+          child = cache_.ValidLookup(dir, name);
+        }
+      }
+    }
+    if (child != nullptr) {
+      if (!child->valid()) {
+        // Cached negative entry.
+        ++stats_.served_locally;
+        nfs3::LookupRes res;
+        res.status = Status::kNoEnt;
+        res.dir_attr = cache_.ValidAttr(dir)->attr;
+        co_await sim::Sleep(sched_, config_.disk_access_time);
+        co_return Serialize(res);
+      }
+      if (AttrServable(*child)) {
+        ++stats_.served_locally;
+        nfs3::LookupRes res;
+        res.object = *child;
+        res.obj_attr = cache_.ValidAttr(*child)->attr;
+        res.dir_attr = cache_.ValidAttr(dir)->attr;
+        co_await sim::Sleep(sched_, config_.disk_access_time);
+        co_return Serialize(res);
+      }
+    }
+  }
+
+  auto body = co_await Upstream(nfs3::kLookup, std::move(args), dir, "LOOKUP");
+  if (!body) co_return Fault<nfs3::LookupRes>();
+  auto res = nfs3::Parse<nfs3::LookupRes>(*body);
+  if (res) {
+    Absorb(dir, res->dir_attr, /*own_write=*/false);
+    if (res->status == Status::kOk) {
+      Absorb(res->object, res->obj_attr, /*own_write=*/false);
+      cache_.StoreLookup(dir, name, res->object);
+    } else if (res->status == Status::kNoEnt) {
+      cache_.StoreLookup(dir, name, kNegative);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleAccess(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::AccessArgs>(args);
+  if (!parsed) co_return Fault<nfs3::AccessRes>();
+  const Fh fh = parsed->object;
+  if (AttrServable(fh)) {
+    ++stats_.served_locally;
+    nfs3::AccessRes res;
+    res.attr = cache_.ValidAttr(fh)->attr;
+    res.access = parsed->access;
+    co_await sim::Sleep(sched_, config_.disk_access_time);
+    co_return Serialize(res);
+  }
+  auto body = co_await Upstream(nfs3::kAccess, std::move(args), fh, "ACCESS");
+  if (!body) co_return Fault<nfs3::AccessRes>();
+  auto res = nfs3::Parse<nfs3::AccessRes>(*body);
+  if (res && res->status == Status::kOk) Absorb(fh, res->attr, false);
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::ReadArgs>(args);
+  if (!parsed) co_return Fault<nfs3::ReadRes>();
+  const Fh fh = parsed->file;
+  const std::uint32_t bs = cache_.block_size();
+  const std::uint64_t index = parsed->offset / bs;
+
+  if (AttrServable(fh)) {
+    const DiskCache::Block* block = cache_.FindBlock(fh, index);
+    if (block != nullptr) {
+      const std::uint64_t file_size = cache_.ValidAttr(fh)->attr.size;
+      const std::uint64_t block_start = index * bs;
+      const std::uint64_t in_block = parsed->offset - block_start;
+      nfs3::ReadRes res;
+      res.attr = cache_.ValidAttr(fh)->attr;
+      if (in_block < block->data.size()) {
+        const std::uint64_t take = std::min<std::uint64_t>(
+            block->data.size() - in_block, parsed->count);
+        res.data.assign(
+            block->data.begin() + static_cast<std::ptrdiff_t>(in_block),
+            block->data.begin() + static_cast<std::ptrdiff_t>(in_block + take));
+      }
+      res.count = static_cast<std::uint32_t>(res.data.size());
+      res.eof = parsed->offset + res.count >= file_size;
+      ++stats_.served_locally;
+      co_await sim::Sleep(sched_, config_.disk_access_time);
+      co_return Serialize(res);
+    }
+  }
+
+  auto body = co_await Upstream(nfs3::kRead, std::move(args), fh, "READ");
+  if (!body) co_return Fault<nfs3::ReadRes>();
+  auto res = nfs3::Parse<nfs3::ReadRes>(*body);
+  if (res && res->status == Status::kOk) {
+    // Initialize the file entry's server-state tracking before absorbing the
+    // post-op attrs, so the first absorb is not treated as a remote change.
+    if (res->attr.has_value()) {
+      auto& fe = cache_.FileFor(fh);
+      if (fe.blocks.empty() && fe.mtime_seen == 0) {
+        fe.mtime_seen = res->attr->mtime;
+        fe.size_seen = res->attr->size;
+      }
+    }
+    Absorb(fh, res->attr, /*own_write=*/false);
+    if (parsed->offset % bs == 0 && !res->data.empty()) {
+      cache_.StoreBlock(fh, index, res->data, /*dirty=*/false);
+      co_await sim::Sleep(sched_, config_.disk_access_time);  // cache insert
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::WriteArgs>(args);
+  if (!parsed) co_return Fault<nfs3::WriteRes>();
+  const Fh fh = parsed->file;
+  const std::uint32_t bs = cache_.block_size();
+
+  const bool can_absorb =
+      config_.cache_mode == CacheMode::kWriteBack &&
+      cache_.ValidAttr(fh) != nullptr &&
+      (config_.model != ConsistencyModel::kDelegationCallback ||
+       DelegationFresh(fh, /*need_write=*/true));
+
+  if (can_absorb) {
+    // Write-back: absorb into the disk cache; the data is stable there.
+    std::uint64_t pos = parsed->offset;
+    std::size_t consumed = 0;
+    while (consumed < parsed->data.size()) {
+      const std::uint64_t index = pos / bs;
+      const std::uint64_t in_block = pos - index * bs;
+      const std::uint64_t take =
+          std::min<std::uint64_t>(bs - in_block, parsed->data.size() - consumed);
+      Bytes chunk(parsed->data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                  parsed->data.begin() + static_cast<std::ptrdiff_t>(consumed + take));
+      cache_.WriteIntoBlock(fh, index, in_block, chunk);
+      pos += take;
+      consumed += take;
+    }
+    // Locally fabricated attributes: size grows, mtime advances.
+    DiskCache::AttrEntry* entry = cache_.AnyAttr(fh);
+    entry->attr.size =
+        std::max<std::uint64_t>(entry->attr.size, parsed->offset + parsed->data.size());
+    entry->attr.mtime = sched_.Now();
+    entry->valid = true;
+
+    ++stats_.served_locally;
+    nfs3::WriteRes res;
+    res.attr = entry->attr;
+    res.count = static_cast<std::uint32_t>(parsed->data.size());
+    res.committed = nfs3::StableHow::kFileSync;  // disk cache is stable storage
+    co_await sim::Sleep(sched_, config_.disk_access_time);
+    co_return Serialize(res);
+  }
+
+  auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE");
+  if (!body) co_return Fault<nfs3::WriteRes>();
+  auto res = nfs3::Parse<nfs3::WriteRes>(*body);
+  if (res && res->status == Status::kOk) {
+    if (res->attr.has_value()) {
+      auto& fe = cache_.FileFor(fh);
+      if (fe.blocks.empty() && fe.mtime_seen == 0) fe.mtime_seen = res->attr->mtime;
+    }
+    Absorb(fh, res->attr, /*own_write=*/true);
+    if (parsed->offset % bs == 0) {
+      cache_.StoreBlock(fh, parsed->offset / bs, parsed->data, /*dirty=*/false);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleCommit(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::CommitArgs>(args);
+  if (!parsed) co_return Fault<nfs3::CommitRes>();
+  const Fh fh = parsed->file;
+
+  if (config_.cache_mode == CacheMode::kWriteBack &&
+      cache_.DirtyBlockCount(fh) > 0) {
+    // The disk cache is stable storage; the commit is satisfied locally and
+    // the data reaches the server on the next flush (§4.3, write delegation
+    // "can further delay writes").
+    ++stats_.served_locally;
+    nfs3::CommitRes res;
+    const DiskCache::AttrEntry* entry = cache_.ValidAttr(fh);
+    if (entry != nullptr) res.attr = entry->attr;
+    co_await sim::Sleep(sched_, config_.disk_access_time);
+    co_return Serialize(res);
+  }
+
+  auto body = co_await Upstream(nfs3::kCommit, std::move(args), fh, "COMMIT");
+  if (!body) co_return Fault<nfs3::CommitRes>();
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleCreate(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::CreateArgs>(args);
+  if (!parsed) co_return Fault<nfs3::CreateRes>();
+  const Fh dir = parsed->dir;
+  auto body = co_await Upstream(nfs3::kCreate, std::move(args), dir, "CREATE");
+  if (!body) co_return Fault<nfs3::CreateRes>();
+  auto res = nfs3::Parse<nfs3::CreateRes>(*body);
+  if (res) {
+    Absorb(dir, res->dir_attr, /*own_write=*/true);
+    if (res->status == Status::kOk) {
+      Absorb(res->object, res->obj_attr, /*own_write=*/true);
+      cache_.StoreLookup(dir, parsed->name, res->object);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleMkdir(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::MkdirArgs>(args);
+  if (!parsed) co_return Fault<nfs3::MkdirRes>();
+  const Fh dir = parsed->dir;
+  auto body = co_await Upstream(nfs3::kMkdir, std::move(args), dir, "MKDIR");
+  if (!body) co_return Fault<nfs3::MkdirRes>();
+  auto res = nfs3::Parse<nfs3::MkdirRes>(*body);
+  if (res) {
+    Absorb(dir, res->dir_attr, /*own_write=*/true);
+    if (res->status == Status::kOk) {
+      Absorb(res->object, res->obj_attr, /*own_write=*/true);
+      cache_.StoreLookup(dir, parsed->name, res->object);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleRemove(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::RemoveArgs>(args);
+  if (!parsed) co_return Fault<nfs3::RemoveRes>();
+  const Fh dir = parsed->dir;
+  auto body = co_await Upstream(nfs3::kRemove, std::move(args), dir, "REMOVE");
+  if (!body) co_return Fault<nfs3::RemoveRes>();
+  auto res = nfs3::Parse<nfs3::RemoveRes>(*body);
+  if (res) {
+    Absorb(dir, res->dir_attr, /*own_write=*/true);
+    if (res->status == Status::kOk) {
+      const Fh* victim = cache_.ValidLookup(dir, parsed->name);
+      if (victim != nullptr && victim->valid()) cache_.InvalidateAttr(*victim);
+      cache_.StoreLookup(dir, parsed->name, kNegative);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleRmdir(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::RmdirArgs>(args);
+  if (!parsed) co_return Fault<nfs3::RmdirRes>();
+  const Fh dir = parsed->dir;
+  auto body = co_await Upstream(nfs3::kRmdir, std::move(args), dir, "RMDIR");
+  if (!body) co_return Fault<nfs3::RmdirRes>();
+  auto res = nfs3::Parse<nfs3::RmdirRes>(*body);
+  if (res) {
+    Absorb(dir, res->dir_attr, /*own_write=*/true);
+    if (res->status == Status::kOk) cache_.StoreLookup(dir, parsed->name, kNegative);
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleRename(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::RenameArgs>(args);
+  if (!parsed) co_return Fault<nfs3::RenameRes>();
+  auto body = co_await Upstream(nfs3::kRename, std::move(args), parsed->from_dir,
+                                "RENAME");
+  if (!body) co_return Fault<nfs3::RenameRes>();
+  auto res = nfs3::Parse<nfs3::RenameRes>(*body);
+  if (res) {
+    Absorb(parsed->from_dir, res->from_dir_attr, /*own_write=*/true);
+    Absorb(parsed->to_dir, res->to_dir_attr, /*own_write=*/true);
+    if (res->status == Status::kOk) {
+      cache_.DropLookup(parsed->from_dir, parsed->from_name);
+      cache_.DropLookup(parsed->to_dir, parsed->to_name);
+      cache_.StoreLookup(parsed->from_dir, parsed->from_name, kNegative);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleLink(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::LinkArgs>(args);
+  if (!parsed) co_return Fault<nfs3::LinkRes>();
+  auto body = co_await Upstream(nfs3::kLink, std::move(args), parsed->dir, "LINK");
+  if (!body) co_return Fault<nfs3::LinkRes>();
+  auto res = nfs3::Parse<nfs3::LinkRes>(*body);
+  if (res) {
+    Absorb(parsed->dir, res->dir_attr, /*own_write=*/true);
+    Absorb(parsed->file, res->file_attr, /*own_write=*/true);
+    if (res->status == Status::kOk) {
+      cache_.StoreLookup(parsed->dir, parsed->name, parsed->file);
+    }
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandleSetAttr(Bytes args) {
+  auto parsed = nfs3::Parse<nfs3::SetAttrArgs>(args);
+  if (!parsed) co_return Fault<nfs3::SetAttrRes>();
+  const Fh fh = parsed->object;
+  auto body = co_await Upstream(nfs3::kSetAttr, std::move(args), fh, "SETATTR");
+  if (!body) co_return Fault<nfs3::SetAttrRes>();
+  auto res = nfs3::Parse<nfs3::SetAttrRes>(*body);
+  if (res && res->status == Status::kOk) {
+    if (parsed->size.has_value()) cache_.DropFileData(fh);
+    Absorb(fh, res->attr, /*own_write=*/true);
+  }
+  co_return std::move(*body);
+}
+
+sim::Task<Bytes> ProxyClient::HandlePassthrough(std::uint32_t proc, Bytes args) {
+  auto body = co_await Upstream(proc, std::move(args), std::nullopt,
+                                nfs3::ProcName(proc));
+  if (!body) co_return Fault<nfs3::GetAttrRes>();
+  co_return std::move(*body);
+}
+
+// ---------------------------------------------------------------------------
+// Callbacks (server -> client)
+// ---------------------------------------------------------------------------
+
+sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext, Bytes args) {
+  ++stats_.callbacks_received;
+  auto parsed = nfs3::Parse<CallbackArgs>(args);
+  if (!parsed) co_return Serialize(CallbackRes{});
+  const Fh fh = parsed->file;
+  DropDelegation(fh);
+
+  CallbackRes res;
+  if (parsed->type == CallbackType::kRecallWrite) {
+    // The contended block goes back first (§4.3.2).
+    if (parsed->has_wanted_offset) {
+      const std::uint64_t aligned =
+          parsed->wanted_offset - parsed->wanted_offset % cache_.block_size();
+      co_await FlushBlock(fh, aligned);
+    }
+    auto dirty = cache_.DirtyOffsets(fh);
+    if (config_.dirty_threshold_blocks > 0 &&
+        dirty.size() > config_.dirty_threshold_blocks) {
+      // Too much dirty data to hold the callback: return the block list and
+      // flush the remainder asynchronously.
+      res.pending_offsets = dirty;
+      const DiskCache::AttrEntry* entry = cache_.AnyAttr(fh);
+      if (entry != nullptr) res.file_size = entry->attr.size;
+      sim::Spawn(AsyncFlush(fh));
+    } else {
+      co_await FlushFile(fh, /*commit=*/true);
+    }
+  }
+  cache_.InvalidateAttr(fh);
+  co_return Serialize(res);
+}
+
+sim::Task<Bytes> ProxyClient::HandleRecovery(rpc::CallContext, Bytes) {
+  ++stats_.callbacks_received;
+  // Whole-cache callback after a server restart: every cached attribute
+  // must be revalidated; write-delegation state is reported back so the
+  // server can rebuild its table.
+  cache_.InvalidateAllAttrs();
+  delegations_.clear();
+  RecoveryRes res;
+  res.dirty_files = cache_.FilesWithDirtyData();
+  co_return Serialize(res);
+}
+
+// ---------------------------------------------------------------------------
+// Background tasks
+// ---------------------------------------------------------------------------
+
+void ProxyClient::Start() {
+  if (running_) return;
+  running_ = true;
+  if (config_.model == ConsistencyModel::kInvalidationPolling) {
+    sim::Spawn(PollLoop());
+  }
+  if (config_.cache_mode == CacheMode::kWriteBack && config_.wb_flush_period > 0) {
+    sim::Spawn(FlushLoop());
+  }
+}
+
+sim::Task<void> ProxyClient::PollLoop() {
+  const std::uint64_t epoch = epoch_;
+  // Bootstrap immediately (§4.2.2): the first GETINV carries a null
+  // timestamp and establishes this client's invalidation buffer before any
+  // cached state accumulates.
+  co_await PollOnce();
+  while (running_ && epoch == epoch_) {
+    co_await sim::Sleep(sched_, poll_period_);
+    if (!running_ || epoch != epoch_) break;
+    co_await PollOnce();
+  }
+}
+
+sim::Task<void> ProxyClient::PollOnce() {
+  bool got_news = false;
+  while (true) {
+    GetInvArgs args;
+    args.last_timestamp = poll_timestamp_;
+    rpc::CallOptions opts;
+    opts.label = "GETINV";
+    auto reply = co_await node_.Call(upstream_.server(), kGvfsProgram, kGetInv,
+                                     Serialize(args), std::move(opts));
+    if (!reply) co_return;  // server unreachable; retry next period
+    auto res = nfs3::Parse<GetInvRes>(*reply);
+    if (!res) co_return;
+    ++stats_.polls;
+    poll_timestamp_ = res->new_timestamp;
+    if (res->force_invalidate) {
+      cache_.InvalidateAllAttrs();
+      ++stats_.force_invalidations;
+      got_news = true;
+    } else {
+      for (const auto& fh : res->handles) {
+        cache_.InvalidateAttr(fh);
+        ++stats_.invalidations_applied;
+      }
+      got_news |= !res->handles.empty();
+    }
+    if (!res->poll_again) break;
+  }
+
+  // Exponential back-off while the file system is quiet (§4.2.1).
+  if (config_.poll_max_period > config_.poll_period) {
+    if (got_news) {
+      poll_period_ = config_.poll_period;
+    } else {
+      poll_period_ = std::min<Duration>(poll_period_ * 2, config_.poll_max_period);
+    }
+  }
+}
+
+sim::Task<void> ProxyClient::FlushLoop() {
+  const std::uint64_t epoch = epoch_;
+  while (running_ && epoch == epoch_) {
+    co_await sim::Sleep(sched_, config_.wb_flush_period);
+    if (!running_ || epoch != epoch_) break;
+    co_await FlushAll();
+  }
+}
+
+sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
+  const std::uint64_t index = offset / cache_.block_size();
+  const DiskCache::Block* block = cache_.FindBlock(fh, index);
+  if (block == nullptr || !block->dirty) co_return true;
+
+  nfs3::WriteArgs wargs;
+  wargs.file = fh;
+  wargs.offset = offset;
+  wargs.stable = nfs3::StableHow::kUnstable;
+  wargs.data = block->data;
+  auto body = co_await Upstream(nfs3::kWrite, Serialize(wargs), fh, "WRITE");
+  if (!body) co_return false;
+  auto res = nfs3::Parse<nfs3::WriteRes>(*body);
+  if (!res || res->status != Status::kOk) co_return false;
+  cache_.MarkClean(fh, index);
+  Absorb(fh, res->attr, /*own_write=*/true);
+  ++stats_.blocks_flushed;
+  co_return true;
+}
+
+sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit) {
+  bool flushed_any = false;
+  for (std::uint64_t offset : cache_.DirtyOffsets(fh)) {
+    flushed_any |= co_await FlushBlock(fh, offset);
+  }
+  if (flushed_any && commit) {
+    nfs3::CommitArgs cargs;
+    cargs.file = fh;
+    auto body = co_await Upstream(nfs3::kCommit, Serialize(cargs), fh, "COMMIT");
+    (void)body;
+  }
+}
+
+sim::Task<void> ProxyClient::AsyncFlush(Fh fh) { co_await FlushFile(fh, true); }
+
+sim::Task<void> ProxyClient::FlushAll() {
+  for (const Fh& fh : cache_.FilesWithDirtyData()) {
+    co_await FlushFile(fh, /*commit=*/true);
+  }
+}
+
+sim::Task<void> ProxyClient::Shutdown() {
+  co_await FlushAll();
+  running_ = false;
+  ++epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recovery (§4.3.4)
+// ---------------------------------------------------------------------------
+
+void ProxyClient::Crash() {
+  node_.SetDown(true);
+  running_ = false;
+  ++epoch_;
+  cache_.Crash();      // disk survives; validity metadata does not
+  delegations_.clear();
+  poll_timestamp_ = 0;  // lost: the next GETINV bootstraps with a null ts
+  poll_period_ = config_.poll_period;
+}
+
+sim::Task<void> ProxyClient::Recover() {
+  node_.SetDown(false);
+  cache_.InvalidateAllAttrs();
+
+  // For files with cached dirty data, write back a single block each: this
+  // reacquires the write delegation if nobody modified the file during the
+  // crash, and detects conflicts otherwise (§4.3.4).
+  for (const Fh& fh : cache_.FilesWithDirtyData()) {
+    DiskCache::FileEntry* entry = cache_.FindFile(fh);
+    auto reply = co_await upstream_.Call<nfs3::GetAttrRes>(nfs3::kGetAttr,
+                                                           nfs3::GetAttrArgs{fh});
+    const bool conflicted =
+        !reply || reply->status != Status::kOk ||
+        (entry != nullptr && reply->attr.mtime != entry->mtime_seen);
+    if (conflicted) {
+      // The cached dirty data is considered corrupted; the application will
+      // see an error when it tries to use it.
+      cache_.DropFileData(fh);
+      cache_.InvalidateAttr(fh);
+      corrupted_.push_back(fh);
+      continue;
+    }
+    auto dirty = cache_.DirtyOffsets(fh);
+    if (!dirty.empty()) co_await FlushBlock(fh, dirty.front());
+  }
+  Start();
+}
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,157 @@
+// GVFS proxy client (§4 of the paper).
+//
+// Runs on each client host between the unmodified kernel NFS client
+// (loopback) and the session's proxy server (WAN). Serves kernel requests
+// from its disk cache whenever the session's consistency model says the
+// cached state is valid:
+//
+//  - TTL model: attribute entries valid for a fixed period.
+//  - Invalidation polling (§4.2): entries valid until a GETINV poll
+//    invalidates them; a background poller with optional exponential
+//    back-off keeps the window bounded.
+//  - Delegation/callback (§4.3): entries valid while a per-file delegation
+//    is held; delegations renew by letting a request bypass the cache before
+//    they expire, and are revoked by server callbacks (read recalls
+//    invalidate; write recalls force write-back, with the §4.3.2 block-list
+//    optimization for large dirty sets).
+//
+// Write-back mode additionally absorbs WRITE/COMMIT into the disk cache and
+// flushes lazily (periodic flusher, recalls, shutdown).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "gvfs/disk_cache.h"
+#include "gvfs/proto.h"
+#include "gvfs/session.h"
+#include "nfs3/client.h"
+#include "nfs3/proto.h"
+#include "rpc/rpc.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace gvfs::proxy {
+
+struct ProxyClientStats {
+  std::uint64_t served_locally = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t invalidations_applied = 0;
+  std::uint64_t force_invalidations = 0;
+  std::uint64_t callbacks_received = 0;
+  std::uint64_t blocks_flushed = 0;
+};
+
+class ProxyClient {
+ public:
+  /// `node` is this proxy's endpoint: it serves the local kernel client's
+  /// NFS calls and the server's CALLBACK RPCs, and issues upstream calls to
+  /// `server` (the session's proxy server).
+  ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node, net::Address server,
+              SessionConfig config);
+
+  /// Starts background tasks (invalidation poller, write-back flusher).
+  void Start();
+
+  /// Flushes dirty data and stops background tasks (session teardown).
+  sim::Task<void> Shutdown();
+
+  /// Writes all dirty blocks upstream (e.g. before evaluating server state).
+  sim::Task<void> FlushAll();
+
+  /// Crash simulation: loses in-memory state (validity, delegations,
+  /// timestamp); the disk cache's data and dirty flags survive.
+  void Crash();
+
+  /// Restart after a crash: rescans the disk cache, invalidates attributes,
+  /// and writes back one block per dirty file to reacquire delegations and
+  /// detect conflicts (§4.3.4). Conflicted files' dirty data is discarded.
+  sim::Task<void> Recover();
+
+  const SessionConfig& config() const { return config_; }
+  const ProxyClientStats& stats() const { return stats_; }
+  DiskCache& cache() { return cache_; }
+  bool running() const { return running_; }
+
+  /// Files whose cached dirty data was found conflicted during recovery.
+  const std::vector<nfs3::Fh>& corrupted_files() const { return corrupted_; }
+
+ private:
+  struct Delegation {
+    DelegationType type = DelegationType::kNone;
+    SimTime refreshed_at = 0;
+  };
+
+  // -- kernel-facing NFS handlers --
+  sim::Task<Bytes> HandleGetAttr(Bytes args);
+  sim::Task<Bytes> HandleLookup(Bytes args);
+  sim::Task<Bytes> HandleAccess(Bytes args);
+  sim::Task<Bytes> HandleRead(Bytes args);
+  sim::Task<Bytes> HandleWrite(Bytes args);
+  sim::Task<Bytes> HandleCommit(Bytes args);
+  sim::Task<Bytes> HandleCreate(Bytes args);
+  sim::Task<Bytes> HandleMkdir(Bytes args);
+  sim::Task<Bytes> HandleRemove(Bytes args);
+  sim::Task<Bytes> HandleRmdir(Bytes args);
+  sim::Task<Bytes> HandleRename(Bytes args);
+  sim::Task<Bytes> HandleLink(Bytes args);
+  sim::Task<Bytes> HandleSetAttr(Bytes args);
+  sim::Task<Bytes> HandlePassthrough(std::uint32_t proc, Bytes args);
+
+  // -- server-facing callback handlers --
+  sim::Task<Bytes> HandleCallback(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleRecovery(rpc::CallContext ctx, Bytes args);
+
+  /// Forwards a raw request upstream; strips and applies any delegation
+  /// grant suffix for `granted_fh`. Returns the reply body (suffix removed),
+  /// or nullopt on transport failure.
+  sim::Task<std::optional<Bytes>> Upstream(std::uint32_t proc, Bytes args,
+                                           std::optional<nfs3::Fh> granted_fh,
+                                           std::string label);
+
+  /// True when the consistency model lets cached attributes answer locally.
+  bool AttrServable(const nfs3::Fh& fh) const;
+  /// Delegation model: do we hold a live (non-renewal-due) delegation?
+  bool DelegationFresh(const nfs3::Fh& fh, bool need_write) const;
+  void StoreGrant(const nfs3::Fh& fh, DelegationType type);
+  void DropDelegation(const nfs3::Fh& fh);
+
+  /// Applies post-op attributes from an upstream reply to the disk cache.
+  void Absorb(const nfs3::Fh& fh, const nfs3::PostOpAttr& attr, bool own_write);
+
+  /// Rebuilds the name cache of a changed directory with paginated READDIRs
+  /// (one or two RPCs instead of one LOOKUP per name). Returns false if the
+  /// directory state changed underneath us.
+  sim::Task<bool> RefreshDirListing(nfs3::Fh dir);
+
+  // -- background tasks --
+  sim::Task<void> PollLoop();
+  sim::Task<void> PollOnce();
+  sim::Task<void> FlushLoop();
+
+  /// Writes one dirty block upstream; returns false on failure.
+  sim::Task<bool> FlushBlock(nfs3::Fh fh, std::uint64_t offset);
+  sim::Task<void> FlushFile(nfs3::Fh fh, bool commit);
+  /// Asynchronous remainder flush after a block-list callback reply.
+  sim::Task<void> AsyncFlush(nfs3::Fh fh);
+
+  sim::Scheduler& sched_;
+  rpc::RpcNode& node_;
+  nfs3::Nfs3Client upstream_;
+  SessionConfig config_;
+  DiskCache cache_;
+
+  std::map<nfs3::Fh, Delegation> delegations_;
+  std::uint64_t poll_timestamp_ = 0;
+  Duration poll_period_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;  // bumped on crash to cancel stale loops
+
+  std::vector<nfs3::Fh> corrupted_;
+  ProxyClientStats stats_;
+};
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,520 @@
+#include "gvfs/proxy_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gvfs::proxy {
+
+using nfs3::Fh;
+using nfs3::Serialize;
+
+ProxyServer::ProxyServer(sim::Scheduler& sched, rpc::RpcNode& node,
+                         net::Address upstream, SessionConfig config)
+    : sched_(sched),
+      node_(node),
+      upstream_(node, upstream),
+      config_(std::move(config)),
+      grace_over_(sched) {
+  // NFS procedures pass through (with consistency handling around them).
+  static constexpr std::uint32_t kProcs[] = {
+      nfs3::kGetAttr, nfs3::kSetAttr, nfs3::kLookup, nfs3::kAccess,
+      nfs3::kRead,    nfs3::kWrite,   nfs3::kCreate, nfs3::kMkdir,
+      nfs3::kRemove,  nfs3::kRmdir,   nfs3::kRename, nfs3::kLink,
+      nfs3::kReadDir, nfs3::kFsStat,  nfs3::kCommit,
+  };
+  for (std::uint32_t proc : kProcs) {
+    node.RegisterHandler(nfs3::kProgram, proc,
+                         [this, proc](rpc::CallContext ctx, Bytes args) {
+                           return HandleNfs(proc, ctx, std::move(args));
+                         });
+  }
+  node.RegisterHandler(kGvfsProgram, kGetInv,
+                       [this](rpc::CallContext ctx, Bytes args) {
+                         return HandleGetInv(ctx, std::move(args));
+                       });
+}
+
+// ---------------------------------------------------------------------------
+// Request classification
+// ---------------------------------------------------------------------------
+
+ProxyServer::OpInfo ProxyServer::Classify(std::uint32_t proc, const Bytes& args) {
+  OpInfo info;
+  info.known = true;
+  switch (proc) {
+    case nfs3::kGetAttr: {
+      auto parsed = nfs3::Parse<nfs3::GetAttrArgs>(args);
+      if (parsed) info.reads.push_back(parsed->object);
+      break;
+    }
+    case nfs3::kAccess: {
+      auto parsed = nfs3::Parse<nfs3::AccessArgs>(args);
+      if (parsed) info.reads.push_back(parsed->object);
+      break;
+    }
+    case nfs3::kLookup: {
+      auto parsed = nfs3::Parse<nfs3::LookupArgs>(args);
+      if (parsed) info.reads.push_back(parsed->dir);
+      break;
+    }
+    case nfs3::kReadDir: {
+      auto parsed = nfs3::Parse<nfs3::ReadDirArgs>(args);
+      if (parsed) info.reads.push_back(parsed->dir);
+      break;
+    }
+    case nfs3::kRead: {
+      auto parsed = nfs3::Parse<nfs3::ReadArgs>(args);
+      if (parsed) {
+        info.reads.push_back(parsed->file);
+        info.offset = parsed->offset;
+      }
+      break;
+    }
+    case nfs3::kFsStat:
+      break;  // no per-file consistency impact
+    case nfs3::kCommit: {
+      auto parsed = nfs3::Parse<nfs3::CommitArgs>(args);
+      if (parsed) info.reads.push_back(parsed->file);
+      break;
+    }
+    case nfs3::kWrite: {
+      auto parsed = nfs3::Parse<nfs3::WriteArgs>(args);
+      if (parsed) {
+        info.mutating = true;
+        info.writes.push_back(parsed->file);
+        info.offset = parsed->offset;
+      }
+      break;
+    }
+    case nfs3::kSetAttr: {
+      auto parsed = nfs3::Parse<nfs3::SetAttrArgs>(args);
+      if (parsed) {
+        info.mutating = true;
+        info.writes.push_back(parsed->object);
+      }
+      break;
+    }
+    case nfs3::kCreate:
+    case nfs3::kMkdir: {
+      auto parsed = nfs3::Parse<nfs3::CreateArgs>(args);
+      if (parsed) {
+        info.mutating = true;
+        info.writes.push_back(parsed->dir);
+      }
+      break;
+    }
+    case nfs3::kRemove:
+    case nfs3::kRmdir: {
+      auto parsed = nfs3::Parse<nfs3::RemoveArgs>(args);
+      if (parsed) {
+        info.mutating = true;
+        info.writes.push_back(parsed->dir);
+        info.victims.push_back({parsed->dir, parsed->name});
+      }
+      break;
+    }
+    case nfs3::kRename: {
+      auto parsed = nfs3::Parse<nfs3::RenameArgs>(args);
+      if (parsed) {
+        info.mutating = true;
+        info.writes.push_back(parsed->from_dir);
+        info.writes.push_back(parsed->to_dir);
+        info.victims.push_back({parsed->from_dir, parsed->from_name});
+        info.victims.push_back({parsed->to_dir, parsed->to_name});
+      }
+      break;
+    }
+    case nfs3::kLink: {
+      auto parsed = nfs3::Parse<nfs3::LinkArgs>(args);
+      if (parsed) {
+        info.mutating = true;
+        info.writes.push_back(parsed->dir);
+        info.writes.push_back(parsed->file);
+      }
+      break;
+    }
+    default:
+      info.known = false;
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Main NFS path
+// ---------------------------------------------------------------------------
+
+sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx,
+                                        Bytes args) {
+  co_await WaitGrace();
+  RegisterClient(ctx.caller);
+
+  OpInfo info = Classify(proc, args);
+
+  // Resolve victims (e.g. the file a REMOVE will unlink) before the mutation
+  // lands, so their holders can be recalled / invalidated too.
+  std::vector<Fh> victim_fhs;
+  for (const auto& [dir, name] : info.victims) {
+    nfs3::LookupArgs lookup;
+    lookup.dir = dir;
+    lookup.name = name;
+    auto res = co_await upstream_.Call<nfs3::LookupRes>(nfs3::kLookup, lookup);
+    if (res && res->status == nfs3::Status::kOk) victim_fhs.push_back(res->object);
+  }
+
+  const bool delegation_model = config_.model == ConsistencyModel::kDelegationCallback;
+
+  if (delegation_model) {
+    // Recall conflicting delegations before the operation proceeds.
+    for (const auto& fh : info.writes) {
+      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, info.offset);
+    }
+    for (const auto& fh : victim_fhs) {
+      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, std::nullopt);
+    }
+    for (const auto& fh : info.reads) {
+      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/false, std::nullopt);
+      if (info.offset.has_value()) {
+        co_await EnsureBlockWrittenBack(fh, ctx.caller, *info.offset);
+      }
+    }
+  }
+
+  // Forward the raw request upstream (kernel NFS server over loopback).
+  ++stats_.forwarded;
+  auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc, args,
+                                   rpc::CallOptions{});
+  if (!reply) {
+    // Upstream unreachable: surface as a server fault in NFS terms.
+    nfs3::GetAttrRes fault;
+    fault.status = nfs3::Status::kServerFault;
+    co_return Serialize(fault);
+  }
+  Bytes body = std::move(*reply);
+
+  // A successful WRITE from the write-back owner retires pending blocks.
+  if (proc == nfs3::kWrite && info.offset.has_value() && !info.writes.empty()) {
+    auto it = files_.find(info.writes.front());
+    if (it != files_.end() && it->second.writeback_owner == ctx.caller) {
+      it->second.pending_writeback.erase(*info.offset);
+      if (it->second.pending_writeback.empty()) {
+        it->second.writeback_owner = net::Address{};
+      }
+    }
+  }
+
+  // Record invalidations for the polling model (only if the mutation
+  // actually succeeded — the first u32 of every NFS reply is the status).
+  if (info.mutating) {
+    xdr::Decoder dec(body);
+    auto status = dec.GetU32();
+    if (status && *status == 0) {
+      for (const auto& fh : info.writes) RecordInvalidation(fh, ctx.caller);
+      for (const auto& fh : victim_fhs) RecordInvalidation(fh, ctx.caller);
+    }
+  }
+
+  // Delegation decision, piggybacked on the reply (§4.3.1).
+  if (delegation_model && info.known) {
+    DelegationType grant = DelegationType::kNone;
+    if (!info.writes.empty()) {
+      grant = DecideGrant(info.writes.front(), ctx.caller, /*write_op=*/true);
+      TouchSharer(info.writes.front(), ctx.caller, /*write_op=*/true, grant);
+    } else if (!info.reads.empty()) {
+      grant = DecideGrant(info.reads.front(), ctx.caller, /*write_op=*/false);
+      TouchSharer(info.reads.front(), ctx.caller, /*write_op=*/false, grant);
+    }
+    GrantSuffix suffix;
+    suffix.delegation = grant;
+    suffix.AppendTo(body);
+  }
+
+  co_return body;
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation polling (§4.2)
+// ---------------------------------------------------------------------------
+
+void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
+  if (config_.model != ConsistencyModel::kInvalidationPolling) return;
+  ++inv_clock_;
+  for (auto& [client, state] : inv_clients_) {
+    if (client == writer) continue;  // the writer observed its own change
+    if (!state.pending.insert(fh).second) continue;  // coalesced
+    state.buffer.push_back(InvEntry{inv_clock_, fh});
+    ++stats_.invalidations_recorded;
+    if (state.buffer.size() > config_.inv_buffer_capacity) {
+      state.pending.erase(state.buffer.front().fh);
+      state.buffer.pop_front();
+      state.overflowed = true;  // wrap-around: this client must force-invalidate
+    }
+  }
+}
+
+sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
+  ++stats_.getinv_served;
+  RegisterClient(ctx.caller);
+
+  GetInvRes res;
+  auto parsed = nfs3::Parse<GetInvArgs>(args);
+  if (!parsed) {
+    res.force_invalidate = true;
+    res.new_timestamp = inv_clock_;
+    co_return Serialize(res);
+  }
+
+  auto it = inv_clients_.find(ctx.caller);
+  if (it == inv_clients_.end()) {
+    // Case 1: first GETINV from this client (bootstrap, or first contact
+    // after a server restart that lost all buffers).
+    auto& state = inv_clients_[ctx.caller];
+    state.last_acked = inv_clock_;
+    res.new_timestamp = inv_clock_;
+    res.force_invalidate = true;
+    ++stats_.force_invalidations;
+    co_return Serialize(res);
+  }
+
+  InvClient& state = it->second;
+  const std::uint64_t ts = parsed->last_timestamp;
+  const bool stale_ts = ts == 0 || ts < state.last_acked || ts > inv_clock_;
+  if (stale_ts || state.overflowed) {
+    // Case 2: the client cannot be brought up to date incrementally (lost
+    // timestamp, or its buffer wrapped around during a partition).
+    state.buffer.clear();
+    state.pending.clear();
+    state.overflowed = false;
+    state.last_acked = inv_clock_;
+    res.new_timestamp = inv_clock_;
+    res.force_invalidate = true;
+    ++stats_.force_invalidations;
+    co_return Serialize(res);
+  }
+
+  // Case 3: return (and clear) buffered invalidations, batched.
+  const std::size_t batch =
+      std::min<std::size_t>(state.buffer.size(), config_.getinv_batch);
+  res.handles.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    InvEntry entry = state.buffer.front();
+    state.buffer.pop_front();
+    state.pending.erase(entry.fh);
+    res.handles.push_back(entry.fh);
+    state.last_acked = entry.timestamp;
+  }
+  if (state.buffer.empty()) {
+    state.last_acked = inv_clock_;
+  } else {
+    res.poll_again = true;
+  }
+  res.new_timestamp = state.last_acked;
+  co_return Serialize(res);
+}
+
+// ---------------------------------------------------------------------------
+// Delegations (§4.3)
+// ---------------------------------------------------------------------------
+
+void ProxyServer::ExpireSharers(FileState& state) {
+  const SimTime now = sched_.Now();
+  for (auto it = state.sharers.begin(); it != state.sharers.end();) {
+    if (now - it->second.last_access > config_.deleg_expiry) {
+      // Speculated closed; no callback needed — the client-side renewal
+      // period is shorter than the expiry, so a live client would have
+      // refreshed it.
+      it = state.sharers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+sim::Task<CallbackRes> ProxyServer::SendCallback(net::Address client, Fh fh,
+                                                 CallbackType type,
+                                                 std::optional<std::uint64_t> wanted) {
+  CallbackArgs args;
+  args.file = fh;
+  args.type = type;
+  if (wanted.has_value()) {
+    args.has_wanted_offset = true;
+    args.wanted_offset = *wanted;
+  }
+  ++stats_.callbacks_sent;
+  rpc::CallOptions opts;
+  opts.label = "CALLBACK";
+  opts.timeout = Seconds(2);
+  opts.max_retries = 3;
+  auto reply = co_await node_.Call(client, kGvfsProgram, kCallback,
+                                   Serialize(args), std::move(opts));
+  if (!reply) co_return CallbackRes{};  // client unreachable; treat as revoked
+  auto parsed = nfs3::Parse<CallbackRes>(*reply);
+  co_return parsed.value_or(CallbackRes{});
+}
+
+sim::Task<void> ProxyServer::RecallConflicts(Fh fh, net::Address requester,
+                                             bool write_op,
+                                             std::optional<std::uint64_t> offset) {
+  auto it = files_.find(fh);
+  if (it == files_.end()) co_return;
+  ExpireSharers(it->second);
+
+  // Collect the conflicting holders first: the sharer map may be touched by
+  // concurrent requests while we await callbacks.
+  std::vector<std::pair<net::Address, DelegationType>> to_recall;
+  for (const auto& [addr, sharer] : it->second.sharers) {
+    if (addr == requester) continue;
+    if (sharer.granted == DelegationType::kNone) continue;
+    if (write_op || sharer.granted == DelegationType::kWrite) {
+      to_recall.push_back({addr, sharer.granted});
+    }
+  }
+
+  if (!to_recall.empty()) ++it->second.recalling;
+  for (const auto& [addr, granted] : to_recall) {
+    const CallbackType type = granted == DelegationType::kWrite
+                                  ? CallbackType::kRecallWrite
+                                  : CallbackType::kRecallRead;
+    if (type == CallbackType::kRecallWrite) {
+      ++stats_.recalls_write;
+    } else {
+      ++stats_.recalls_read;
+    }
+    CallbackRes res = co_await SendCallback(addr, fh, type, offset);
+
+    auto again = files_.find(fh);
+    if (again == files_.end()) continue;
+    auto sharer = again->second.sharers.find(addr);
+    if (sharer != again->second.sharers.end()) {
+      sharer->second.granted = DelegationType::kNone;
+    }
+    if (!res.pending_offsets.empty()) {
+      // Block-list optimization: the write delegation is considered revoked
+      // now; the server monitors the remaining write-back (§4.3.2).
+      again->second.pending_writeback.insert(res.pending_offsets.begin(),
+                                             res.pending_offsets.end());
+      again->second.writeback_owner = addr;
+      if (res.file_size > 0) {
+        // Extend the upstream file to the holder's authoritative size so
+        // other clients see correct attributes while blocks trickle in.
+        nfs3::SetAttrArgs extend;
+        extend.object = fh;
+        extend.size = res.file_size;
+        (void)co_await upstream_.Call<nfs3::SetAttrRes>(nfs3::kSetAttr, extend);
+      }
+    }
+  }
+  if (!to_recall.empty()) {
+    auto again = files_.find(fh);
+    if (again != files_.end()) --again->second.recalling;
+  }
+}
+
+sim::Task<void> ProxyServer::EnsureBlockWrittenBack(Fh fh, net::Address requester,
+                                                    std::uint64_t offset) {
+  auto it = files_.find(fh);
+  if (it == files_.end()) co_return;
+  const std::uint64_t block_offset = offset - offset % config_.block_size;
+  if (it->second.pending_writeback.count(block_offset) == 0) co_return;
+  if (it->second.writeback_owner == requester) co_return;
+
+  // Requests to blocks not yet written back generate callbacks forcing the
+  // owner to submit them promptly (§4.3.2).
+  co_await SendCallback(it->second.writeback_owner, fh, CallbackType::kRecallWrite,
+                        block_offset);
+  // The owner's WRITE (observed in HandleNfs) retires the pending offset.
+}
+
+DelegationType ProxyServer::DecideGrant(const Fh& fh, net::Address requester,
+                                        bool write_op) {
+  auto& state = files_[fh];
+  ExpireSharers(state);
+  // Temporarily non-cacheable: a recall is in flight or a write-back is
+  // still being monitored (§4.3.1 / §4.3.2).
+  if (state.recalling > 0 || !state.pending_writeback.empty()) {
+    return DelegationType::kNone;
+  }
+
+  bool other_sharers = false;
+  bool other_write_holder = false;
+  for (const auto& [addr, sharer] : state.sharers) {
+    if (addr == requester) continue;
+    other_sharers = true;
+    if (sharer.granted == DelegationType::kWrite) other_write_holder = true;
+  }
+
+  if (write_op) {
+    // Write delegation only when nobody else has the file open (§4.3.1).
+    return other_sharers ? DelegationType::kNone : DelegationType::kWrite;
+  }
+  // Read delegations coexist; a conflicting write holder would have been
+  // recalled before we got here, but stay safe if one remains.
+  return other_write_holder ? DelegationType::kNone : DelegationType::kRead;
+}
+
+void ProxyServer::TouchSharer(const Fh& fh, net::Address client, bool write_op,
+                              DelegationType granted) {
+  auto& sharer = files_[fh].sharers[client];
+  sharer.last_access = sched_.Now();
+  if (write_op) sharer.last_write = sched_.Now();
+  // A kNone decision (e.g. during a recall) leaves the recorded grant alone;
+  // a read refresh never downgrades a recorded write delegation — mirroring
+  // the client-side rule so both ends agree on who holds what.
+  if (granted == DelegationType::kWrite ||
+      (granted == DelegationType::kRead &&
+       sharer.granted != DelegationType::kWrite)) {
+    sharer.granted = granted;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling (§4.3.4)
+// ---------------------------------------------------------------------------
+
+sim::Task<void> ProxyServer::WaitGrace() {
+  while (in_grace_) co_await grace_over_.Wait();
+}
+
+void ProxyServer::Crash() {
+  node_.SetDown(true);
+  inv_clients_.clear();
+  inv_clock_ = 1;
+  files_.clear();
+  // persistent_clients_ survives: it is stored on disk.
+}
+
+sim::Task<void> ProxyServer::Recover() {
+  node_.SetDown(false);
+  if (config_.model != ConsistencyModel::kDelegationCallback) co_return;
+
+  in_grace_ = true;
+  // A single multicast round: every known client gets a whole-cache
+  // callback; write-delegation holders answer with their dirty-file lists.
+  for (const auto& client : persistent_clients_) {
+    rpc::CallOptions opts;
+    opts.label = "CALLBACK";
+    opts.timeout = Seconds(2);
+    opts.max_retries = 2;
+    auto reply = co_await node_.Call(client, kGvfsProgram, kRecovery,
+                                     Serialize(RecoveryArgs{}), std::move(opts));
+    if (!reply) continue;  // client itself crashed; it will reconcile later
+    auto parsed = nfs3::Parse<RecoveryRes>(*reply);
+    if (!parsed) continue;
+    for (const auto& fh : parsed->dirty_files) {
+      // Rebuild the open-file table: the client still holds dirty data, so
+      // it keeps a write delegation to finish its write-back.
+      auto& sharer = files_[fh].sharers[client];
+      sharer.last_access = sched_.Now();
+      sharer.last_write = sched_.Now();
+      sharer.granted = DelegationType::kWrite;
+    }
+  }
+  in_grace_ = false;
+  grace_over_.NotifyAll();
+}
+
+void ProxyServer::RegisterClient(net::Address client) {
+  persistent_clients_.insert(client);
+}
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,168 @@
+// GVFS proxy server (§4 of the paper).
+//
+// Sits in front of the kernel NFS server (loopback on the server host) and
+// serves one GVFS session's proxy clients over the WAN. Responsibilities:
+//
+//  - Forward NFS requests upstream, observing every mutation.
+//  - Invalidation polling (§4.2): per-client circular invalidation buffers of
+//    logically timestamped handles, served via GETINV with bootstrap,
+//    wrap-around (force-invalidate) and batching (poll-again) handling.
+//  - Delegation/callback (§4.3): speculates opens from read/write traffic,
+//    grants per-file read/write delegations (piggybacked on replies), recalls
+//    them with server-to-client CALLBACK RPCs on conflicts, tracks write-back
+//    progress under the §4.3.2 block-list optimization, and expires
+//    speculated-closed sharers.
+//  - Failure handling (§4.3.4): the client list persists across crashes
+//    ("stored directly on disk"); recovery multicasts whole-cache callbacks,
+//    rebuilds the open-file table from clients' dirty lists, and blocks
+//    incoming requests during the (short) grace period.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "gvfs/proto.h"
+#include "gvfs/session.h"
+#include "nfs3/client.h"
+#include "nfs3/proto.h"
+#include "rpc/rpc.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace gvfs::proxy {
+
+struct ProxyServerStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t callbacks_sent = 0;
+  std::uint64_t getinv_served = 0;
+  std::uint64_t force_invalidations = 0;
+  std::uint64_t recalls_read = 0;
+  std::uint64_t recalls_write = 0;
+  std::uint64_t invalidations_recorded = 0;
+};
+
+class ProxyServer {
+ public:
+  /// `node` is this proxy's RPC endpoint (handlers are registered on it);
+  /// `upstream` is the kernel NFS server (same host, loopback).
+  ProxyServer(sim::Scheduler& sched, rpc::RpcNode& node, net::Address upstream,
+              SessionConfig config);
+
+  const SessionConfig& config() const { return config_; }
+  const ProxyServerStats& stats() const { return stats_; }
+
+  /// Number of clients the session has seen (persistent list).
+  std::size_t KnownClients() const { return persistent_clients_.size(); }
+
+  /// Crash simulation: drops all soft state (invalidation buffers,
+  /// timestamps, open-file table) and takes the node down. The persistent
+  /// client list survives (it lives on "disk").
+  void Crash();
+
+  /// Restart: brings the node back up; for the delegation model, multicasts
+  /// recovery callbacks and holds a grace period until all known clients
+  /// answer (or time out).
+  sim::Task<void> Recover();
+
+  bool InGrace() const { return in_grace_; }
+
+ private:
+  struct InvEntry {
+    std::uint64_t timestamp;
+    nfs3::Fh fh;
+  };
+
+  /// Per-client invalidation buffer (circular queue, §4.2.1).
+  struct InvClient {
+    std::deque<InvEntry> buffer;
+    std::set<nfs3::Fh> pending;  // coalescing: one entry per file
+    std::uint64_t last_acked = 0;
+    bool overflowed = false;
+  };
+
+  struct Sharer {
+    SimTime last_access = 0;
+    SimTime last_write = 0;  // 0 = never wrote
+    DelegationType granted = DelegationType::kNone;
+  };
+
+  struct FileState {
+    std::map<net::Address, Sharer> sharers;
+    /// Block offsets not yet written back by `writeback_owner` (§4.3.2).
+    std::set<std::uint64_t> pending_writeback;
+    net::Address writeback_owner{};
+    /// Recalls in flight: the file is temporarily non-cacheable (§4.3.1).
+    int recalling = 0;
+  };
+
+  /// What an incoming NFS request does, distilled for consistency handling.
+  struct OpInfo {
+    bool known = false;
+    bool mutating = false;
+    /// Handles read by this op (delegation-read targets).
+    std::vector<nfs3::Fh> reads;
+    /// Handles written by this op (recall + invalidation targets).
+    std::vector<nfs3::Fh> writes;
+    /// For READ/WRITE: byte offset touched (write-back monitor).
+    std::optional<std::uint64_t> offset;
+    /// For REMOVE/RMDIR/RENAME: (dir, name) pairs whose target should also
+    /// be invalidated; resolved with an upstream LOOKUP.
+    std::vector<std::pair<nfs3::Fh, std::string>> victims;
+  };
+
+  sim::Task<Bytes> HandleNfs(std::uint32_t proc, rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleGetInv(rpc::CallContext ctx, Bytes args);
+
+  static OpInfo Classify(std::uint32_t proc, const Bytes& args);
+
+  /// Registers the caller in the session (persistent list).
+  void RegisterClient(net::Address client);
+
+  // -- invalidation polling --
+  void RecordInvalidation(const nfs3::Fh& fh, net::Address writer);
+
+  // -- delegation machinery --
+  sim::Task<void> RecallConflicts(nfs3::Fh fh, net::Address requester,
+                                  bool write_op, std::optional<std::uint64_t> offset);
+  /// Write-back monitor: a reader touching a block still pending write-back
+  /// forces the owner to submit it promptly.
+  sim::Task<void> EnsureBlockWrittenBack(nfs3::Fh fh, net::Address requester,
+                                         std::uint64_t offset);
+  DelegationType DecideGrant(const nfs3::Fh& fh, net::Address requester,
+                             bool write_op);
+  void TouchSharer(const nfs3::Fh& fh, net::Address client, bool write_op,
+                   DelegationType granted);
+  void ExpireSharers(FileState& state);
+  sim::Task<CallbackRes> SendCallback(net::Address client, nfs3::Fh fh,
+                                      CallbackType type,
+                                      std::optional<std::uint64_t> wanted);
+
+  sim::Task<void> WaitGrace();
+
+  sim::Scheduler& sched_;
+  rpc::RpcNode& node_;
+  nfs3::Nfs3Client upstream_;
+  SessionConfig config_;
+
+  // Soft state (lost on crash).
+  std::map<net::Address, InvClient> inv_clients_;
+  // Logical mutation clock. Starts at 1: timestamp 0 is reserved as the
+  // null/bootstrap timestamp clients send when they have no state (§4.2.2).
+  std::uint64_t inv_clock_ = 1;
+  std::map<nfs3::Fh, FileState> files_;
+
+  // Persistent state ("on disk"): survives Crash().
+  std::set<net::Address> persistent_clients_;
+
+  bool in_grace_ = false;
+  sim::Condition grace_over_;
+
+  ProxyServerStats stats_;
+};
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,17 @@
+#include "gvfs/session.h"
+
+namespace gvfs::proxy {
+
+const char* ModelName(ConsistencyModel model) {
+  switch (model) {
+    case ConsistencyModel::kTtl:
+      return "ttl";
+    case ConsistencyModel::kInvalidationPolling:
+      return "invalidation-polling";
+    case ConsistencyModel::kDelegationCallback:
+      return "delegation-callback";
+  }
+  return "?";
+}
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,53 @@
+// Abstract POSIX-ish file-system interface used by the workload generators.
+// Implemented by the kernel NFS client emulation (native NFS and GVFS
+// mounts) and by the AFS reference client, so every experiment runs the same
+// workload code against any DFS under test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/types.h"
+#include "nfs3/proto.h"
+#include "sim/task.h"
+
+namespace gvfs::kclient {
+
+struct OpenFlags {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool exclusive = false;
+  bool truncate = false;
+};
+
+using Fd = int;
+
+template <typename T>
+using VfsResult = Expected<T, nfs3::Status>;
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual sim::Task<VfsResult<Fd>> Open(std::string path, OpenFlags flags) = 0;
+  virtual sim::Task<VfsResult<void>> Close(Fd fd) = 0;
+  virtual sim::Task<VfsResult<Bytes>> Read(Fd fd, std::uint64_t offset,
+                                           std::uint32_t count) = 0;
+  virtual sim::Task<VfsResult<std::uint32_t>> Write(Fd fd, std::uint64_t offset,
+                                                    const Bytes& data) = 0;
+  virtual sim::Task<VfsResult<nfs3::Fattr>> Stat(std::string path) = 0;
+  virtual sim::Task<VfsResult<bool>> Exists(std::string path) = 0;
+  virtual sim::Task<VfsResult<void>> Unlink(std::string path) = 0;
+  virtual sim::Task<VfsResult<void>> Mkdir(std::string path) = 0;
+  virtual sim::Task<VfsResult<void>> Rmdir(std::string path) = 0;
+  virtual sim::Task<VfsResult<void>> Link(std::string target_path,
+                                          std::string new_path) = 0;
+  virtual sim::Task<VfsResult<void>> Rename(std::string from, std::string to) = 0;
+  virtual sim::Task<VfsResult<std::vector<std::string>>> ReadDir(
+      const std::string& path) = 0;
+};
+
+}  // namespace gvfs::kclient

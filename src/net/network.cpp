@@ -1,0 +1,59 @@
+#include "net/network.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace gvfs::net {
+
+void Network::Send(Packet packet) {
+  const HostId from = packet.src.host;
+  const HostId to = packet.dst.host;
+
+  if (from == to) {
+    // Loopback: fixed small latency, no bandwidth cost. Models the
+    // user-level proxy interception hop.
+    auto shared = std::make_shared<Packet>(std::move(packet));
+    sched_.After(loopback_latency_, [this, shared] { Deliver(std::move(*shared)); });
+    return;
+  }
+
+  auto it = links_.find(DirKey(from, to));
+  if (it == links_.end()) {
+    GVFS_WARN("drop: no link %s -> %s", HostName(from).c_str(), HostName(to).c_str());
+    return;
+  }
+  Link& link = it->second;
+  if (!link.up) {
+    ++link.stats.dropped;
+    GVFS_TRACE("drop: link down %s -> %s", HostName(from).c_str(),
+               HostName(to).c_str());
+    return;
+  }
+
+  ++link.stats.packets;
+  link.stats.bytes += packet.wire_size;
+
+  // FIFO serialization: the packet starts transmitting when the link frees
+  // up, occupies it for size/bandwidth, and arrives one latency later.
+  const SimTime start = std::max(sched_.Now(), link.busy_until);
+  const Duration tx_time = static_cast<Duration>(
+      static_cast<double>(packet.wire_size) * 8.0 /
+      static_cast<double>(link.config.bandwidth_bps) * static_cast<double>(kSecond));
+  link.busy_until = start + tx_time;
+  const SimTime arrival = link.busy_until + link.config.one_way_latency;
+
+  auto shared = std::make_shared<Packet>(std::move(packet));
+  sched_.At(arrival, [this, shared] { Deliver(std::move(*shared)); });
+}
+
+void Network::Deliver(Packet packet) {
+  const HostState& host = hosts_.at(packet.dst.host);
+  if (!host.receiver) {
+    GVFS_TRACE("drop: host %s has no receiver", host.name.c_str());
+    return;
+  }
+  host.receiver(std::move(packet));
+}
+
+}  // namespace gvfs::net

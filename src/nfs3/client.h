@@ -1,0 +1,49 @@
+// Typed NFS3 call helper: wraps an RpcNode with per-procedure serialization.
+// Used by the kernel-client emulation (talking to a server or a local GVFS
+// proxy) and by the GVFS proxies themselves when forwarding upstream.
+#pragma once
+
+#include "common/expected.h"
+#include "nfs3/proto.h"
+#include "rpc/rpc.h"
+#include "sim/task.h"
+
+namespace gvfs::nfs3 {
+
+/// Errors a typed call can produce: transport-level (RPC) or a decode
+/// failure of the reply body.
+enum class CallError { kRpc, kBadReply };
+
+template <typename Res>
+using CallResult = Expected<Res, CallError>;
+
+class Nfs3Client {
+ public:
+  /// `node` issues the calls; `server` is the NFS (or proxy) endpoint.
+  Nfs3Client(rpc::RpcNode& node, net::Address server)
+      : node_(node), server_(server) {}
+
+  net::Address server() const { return server_; }
+  void set_server(net::Address server) { server_ = server; }
+  rpc::RpcNode& node() { return node_; }
+
+  /// Issues `proc` with typed args, returning the typed result. RPC-level
+  /// failures (timeout after retransmissions) map to CallError::kRpc.
+  template <typename Res, typename ArgsT>
+  sim::Task<CallResult<Res>> Call(Proc proc, const ArgsT& args,
+                                  rpc::CallOptions opts = {}) {
+    if (opts.label.empty()) opts.label = ProcName(proc);
+    auto reply = co_await node_.Call(server_, kProgram, proc, Serialize(args),
+                                     std::move(opts));
+    if (!reply) co_return Unexpected(CallError::kRpc);
+    auto parsed = Parse<Res>(*reply);
+    if (!parsed) co_return Unexpected(CallError::kBadReply);
+    co_return std::move(*parsed);
+  }
+
+ private:
+  rpc::RpcNode& node_;
+  net::Address server_;
+};
+
+}  // namespace gvfs::nfs3

@@ -1,0 +1,232 @@
+#include "rpc/rpc.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "xdr/xdr.h"
+
+namespace gvfs::rpc {
+namespace {
+
+// Wire overhead beyond the XDR header we actually encode: UDP/IP headers
+// plus AUTH_SYS credential/verifier, approximating a real ONC RPC datagram.
+constexpr std::size_t kDatagramOverhead = 28 + 72;
+
+constexpr std::uint32_t kMsgCall = 0;
+constexpr std::uint32_t kMsgReply = 1;
+
+std::uint64_t ProgProcKey(std::uint32_t prog, std::uint32_t proc) {
+  return (static_cast<std::uint64_t>(prog) << 32) | proc;
+}
+
+}  // namespace
+
+const char* RpcErrorName(RpcError e) {
+  switch (e) {
+    case RpcError::kTimedOut:
+      return "timed out";
+    case RpcError::kProcUnavail:
+      return "procedure unavailable";
+    case RpcError::kGarbageArgs:
+      return "garbage arguments";
+    case RpcError::kSystemErr:
+      return "system error";
+    case RpcError::kHostDown:
+      return "host down";
+  }
+  return "?";
+}
+
+RpcNode::RpcNode(sim::Scheduler& sched, net::Network& network, net::Address address,
+                 std::string name)
+    : sched_(sched), network_(network), address_(address), name_(std::move(name)) {}
+
+void RpcNode::RegisterHandler(std::uint32_t prog, std::uint32_t proc,
+                              Handler handler) {
+  handlers_[ProgProcKey(prog, proc)] = std::move(handler);
+}
+
+void RpcNode::SetDown(bool down) {
+  down_ = down;
+  if (down) {
+    // Crash: all soft state is lost. Pending callers will time out.
+    drc_.clear();
+    drc_order_.clear();
+    pending_.clear();
+  }
+}
+
+void RpcNode::SendCall(net::Address dst, std::uint32_t xid, std::uint32_t prog,
+                       std::uint32_t proc, const Bytes& args,
+                       const std::string& label) {
+  xdr::Encoder enc;
+  enc.PutU32(xid);
+  enc.PutU32(kMsgCall);
+  enc.PutU32(prog);
+  enc.PutU32(proc);
+  enc.PutOpaque(args);
+
+  net::Packet packet;
+  packet.src = address_;
+  packet.dst = dst;
+  packet.payload = enc.Take();
+  packet.wire_size = packet.payload.size() + kDatagramOverhead;
+
+  if (stats_ != nullptr && dst.host != address_.host) {
+    stats_->Count(label, packet.wire_size);
+  }
+  network_.Send(std::move(packet));
+}
+
+void RpcNode::SendReply(net::Address dst, std::uint32_t xid, AcceptStat stat,
+                        const Bytes& body) {
+  xdr::Encoder enc;
+  enc.PutU32(xid);
+  enc.PutU32(kMsgReply);
+  enc.PutU32(static_cast<std::uint32_t>(stat));
+  enc.PutOpaque(body);
+
+  net::Packet packet;
+  packet.src = address_;
+  packet.dst = dst;
+  packet.payload = enc.Take();
+  packet.wire_size = packet.payload.size() + kDatagramOverhead;
+  network_.Send(std::move(packet));
+}
+
+sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
+                                                   std::uint32_t prog,
+                                                   std::uint32_t proc, Bytes args,
+                                                   CallOptions opts) {
+  if (down_) co_return Unexpected(RpcError::kHostDown);
+
+  const std::uint32_t xid = next_xid_++;
+  auto slot = std::make_shared<sim::OneShot<Reply>>(sched_);
+  pending_[xid] = slot;
+
+  std::optional<Reply> reply;
+  for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    SendCall(dst, xid, prog, proc, args, opts.label);
+    reply = co_await slot->WaitUntil(sched_.Now() + opts.timeout);
+    if (reply.has_value()) break;
+    if (down_) break;  // crashed while waiting
+    GVFS_DEBUG("%s: retransmit %s xid=%u (attempt %d)", name_.c_str(),
+               opts.label.c_str(), xid, attempt + 1);
+  }
+  pending_.erase(xid);
+
+  if (!reply.has_value()) co_return Unexpected(RpcError::kTimedOut);
+  switch (reply->stat) {
+    case AcceptStat::kSuccess:
+      co_return std::move(reply->body);
+    case AcceptStat::kProcUnavail:
+      co_return Unexpected(RpcError::kProcUnavail);
+    case AcceptStat::kGarbageArgs:
+      co_return Unexpected(RpcError::kGarbageArgs);
+    case AcceptStat::kSystemErr:
+      co_return Unexpected(RpcError::kSystemErr);
+  }
+  co_return Unexpected(RpcError::kSystemErr);
+}
+
+void RpcNode::OnPacket(net::Packet packet) {
+  if (down_) return;
+
+  xdr::Decoder dec(packet.payload);
+  auto xid = dec.GetU32();
+  auto msg_type = dec.GetU32();
+  if (!xid || !msg_type) return;  // malformed; drop
+
+  if (*msg_type == kMsgReply) {
+    auto stat = dec.GetU32();
+    if (!stat) return;
+    auto it = pending_.find(*xid);
+    if (it == pending_.end()) return;  // late reply after timeout; drop
+    auto body = dec.GetOpaque();
+    if (!body) return;
+    it->second->Set(Reply{static_cast<AcceptStat>(*stat), std::move(*body)});
+    return;
+  }
+
+  // Incoming call.
+  auto prog = dec.GetU32();
+  auto proc = dec.GetU32();
+  if (!prog || !proc) return;
+
+  const DrcKey key{packet.src.host, packet.src.port, *xid};
+  auto drc_it = drc_.find(key);
+  if (drc_it != drc_.end()) {
+    if (drc_it->second.completed) {
+      // Retransmitted request we already served: resend the cached reply
+      // without re-executing the handler.
+      SendReply(packet.src, *xid, drc_it->second.stat, drc_it->second.reply);
+    }
+    // In progress: drop the duplicate; the original execution will reply.
+    return;
+  }
+
+  auto handler_it = handlers_.find(ProgProcKey(*prog, *proc));
+  if (handler_it == handlers_.end()) {
+    SendReply(packet.src, *xid, AcceptStat::kProcUnavail, {});
+    return;
+  }
+
+  auto args = dec.GetOpaque();
+  if (!args) {
+    SendReply(packet.src, *xid, AcceptStat::kGarbageArgs, {});
+    return;
+  }
+  DrcInsert(key);
+  CallContext ctx{packet.src, *xid};
+  sim::Spawn(RunHandler(handler_it->second, ctx, std::move(*args), key));
+}
+
+sim::Task<void> RpcNode::RunHandler(Handler handler, CallContext ctx, Bytes args,
+                                    DrcKey key) {
+  Bytes body = co_await handler(ctx, std::move(args));
+  if (down_) co_return;  // crashed while serving; no reply
+  auto it = drc_.find(key);
+  if (it != drc_.end()) {
+    it->second.completed = true;
+    it->second.stat = AcceptStat::kSuccess;
+    it->second.reply = body;
+  }
+  SendReply(ctx.caller, ctx.xid, AcceptStat::kSuccess, body);
+}
+
+void RpcNode::DrcInsert(const DrcKey& key) {
+  drc_[key] = DrcEntry{};
+  drc_order_.push_back(key);
+  DrcTrim();
+}
+
+void RpcNode::DrcTrim() {
+  while (drc_order_.size() > kDrcCapacity) {
+    drc_.erase(drc_order_.front());
+    drc_order_.pop_front();
+  }
+}
+
+RpcNode& Domain::CreateNode(HostId host, std::uint32_t port, std::string name) {
+  net::Address address{host, port};
+  assert(nodes_.find(address) == nodes_.end() && "port already bound");
+  auto node = std::make_unique<RpcNode>(sched_, network_, address, std::move(name));
+  RpcNode& ref = *node;
+  nodes_[address] = std::move(node);
+
+  if (!mux_installed_[host]) {
+    mux_installed_[host] = true;
+    network_.SetReceiver(host, [this](net::Packet packet) {
+      RpcNode* target = Find(packet.dst);
+      if (target != nullptr) target->OnPacket(std::move(packet));
+    });
+  }
+  return ref;
+}
+
+RpcNode* Domain::Find(net::Address address) {
+  auto it = nodes_.find(address);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace gvfs::rpc

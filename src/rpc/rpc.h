@@ -1,0 +1,167 @@
+// ONC-RPC-style request/reply layer over the simulated network.
+//
+// Every RpcNode is simultaneously client and server — the property GVFS
+// proxies rely on for server-to-client CALLBACK RPCs (§4.3.2 of the paper).
+// Features modeled after the real stack: xid matching, timeout +
+// retransmission (UDP semantics), a bounded duplicate-request cache so
+// retransmitted non-idempotent calls are not re-executed, and per-procedure
+// wire statistics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/expected.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "rpc/stats.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace gvfs::rpc {
+
+enum class RpcError {
+  kTimedOut,      // no reply after all retransmissions
+  kProcUnavail,   // no handler registered at the peer
+  kGarbageArgs,   // peer failed to decode the arguments
+  kSystemErr,     // peer handler failed internally
+  kHostDown,      // local node is crashed; cannot send
+};
+
+const char* RpcErrorName(RpcError e);
+
+/// Per-call knobs. `label` names the procedure in stats output.
+///
+/// NOTE: the constructors are user-declared (making this a non-aggregate) on
+/// purpose: GCC 12 miscompiles by-value coroutine parameters of aggregate
+/// type with non-trivial members (frame copy corruption). Any struct with
+/// string/vector members that is passed by value into a coroutine in this
+/// codebase must declare its ctors the same way (see tests/sim_test.cpp
+/// regression note).
+struct CallOptions {
+  CallOptions() = default;
+  CallOptions(const CallOptions&) = default;
+  CallOptions(CallOptions&&) noexcept = default;
+  CallOptions& operator=(const CallOptions&) = default;
+  CallOptions& operator=(CallOptions&&) noexcept = default;
+
+  std::string label;
+  Duration timeout = Milliseconds(1100);  // NFS-over-UDP default retrans time
+  int max_retries = 5;
+};
+
+/// Context handed to server handlers.
+struct CallContext {
+  net::Address caller;
+  std::uint32_t xid = 0;
+};
+
+/// Handlers return the XDR-encoded reply body; protocol-level errors (e.g.
+/// NFS3ERR_*) ride inside that body as in real NFS.
+using Handler = std::function<sim::Task<Bytes>(CallContext, Bytes)>;
+
+class RpcNode {
+ public:
+  RpcNode(sim::Scheduler& sched, net::Network& network, net::Address address,
+          std::string name);
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  net::Address address() const { return address_; }
+  const std::string& name() const { return name_; }
+
+  void RegisterHandler(std::uint32_t prog, std::uint32_t proc, Handler handler);
+
+  /// Issues a call and awaits the matching reply, retransmitting on timeout.
+  sim::Task<Expected<Bytes, RpcError>> Call(net::Address dst, std::uint32_t prog,
+                                            std::uint32_t proc, Bytes args,
+                                            CallOptions opts);
+
+  /// Attaches a per-procedure stats sink (counts outgoing calls). May be null.
+  void SetStatsSink(StatsMap* sink) { stats_ = sink; }
+
+  /// Crash simulation: a down node drops all incoming packets and refuses to
+  /// send. Soft state (duplicate-request cache, pending calls) is lost.
+  void SetDown(bool down);
+  bool down() const { return down_; }
+
+  /// Called by the host packet mux.
+  void OnPacket(net::Packet packet);
+
+ private:
+  enum class AcceptStat : std::uint32_t {
+    kSuccess = 0,
+    kProcUnavail = 2,
+    kGarbageArgs = 4,
+    kSystemErr = 5,
+  };
+
+  struct Reply {
+    AcceptStat stat;
+    Bytes body;
+  };
+
+  // Duplicate-request cache entry. `reply` is empty while in progress.
+  struct DrcEntry {
+    bool completed = false;
+    AcceptStat stat = AcceptStat::kSuccess;
+    Bytes reply;
+  };
+
+  using DrcKey = std::tuple<HostId, std::uint32_t, std::uint32_t>;  // host, port, xid
+
+  void SendCall(net::Address dst, std::uint32_t xid, std::uint32_t prog,
+                std::uint32_t proc, const Bytes& args, const std::string& label);
+  void SendReply(net::Address dst, std::uint32_t xid, AcceptStat stat,
+                 const Bytes& body);
+  sim::Task<void> RunHandler(Handler handler, CallContext ctx, Bytes args,
+                             DrcKey key);
+  void DrcInsert(const DrcKey& key);
+  void DrcTrim();
+
+  sim::Scheduler& sched_;
+  net::Network& network_;
+  net::Address address_;
+  std::string name_;
+  bool down_ = false;
+
+  std::uint32_t next_xid_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<sim::OneShot<Reply>>> pending_;
+  std::map<std::uint64_t, Handler> handlers_;  // (prog << 32) | proc
+
+  std::map<DrcKey, DrcEntry> drc_;
+  std::deque<DrcKey> drc_order_;
+  static constexpr std::size_t kDrcCapacity = 2048;
+
+  StatsMap* stats_ = nullptr;
+};
+
+/// Owns all RPC nodes in a simulation and demultiplexes incoming packets to
+/// them by destination port.
+class Domain {
+ public:
+  Domain(sim::Scheduler& sched, net::Network& network)
+      : sched_(sched), network_(network) {}
+
+  /// Creates a node bound to (host, port). Port must be unique per host.
+  RpcNode& CreateNode(HostId host, std::uint32_t port, std::string name);
+
+  RpcNode* Find(net::Address address);
+
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return network_; }
+
+ private:
+  sim::Scheduler& sched_;
+  net::Network& network_;
+  std::map<net::Address, std::unique_ptr<RpcNode>> nodes_;
+  std::map<HostId, bool> mux_installed_;
+};
+
+}  // namespace gvfs::rpc

@@ -1,0 +1,55 @@
+// Per-procedure RPC counters. The paper's figures report "RPCs transferred
+// over the network" by procedure (GETATTR, LOOKUP, READ, WRITE, GETINV,
+// CALLBACK); a StatsMap is attached to each WAN-facing RPC node and counts
+// outgoing calls at send time. Loopback (kernel-client -> local proxy)
+// traffic is deliberately left unattached, matching the paper's counting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gvfs::rpc {
+
+class StatsMap {
+ public:
+  void Count(const std::string& label, std::size_t wire_bytes) {
+    ++calls_[label];
+    bytes_[label] += wire_bytes;
+  }
+
+  std::uint64_t Calls(const std::string& label) const {
+    auto it = calls_.find(label);
+    return it == calls_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t Bytes(const std::string& label) const {
+    auto it = bytes_.find(label);
+    return it == bytes_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t TotalCalls() const {
+    std::uint64_t sum = 0;
+    for (const auto& [label, n] : calls_) sum += n;
+    return sum;
+  }
+
+  std::uint64_t TotalBytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& [label, n] : bytes_) sum += n;
+    return sum;
+  }
+
+  const std::map<std::string, std::uint64_t>& calls() const { return calls_; }
+
+  void Reset() {
+    calls_.clear();
+    bytes_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> calls_;
+  std::map<std::string, std::uint64_t> bytes_;
+};
+
+}  // namespace gvfs::rpc

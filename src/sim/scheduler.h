@@ -1,0 +1,83 @@
+// Discrete-event scheduler: the single-threaded virtual-time core of the
+// simulator. Every simulated activity (application processes, RPC transfers,
+// cache-consistency pollers, delegation callbacks) is driven by events queued
+// here. Ties at the same timestamp run in FIFO order, so runs are fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gvfs::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Stable pointer to the clock, for components (e.g. MemFs timestamps)
+  /// that need to read the current time without holding the scheduler.
+  const SimTime* NowPtr() const { return &now_; }
+
+  /// Schedules fn to run at absolute simulated time t (>= Now()).
+  void At(SimTime t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules fn to run after duration d.
+  void After(Duration d, std::function<void()> fn) { At(now_ + d, std::move(fn)); }
+
+  /// Runs events until the queue drains or max_events is hit.
+  /// Returns the number of events processed.
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t processed = 0;
+    while (!queue_.empty() && processed < max_events) {
+      Step();
+      ++processed;
+    }
+    return processed;
+  }
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  void RunUntil(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) Step();
+    if (now_ < t) now_ = t;
+  }
+
+  bool Idle() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void Step() {
+    // Moving out of the priority queue's top is safe: we pop immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace gvfs::sim

@@ -1,0 +1,199 @@
+// Synchronization primitives for simulated processes: sleeps, one-shot
+// futures with timeouts (RPC reply slots), broadcast conditions (grace
+// periods, completion barriers), and a FIFO mutex.
+//
+// All resumptions are funneled through the Scheduler rather than resumed
+// inline, which keeps notification order FIFO-deterministic and avoids
+// reentrancy into the notifier's frame.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace gvfs::sim {
+
+/// co_await Sleep(sched, d) — suspends the current process for d simulated
+/// time.
+class Sleep {
+ public:
+  Sleep(Scheduler& sched, Duration d) : sched_(sched), duration_(d) {}
+  bool await_ready() const noexcept { return duration_ <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sched_.After(duration_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Scheduler& sched_;
+  Duration duration_;
+};
+
+/// A single-use future. One producer calls Set(); one consumer awaits Wait()
+/// or WaitUntil(deadline). Scheduled timeout events hold the shared state, so
+/// the OneShot object itself may be destroyed before a stale timeout fires.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Scheduler& sched)
+      : state_(std::make_shared<State>(State{&sched, {}, {}, 0, false})) {}
+
+  /// Delivers the value. Resumes the waiter (via the scheduler) if present.
+  void Set(T value) {
+    State& s = *state_;
+    if (s.value.has_value()) return;  // first value wins
+    s.value = std::move(value);
+    if (s.waiter) {
+      auto h = std::exchange(s.waiter, {});
+      ++s.generation;  // invalidate any pending timeout
+      s.sched->At(s.sched->Now(), [h] { h.resume(); });
+    }
+  }
+
+  bool HasValue() const { return state_->value.has_value(); }
+
+  /// Awaitable: waits (forever) for the value.
+  auto Wait() { return WaitUntil(-1); }
+
+  /// Awaitable: waits until `deadline` (absolute sim time; -1 = no deadline).
+  /// Resumes with std::optional<T>: nullopt on timeout.
+  auto WaitUntil(SimTime deadline) {
+    struct Awaiter {
+      std::shared_ptr<State> s;
+      SimTime deadline;
+      bool await_ready() const noexcept { return s->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!s->waiter && "OneShot supports a single waiter");
+        s->waiter = h;
+        s->timed_out = false;
+        if (deadline >= 0) {
+          const std::uint64_t gen = ++s->generation;
+          std::shared_ptr<State> sp = s;
+          s->sched->At(deadline, [sp, gen] {
+            if (sp->generation != gen || !sp->waiter) return;
+            sp->timed_out = true;
+            auto h = std::exchange(sp->waiter, {});
+            h.resume();
+          });
+        }
+      }
+      std::optional<T> await_resume() {
+        if (s->timed_out) {
+          s->timed_out = false;
+          return std::nullopt;
+        }
+        assert(s->value.has_value());
+        return std::move(s->value);
+      }
+    };
+    return Awaiter{state_, deadline};
+  }
+
+ private:
+  struct State {
+    Scheduler* sched;
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+    std::uint64_t generation;
+    bool timed_out;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// Broadcast condition: NotifyAll resumes every process currently waiting.
+/// There is no predicate; callers loop (`while (!pred) co_await cond.Wait()`).
+class Condition {
+ public:
+  explicit Condition(Scheduler& sched) : sched_(sched) {}
+
+  auto Wait() {
+    struct Awaiter {
+      Condition* cond;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { cond->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void NotifyAll() {
+    std::vector<std::coroutine_handle<>> to_wake;
+    to_wake.swap(waiters_);
+    for (auto h : to_wake) {
+      sched_.At(sched_.Now(), [h] { h.resume(); });
+    }
+  }
+
+  std::size_t WaiterCount() const { return waiters_.size(); }
+
+ private:
+  Scheduler& sched_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// FIFO mutex for simulated processes.
+class Mutex {
+ public:
+  explicit Mutex(Scheduler& sched) : sched_(sched) {}
+
+  auto Lock() {
+    struct Awaiter {
+      Mutex* m;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (!m->locked_) {
+          m->locked_ = true;
+          return false;  // acquired without suspending
+        }
+        m->waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void Unlock() {
+    assert(locked_);
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    // Lock ownership transfers directly to the next waiter.
+    sched_.At(sched_.Now(), [h] { h.resume(); });
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  Scheduler& sched_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Runs every task concurrently (as detached processes) and completes when
+/// all have finished.
+inline Task<void> WhenAll(Scheduler& sched, std::vector<Task<void>> tasks) {
+  auto remaining = std::make_shared<int>(static_cast<int>(tasks.size()));
+  auto done = std::make_shared<Condition>(sched);
+  for (auto& t : tasks) {
+    Spawn([](Task<void> task, std::shared_ptr<int> rem,
+             std::shared_ptr<Condition> cond) -> Task<void> {
+      co_await std::move(task);
+      if (--*rem == 0) cond->NotifyAll();
+    }(std::move(t), remaining, done));
+  }
+  while (*remaining > 0) co_await done->Wait();
+}
+
+}  // namespace gvfs::sim

@@ -1,0 +1,183 @@
+// Lazy coroutine Task<T> used for every simulated process.
+//
+// Tasks are started by co_awaiting them (symmetric transfer) or by
+// sim::Spawn() for detached top-level processes. Completion resumes the
+// awaiting coroutine directly; timing is introduced only by explicit
+// awaitables (Scheduler-driven sleeps, network transfers, sync primitives),
+// so pure computation takes zero simulated time.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace gvfs::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+template <typename T>
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning T. Move-only; the Task owns the
+/// coroutine frame and destroys it when the Task is destroyed.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase<T> {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+      handle.promise().continuation = cont;
+      return handle;  // start the task
+    }
+    T await_resume() {
+      auto& p = handle.promise();
+      if (p.exception) std::rethrow_exception(p.exception);
+      assert(p.value.has_value());
+      return std::move(*p.value);
+    }
+  };
+
+  Awaiter operator co_await() && {
+    assert(handle_);
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase<void> {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> handle;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+      handle.promise().continuation = cont;
+      return handle;
+    }
+    void await_resume() {
+      if (handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+    }
+  };
+
+  Awaiter operator co_await() && {
+    assert(handle_);
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+/// Self-destroying eager coroutine used to launch detached tasks.
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+inline DetachedTask RunDetached(Task<void> task) { co_await std::move(task); }
+
+}  // namespace detail
+
+/// Starts a task as a detached top-level simulated process. The task begins
+/// executing immediately (until its first suspension point).
+inline void Spawn(Task<void> task) { detail::RunDetached(std::move(task)); }
+
+}  // namespace gvfs::sim

@@ -1,0 +1,62 @@
+#include "workloads/ch1d.h"
+
+#include <string>
+
+#include "sim/sync.h"
+
+namespace gvfs::workloads {
+
+using kclient::KernelClient;
+using kclient::OpenFlags;
+
+namespace {
+
+std::string InputPath(int index) { return "/data/in" + std::to_string(index); }
+
+}  // namespace
+
+sim::Task<Ch1dReport> RunCh1d(sim::Scheduler& sched, KernelClient& producer,
+                              KernelClient& consumer, Ch1dConfig config) {
+  Ch1dReport report;
+  auto mkdir = co_await producer.Mkdir("/data");
+  if (!mkdir) report.ok = false;
+
+  int total_files = 0;
+  for (int run = 1; run <= config.runs; ++run) {
+    // Producer: 30 more observation files.
+    for (int f = 0; f < config.files_per_run; ++f) {
+      auto fd = co_await producer.Open(
+          InputPath(total_files + f),
+          OpenFlags{.read = true, .write = true, .create = true});
+      if (!fd) {
+        report.ok = false;
+        continue;
+      }
+      (void)co_await producer.Write(*fd, 0, Bytes(config.file_bytes, 'd'));
+      (void)co_await producer.Close(*fd);
+    }
+    total_files += config.files_per_run;
+
+    // Consumer: process the entire dataset accumulated so far.
+    const SimTime start = sched.Now();
+    auto listing = co_await consumer.ReadDir("/data");
+    if (!listing || static_cast<int>(listing->size()) != total_files) {
+      report.ok = false;
+    }
+    for (int f = 0; f < total_files; ++f) {
+      auto fd = co_await consumer.Open(InputPath(f), OpenFlags{});
+      if (!fd) {
+        report.ok = false;
+        continue;
+      }
+      (void)co_await consumer.Read(*fd, 0, config.file_bytes);
+      (void)co_await consumer.Close(*fd);
+      co_await sim::Sleep(sched, config.compute_per_file);
+    }
+    co_await sim::Sleep(sched, config.compute_base);
+    report.run_seconds.push_back(ToSeconds(sched.Now() - start));
+  }
+  co_return report;
+}
+
+}  // namespace gvfs::workloads

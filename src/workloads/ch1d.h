@@ -1,0 +1,44 @@
+// CH1D coastal-ocean-modeling benchmark (paper §5.2.2, Figure 8): a
+// producer/consumer pipeline. The data-producing program (on-site
+// observation client) runs 15 times, each run adding 30 input files; after
+// each producer run the data-processing program (off-site compute client)
+// processes the whole accumulated dataset. The paper shares the data via
+// native NFS or a GVFS session with delegation/callback consistency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "kclient/kernel_client.h"
+#include "sim/task.h"
+
+namespace gvfs::workloads {
+
+struct Ch1dConfig {
+  Ch1dConfig() = default;
+  Ch1dConfig(const Ch1dConfig&) = default;
+  Ch1dConfig& operator=(const Ch1dConfig&) = default;
+
+  int runs = 15;
+  int files_per_run = 30;
+  std::uint32_t file_bytes = 64 * 1024;
+  /// Virtual CPU the consumer spends per run (model fitting etc.) plus a
+  /// small per-file analysis cost.
+  Duration compute_base = Seconds(6);
+  Duration compute_per_file = Milliseconds(5);
+};
+
+struct Ch1dReport {
+  /// Consumer runtime per run, in seconds.
+  std::vector<double> run_seconds;
+  bool ok = true;
+};
+
+/// Runs the pipeline: producer writes through `producer`, consumer processes
+/// through `consumer`. Both mounts must see the same exported tree.
+sim::Task<Ch1dReport> RunCh1d(sim::Scheduler& sched,
+                              kclient::KernelClient& producer,
+                              kclient::KernelClient& consumer, Ch1dConfig config);
+
+}  // namespace gvfs::workloads

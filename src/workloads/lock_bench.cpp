@@ -1,0 +1,103 @@
+#include "workloads/lock_bench.h"
+
+#include <string>
+
+#include "sim/sync.h"
+
+namespace gvfs::workloads {
+
+using kclient::OpenFlags;
+using kclient::Vfs;
+using nfs3::Status;
+
+namespace {
+
+struct SharedState {
+  LockBenchReport report;
+  int clients_done = 0;
+};
+
+sim::Task<void> Competitor(sim::Scheduler* sched, Vfs* mount, int id,
+                           LockBenchConfig config, SharedState* shared) {
+  // Private scratch directory: temp files do not churn the shared dir.
+  const std::string scratch = "/scratch_" + std::to_string(id);
+  (void)co_await mount->Mkdir(scratch);
+  const std::string temp_path = scratch + "/tmp";
+  int acquired = 0;
+  while (acquired < config.acquisitions_per_client) {
+    // The job script consults its (read-only) config/status files each
+    // round; these are never modified during the benchmark.
+    for (int f = 0; f < config.shared_files; ++f) {
+      (void)co_await mount->Stat("/shared_" + std::to_string(f));
+    }
+    // Gate on the (possibly stale) cached view of the lock file.
+    auto exists = co_await mount->Exists("/lockfile");
+    if (exists.has_value() && *exists) {
+      ++shared->report.failed_attempts;
+      co_await sim::Sleep(*sched, config.retry_pause);
+      continue;
+    }
+
+    // Attempt: create a private temp file, hard-link it to the lock name.
+    auto fd = co_await mount->Open(
+        temp_path, OpenFlags{.read = true, .write = true, .create = true});
+    if (fd) (void)co_await mount->Close(*fd);
+    auto linked = co_await mount->Link(temp_path, "/lockfile");
+    (void)co_await mount->Unlink(temp_path);
+
+    if (!linked) {
+      // Lost the race (EEXIST) or transient failure: retry after a pause.
+      ++shared->report.failed_attempts;
+      co_await sim::Sleep(*sched, config.retry_pause);
+      continue;
+    }
+
+    // Lock held.
+    auto& order = shared->report.acquisition_order;
+    if (!order.empty() && order.back() == id) ++shared->report.self_handoffs;
+    order.push_back(id);
+    ++acquired;
+
+    co_await sim::Sleep(*sched, config.hold_time);
+    (void)co_await mount->Unlink("/lockfile");
+    co_await sim::Sleep(*sched, config.post_release_pause);
+  }
+  ++shared->clients_done;
+}
+
+}  // namespace
+
+int LockBenchReport::MaxConsecutiveByOneClient() const {
+  int best = 0;
+  int run = 0;
+  int prev = -1;
+  for (int id : acquisition_order) {
+    run = (id == prev) ? run + 1 : 1;
+    prev = id;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+sim::Task<LockBenchReport> RunLockBench(sim::Scheduler& sched,
+                                        std::vector<kclient::Vfs*> mounts,
+                                        LockBenchConfig config) {
+  auto shared = std::make_unique<SharedState>();
+  // Create the shared read-only files through the first mount.
+  for (int f = 0; f < config.shared_files; ++f) {
+    kclient::OpenFlags flags{.read = true, .write = true, .create = true};
+    auto fd = co_await mounts.at(0)->Open("/shared_" + std::to_string(f), flags);
+    if (fd) (void)co_await mounts.at(0)->Close(*fd);
+  }
+  std::vector<sim::Task<void>> tasks;
+  tasks.reserve(mounts.size());
+  for (std::size_t i = 0; i < mounts.size(); ++i) {
+    tasks.push_back(
+        Competitor(&sched, mounts[i], static_cast<int>(i), config, shared.get()));
+  }
+  co_await sim::WhenAll(sched, std::move(tasks));
+  shared->report.finished_at = sched.Now();
+  co_return shared->report;
+}
+
+}  // namespace gvfs::workloads

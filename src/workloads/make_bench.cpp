@@ -1,0 +1,128 @@
+#include "workloads/make_bench.h"
+
+#include "sim/sync.h"
+
+namespace gvfs::workloads {
+
+using kclient::KernelClient;
+using kclient::OpenFlags;
+
+namespace {
+
+std::string SourcePath(int i) { return "/src/s" + std::to_string(i) + ".c"; }
+std::string HeaderPath(int i) { return "/include/h" + std::to_string(i) + ".h"; }
+std::string ObjectPath(int i) { return "/obj/o" + std::to_string(i) + ".o"; }
+
+}  // namespace
+
+void PopulateMakeTree(memfs::MemFs& fs, const MakeConfig& config) {
+  auto src = fs.Mkdir(fs.root(), "src", 0755);
+  auto include = fs.Mkdir(fs.root(), "include", 0755);
+  auto obj = fs.Mkdir(fs.root(), "obj", 0755);
+  (void)obj;
+  auto makefile = fs.Create(fs.root(), "Makefile", 0644);
+  (void)fs.Write(*makefile, 0, Bytes(8 * 1024, 'M'));
+
+  for (int i = 0; i < config.sources; ++i) {
+    auto ino = fs.Create(*src, "s" + std::to_string(i) + ".c", 0644);
+    (void)fs.Write(*ino, 0, Bytes(config.source_bytes, 'c'));
+  }
+  for (int i = 0; i < config.headers; ++i) {
+    auto ino = fs.Create(*include, "h" + std::to_string(i) + ".h", 0644);
+    (void)fs.Write(*ino, 0, Bytes(config.header_bytes, 'h'));
+  }
+}
+
+sim::Task<MakeReport> RunMake(sim::Scheduler& sched, kclient::KernelClient& mount,
+                              MakeConfig config) {
+  MakeReport report;
+  report.started_at = sched.Now();
+  Rng rng(config.seed);
+
+  // Phase 1 — dependency scan: make stats the Makefile, every source, every
+  // header, and probes for every (not yet existing) object.
+  (void)co_await mount.Stat("/Makefile");
+  for (int i = 0; i < config.sources; ++i) {
+    auto attr = co_await mount.Stat(SourcePath(i));
+    if (!attr) report.ok = false;
+  }
+  for (int i = 0; i < config.headers; ++i) {
+    auto attr = co_await mount.Stat(HeaderPath(i));
+    if (!attr) report.ok = false;
+  }
+  for (int i = 0; i < config.objects; ++i) {
+    (void)co_await mount.Exists(ObjectPath(i));
+  }
+
+  // Phase 2 — compile each object: read its sources and the headers they
+  // cross-reference, then emit the object file.
+  const int sources_per_object =
+      (config.sources + config.objects - 1) / config.objects;
+  int next_source = 0;
+  for (int obj = 0; obj < config.objects; ++obj) {
+    // make re-checks the dependencies of this target just before building.
+    for (int s = 0; s < sources_per_object && next_source + s < config.sources;
+         ++s) {
+      (void)co_await mount.Stat(SourcePath(next_source + s));
+    }
+
+    for (int s = 0; s < sources_per_object && next_source < config.sources; ++s) {
+      const std::string path = SourcePath(next_source++);
+      auto fd = co_await mount.Open(path, OpenFlags{});
+      if (!fd) {
+        report.ok = false;
+        continue;
+      }
+      (void)co_await mount.Read(*fd, 0, config.source_bytes);
+      (void)co_await mount.Close(*fd);
+
+      // Cross-reference headers (deterministic pseudo-random subset).
+      for (int h = 0; h < config.headers_per_object; ++h) {
+        const int header = static_cast<int>(rng.Below(config.headers));
+        auto hfd = co_await mount.Open(HeaderPath(header), OpenFlags{});
+        if (!hfd) {
+          report.ok = false;
+          continue;
+        }
+        (void)co_await mount.Read(*hfd, 0, config.header_bytes);
+        (void)co_await mount.Close(*hfd);
+      }
+    }
+
+    co_await sim::Sleep(sched, config.compile_cpu);
+
+    auto ofd = co_await mount.Open(
+        ObjectPath(obj), OpenFlags{.read = true, .write = true, .create = true});
+    if (!ofd) {
+      report.ok = false;
+      continue;
+    }
+    (void)co_await mount.Write(*ofd, 0, Bytes(config.object_bytes, 'o'));
+    (void)co_await mount.Close(*ofd);
+  }
+
+  // Phase 3 — link: read every object back and write the final binary.
+  for (int obj = 0; obj < config.objects; ++obj) {
+    auto fd = co_await mount.Open(ObjectPath(obj), OpenFlags{});
+    if (!fd) {
+      report.ok = false;
+      continue;
+    }
+    (void)co_await mount.Read(*fd, 0, config.object_bytes);
+    (void)co_await mount.Close(*fd);
+  }
+  co_await sim::Sleep(sched, config.link_cpu);
+  auto binary = co_await mount.Open(
+      "/obj/tclsh", OpenFlags{.read = true, .write = true, .create = true});
+  if (binary) {
+    (void)co_await mount.Write(
+        *binary, 0,
+        Bytes(static_cast<std::size_t>(config.objects) * config.object_bytes / 4, 'x'));
+    (void)co_await mount.Close(*binary);
+  }
+
+  report.finished_at = sched.Now();
+  co_return report;
+}
+
+}  // namespace gvfs::workloads

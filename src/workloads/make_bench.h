@@ -1,0 +1,54 @@
+// "Make" microbenchmark (paper §5.1.1, Figure 4): an Andrew-benchmark-style
+// build of a Tcl/Tk-sized source tree — 357 C sources, 103 headers, 168
+// objects. The workload generator replays the file-system operation stream a
+// make produces: a dependency-check pass stat'ing every file, then per
+// object: read sources and cross-referenced headers, compile (virtual CPU
+// time), write the object file; finally link everything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "kclient/kernel_client.h"
+#include "memfs/memfs.h"
+#include "sim/task.h"
+
+namespace gvfs::workloads {
+
+struct MakeConfig {
+  MakeConfig() = default;
+  MakeConfig(const MakeConfig&) = default;
+  MakeConfig& operator=(const MakeConfig&) = default;
+
+  int sources = 357;
+  int headers = 103;
+  int objects = 168;
+  /// Headers cross-referenced while compiling one object.
+  int headers_per_object = 12;
+  std::uint32_t source_bytes = 12 * 1024;
+  std::uint32_t header_bytes = 4 * 1024;
+  std::uint32_t object_bytes = 16 * 1024;
+  /// Virtual CPU time per object compiled and for the final link.
+  Duration compile_cpu = Milliseconds(900);
+  Duration link_cpu = Seconds(5);
+  std::uint64_t seed = 42;
+};
+
+struct MakeReport {
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  bool ok = true;
+  double RuntimeSeconds() const { return ToSeconds(finished_at - started_at); }
+};
+
+/// Creates the source tree (/src/*.c, /include/*.h, /Makefile) in the
+/// exported filesystem.
+void PopulateMakeTree(memfs::MemFs& fs, const MakeConfig& config);
+
+/// Runs the build through `mount`, charging compile CPU on `sched`.
+sim::Task<MakeReport> RunMake(sim::Scheduler& sched, kclient::KernelClient& mount,
+                              MakeConfig config);
+
+}  // namespace gvfs::workloads

@@ -1,0 +1,132 @@
+#include "workloads/nanomos.h"
+
+#include <string>
+
+#include "sim/sync.h"
+
+namespace gvfs::workloads {
+
+using kclient::KernelClient;
+using kclient::OpenFlags;
+
+namespace {
+
+std::string MatlabDir(int d) { return "/matlab/d" + std::to_string(d); }
+std::string MatlabFile(int d, int f) {
+  return MatlabDir(d) + "/f" + std::to_string(f) + ".m";
+}
+std::string MpitbFile(int f) { return "/matlab/mpitb/f" + std::to_string(f) + ".m"; }
+
+struct IterationClock {
+  SimTime max_finish = 0;
+  int remaining = 0;
+};
+
+/// One client's single iteration: touch the working set (stat + read), then
+/// compute.
+sim::Task<void> RunIteration(sim::Scheduler* sched, KernelClient* mount,
+                             NanomosConfig config, IterationClock* clock) {
+  // MPITB toolbox files.
+  for (int f = 0; f < config.mpitb_files; ++f) {
+    const std::string path = MpitbFile(f);
+    auto fd = co_await mount->Open(path, OpenFlags{});
+    if (fd) {
+      (void)co_await mount->Read(
+          *fd, 0, std::min(config.working_read_bytes, config.mpitb_file_bytes));
+      (void)co_await mount->Close(*fd);
+    }
+  }
+  // MATLAB core slice.
+  for (int d = 0; d < config.matlab_working_dirs; ++d) {
+    for (int f = 0; f < config.matlab_files_per_dir; ++f) {
+      const std::string path = MatlabFile(d, f);
+      auto fd = co_await mount->Open(path, OpenFlags{});
+      if (fd) {
+        (void)co_await mount->Read(
+            *fd, 0, std::min(config.working_read_bytes, config.matlab_file_bytes));
+        (void)co_await mount->Close(*fd);
+      }
+    }
+  }
+  co_await sim::Sleep(*sched, config.compute_per_iteration);
+  clock->max_finish = std::max(clock->max_finish, sched->Now());
+  --clock->remaining;
+}
+
+/// The administrator's update: rewrite every file of a package in place.
+sim::Task<void> RunUpdate(KernelClient* admin, UpdateKind kind,
+                          NanomosConfig config) {
+  auto touch = [](KernelClient* mount, const std::string& path,
+                  std::uint32_t bytes) -> sim::Task<void> {
+    auto fd = co_await mount->Open(path, OpenFlags{.read = true, .write = true});
+    if (!fd) co_return;
+    (void)co_await mount->Write(*fd, 0, Bytes(bytes, 'u'));
+    (void)co_await mount->Close(*fd);
+  };
+
+  if (kind == UpdateKind::kMpitb) {
+    for (int f = 0; f < config.mpitb_files; ++f) {
+      co_await touch(admin, MpitbFile(f), config.mpitb_file_bytes);
+    }
+  } else if (kind == UpdateKind::kMatlab) {
+    for (int d = 0; d < config.matlab_dirs; ++d) {
+      for (int f = 0; f < config.matlab_files_per_dir; ++f) {
+        co_await touch(admin, MatlabFile(d, f), config.matlab_file_bytes);
+      }
+    }
+    for (int f = 0; f < config.mpitb_files; ++f) {
+      co_await touch(admin, MpitbFile(f), config.mpitb_file_bytes);
+    }
+  }
+}
+
+}  // namespace
+
+void PopulateRepository(memfs::MemFs& fs, const NanomosConfig& config) {
+  auto matlab = fs.Mkdir(fs.root(), "matlab", 0755);
+  for (int d = 0; d < config.matlab_dirs; ++d) {
+    auto dir = fs.Mkdir(*matlab, "d" + std::to_string(d), 0755);
+    for (int f = 0; f < config.matlab_files_per_dir; ++f) {
+      auto ino = fs.Create(*dir, "f" + std::to_string(f) + ".m", 0644);
+      (void)fs.Write(*ino, 0, Bytes(config.matlab_file_bytes, 'm'));
+    }
+  }
+  auto mpitb = fs.Mkdir(*matlab, "mpitb", 0755);
+  for (int f = 0; f < config.mpitb_files; ++f) {
+    auto ino = fs.Create(*mpitb, "f" + std::to_string(f) + ".m", 0644);
+    (void)fs.Write(*ino, 0, Bytes(config.mpitb_file_bytes, 'm'));
+  }
+}
+
+sim::Task<NanomosReport> RunNanomos(sim::Scheduler& sched,
+                                    std::vector<kclient::KernelClient*> mounts,
+                                    kclient::KernelClient* admin, UpdateKind kind,
+                                    NanomosConfig config) {
+  NanomosReport report;
+  for (int iteration = 1; iteration <= config.iterations; ++iteration) {
+    if (kind != UpdateKind::kNone && iteration == config.update_after_iteration + 1) {
+      // The administrator pushes the update while the system is idle; a full
+      // turnaround gap follows before the next run (so a polling window can
+      // elapse — with native NFS this changes nothing).
+      co_await RunUpdate(admin, kind, config);
+      co_await sim::Sleep(sched, config.inter_iteration_gap);
+    }
+
+    const SimTime start = sched.Now();
+    IterationClock clock;
+    clock.remaining = static_cast<int>(mounts.size());
+    std::vector<sim::Task<void>> tasks;
+    tasks.reserve(mounts.size());
+    for (auto* mount : mounts) {
+      tasks.push_back(RunIteration(&sched, mount, config, &clock));
+    }
+    co_await sim::WhenAll(sched, std::move(tasks));
+    report.iteration_seconds.push_back(ToSeconds(clock.max_finish - start));
+    if (iteration < config.iterations) {
+      co_await sim::Sleep(sched, config.inter_iteration_gap);
+    }
+  }
+  co_return report;
+}
+
+}  // namespace gvfs::workloads

@@ -1,0 +1,69 @@
+// NanoMOS software-repository benchmark (paper §5.2.1, Figure 7): six WAN
+// clients run a compute-intensive simulator in parallel for eight
+// iterations, read-sharing the application software (MATLAB ≈ 14 K
+// files/directories, MPITB = 540 files) from a repository. Between the 4th
+// and 5th iteration a LAN administrator updates either the whole MATLAB
+// package (case a) or only MPITB (case b).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "kclient/kernel_client.h"
+#include "memfs/memfs.h"
+#include "sim/task.h"
+
+namespace gvfs::workloads {
+
+struct NanomosConfig {
+  NanomosConfig() = default;
+  NanomosConfig(const NanomosConfig&) = default;
+  NanomosConfig& operator=(const NanomosConfig&) = default;
+
+  /// Repository shape. MATLAB: `matlab_dirs` directories of
+  /// `matlab_files_per_dir` files each (~14 K total); MPITB: 540 files.
+  int matlab_dirs = 96;
+  int matlab_files_per_dir = 140;  // 96*140 = 13440 + dirs ~= 14K entries
+  int mpitb_files = 540;
+  std::uint32_t matlab_file_bytes = 2 * 1024;
+  std::uint32_t mpitb_file_bytes = 8 * 1024;
+
+  /// Per-iteration working set of one client: all MPITB files plus a slice
+  /// of MATLAB (toolboxes the simulator loads) — ~1.4K files, matching the
+  /// paper's ~2.7K consistency checks per client per warm run.
+  int matlab_working_dirs = 6;
+  std::uint32_t working_read_bytes = 8 * 1024;  // bytes read per touched file
+
+  int iterations = 8;
+  int update_after_iteration = 4;  // update lands between run 4 and 5
+  /// Virtual CPU per iteration (NanoMOS is compute-intensive).
+  Duration compute_per_iteration = Seconds(35);
+  /// Gap between consecutive iterations (job-scheduler turnaround). Long
+  /// enough for an invalidation-polling window to elapse; excluded from the
+  /// reported per-iteration runtimes.
+  Duration inter_iteration_gap = Seconds(40);
+  std::uint64_t seed = 11;
+};
+
+enum class UpdateKind { kNone, kMatlab, kMpitb };
+
+struct NanomosReport {
+  /// Per-iteration runtime, averaged over the clients, in seconds.
+  std::vector<double> iteration_seconds;
+  bool ok = true;
+};
+
+/// Builds the repository tree (/matlab/d*/f*, /matlab/mpitb/f*).
+void PopulateRepository(memfs::MemFs& fs, const NanomosConfig& config);
+
+/// Runs the full experiment: `mounts` are the six compute clients;
+/// `admin` performs the update (LAN mount, may be part of the session);
+/// `kind` selects which package is updated.
+sim::Task<NanomosReport> RunNanomos(sim::Scheduler& sched,
+                                    std::vector<kclient::KernelClient*> mounts,
+                                    kclient::KernelClient* admin, UpdateKind kind,
+                                    NanomosConfig config);
+
+}  // namespace gvfs::workloads

@@ -1,0 +1,133 @@
+#include "workloads/postmark.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gvfs::workloads {
+
+using kclient::KernelClient;
+using kclient::OpenFlags;
+
+namespace {
+
+struct PoolFile {
+  std::string path;
+  std::uint64_t size = 0;
+  bool exists = false;
+};
+
+std::string PathFor(int subdir, int index) {
+  return "/p" + std::to_string(subdir) + "/f" + std::to_string(index);
+}
+
+}  // namespace
+
+sim::Task<PostmarkReport> RunPostmark(sim::Scheduler& sched,
+                                      kclient::KernelClient& mount,
+                                      PostmarkConfig config) {
+  PostmarkReport report;
+  report.started_at = sched.Now();
+  Rng rng(config.seed);
+
+  auto size_for = [&rng, &config]() {
+    return static_cast<std::uint64_t>(
+        rng.Range(config.min_size, config.max_size));
+  };
+
+  // Subdirectories.
+  for (int d = 0; d < config.subdirectories; ++d) {
+    auto r = co_await mount.Mkdir("/p" + std::to_string(d));
+    if (!r) report.ok = false;
+  }
+
+  // Initial pool.
+  std::vector<PoolFile> pool(static_cast<std::size_t>(config.files));
+  int next_file_id = 0;
+  auto create_file = [&](PoolFile& file) -> sim::Task<void> {
+    file.path = PathFor(static_cast<int>(rng.Below(config.subdirectories)),
+                        next_file_id++);
+    file.size = size_for();
+    auto fd = co_await mount.Open(
+        file.path, OpenFlags{.read = true, .write = true, .create = true});
+    if (!fd) {
+      report.ok = false;
+      co_return;
+    }
+    Bytes block(config.block_size, 0x50);
+    for (std::uint64_t off = 0; off < file.size; off += config.block_size) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(config.block_size, file.size - off);
+      block.resize(len, 0x50);
+      (void)co_await mount.Write(*fd, off, block);
+      block.resize(config.block_size, 0x50);
+    }
+    (void)co_await mount.Close(*fd);
+    file.exists = true;
+  };
+
+  for (auto& file : pool) co_await create_file(file);
+
+  // Transactions.
+  report.transactions_started_at = sched.Now();
+  for (int t = 0; t < config.transactions; ++t) {
+    const bool rw = static_cast<int>(rng.Below(10)) < config.rw_bias;
+    PoolFile& file = pool[rng.Below(pool.size())];
+    if (rw) {
+      if (!file.exists) {
+        co_await create_file(file);
+        ++report.creates;
+        continue;
+      }
+      const bool read = static_cast<int>(rng.Below(10)) < config.read_bias;
+      if (read) {
+        auto fd = co_await mount.Open(file.path, OpenFlags{});
+        if (!fd) {
+          report.ok = false;
+          continue;
+        }
+        for (std::uint64_t off = 0; off < file.size; off += config.block_size) {
+          (void)co_await mount.Read(*fd, off, config.block_size);
+        }
+        (void)co_await mount.Close(*fd);
+        ++report.reads;
+      } else {
+        auto fd = co_await mount.Open(file.path,
+                                      OpenFlags{.read = true, .write = true});
+        if (!fd) {
+          report.ok = false;
+          continue;
+        }
+        Bytes block(config.block_size, 0x41);
+        (void)co_await mount.Write(*fd, file.size, block);
+        file.size += config.block_size;
+        (void)co_await mount.Close(*fd);
+        ++report.appends;
+      }
+    } else {
+      if (file.exists) {
+        auto r = co_await mount.Unlink(file.path);
+        if (!r) report.ok = false;
+        file.exists = false;
+        ++report.deletes;
+      } else {
+        co_await create_file(file);
+        ++report.creates;
+      }
+    }
+  }
+
+  report.transactions_finished_at = sched.Now();
+
+  // Teardown: delete remaining files.
+  for (auto& file : pool) {
+    if (file.exists) {
+      (void)co_await mount.Unlink(file.path);
+      file.exists = false;
+    }
+  }
+
+  report.finished_at = sched.Now();
+  co_return report;
+}
+
+}  // namespace gvfs::workloads

@@ -1,0 +1,59 @@
+// PostMark file-system benchmark (paper §5.1.1, Figure 5), with the paper's
+// parameters as defaults: 600 files of 32–640 KB across 100 subdirectories,
+// 600 transactions with read/append bias 9 and create/delete bias 5, 32 KB
+// block size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "kclient/kernel_client.h"
+#include "sim/task.h"
+
+namespace gvfs::workloads {
+
+struct PostmarkConfig {
+  PostmarkConfig() = default;
+  PostmarkConfig(const PostmarkConfig&) = default;
+  PostmarkConfig& operator=(const PostmarkConfig&) = default;
+
+  int files = 600;
+  int transactions = 600;
+  std::uint32_t min_size = 32 * 1024;
+  std::uint32_t max_size = 640 * 1024;
+  int subdirectories = 100;
+  std::uint32_t block_size = 32 * 1024;
+  /// Out of 10 non-create transactions, how many are reads (rest append).
+  int read_bias = 9;
+  /// Out of 10 transactions, how many are read/append (rest create/delete).
+  int rw_bias = 5;
+  std::uint64_t seed = 7;
+};
+
+struct PostmarkReport {
+  SimTime started_at = 0;
+  SimTime transactions_started_at = 0;
+  SimTime transactions_finished_at = 0;
+  SimTime finished_at = 0;
+  int reads = 0;
+  int appends = 0;
+  int creates = 0;
+  int deletes = 0;
+  bool ok = true;
+  double RuntimeSeconds() const { return ToSeconds(finished_at - started_at); }
+  /// The transactions phase alone (pool creation/deletion excluded).
+  double TransactionSeconds() const {
+    return ToSeconds(transactions_finished_at - transactions_started_at);
+  }
+};
+
+/// Runs the full benchmark (create pool, transactions, delete pool) through
+/// `mount`. All I/O goes through the mount — the file pool is created over
+/// the wire, as PostMark does.
+sim::Task<PostmarkReport> RunPostmark(sim::Scheduler& sched,
+                                      kclient::KernelClient& mount,
+                                      PostmarkConfig config);
+
+}  // namespace gvfs::workloads

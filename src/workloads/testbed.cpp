@@ -1,0 +1,114 @@
+#include "workloads/testbed.h"
+
+namespace gvfs::workloads {
+
+namespace {
+constexpr std::uint32_t kNfsdPort = 2049;
+}
+
+sim::Task<void> GvfsSession::Shutdown() {
+  for (auto* proxy : proxies) co_await proxy->Shutdown();
+}
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config),
+      network_(sched_),
+      domain_(sched_, network_),
+      fs_(sched_.NowPtr()),
+      server_host_(network_.AddHost("server")) {
+  nfsd_node_ = &domain_.CreateNode(server_host_, kNfsdPort, "nfsd");
+  nfsd_ = std::make_unique<nfs3::Nfs3Server>(sched_, fs_, *nfsd_node_);
+}
+
+int Testbed::AddWanClient() {
+  const int index = ClientCount();
+  HostId host = network_.AddHost("c" + std::to_string(index));
+  network_.Connect(host, server_host_, config_.wan);
+  client_hosts_.push_back(host);
+  return index;
+}
+
+int Testbed::AddLanClient() {
+  const int index = ClientCount();
+  HostId host = network_.AddHost("lan" + std::to_string(index));
+  network_.Connect(host, server_host_, config_.lan);
+  client_hosts_.push_back(host);
+  return index;
+}
+
+kclient::KernelClient& Testbed::NativeMount(int index,
+                                            kclient::MountOptions options) {
+  HostId host = client_hosts_.at(index);
+  rpc::RpcNode& node =
+      domain_.CreateNode(host, next_port_++, "kclient@" + network_.HostName(host));
+  stats_.push_back(std::make_unique<rpc::StatsMap>());
+  node.SetStatsSink(stats_.back().get());
+
+  mounts_.push_back(std::make_unique<kclient::KernelClient>(
+      sched_, node, nfsd_node_->address(), nfsd_->RootFh(), std::move(options)));
+  mount_stats_[mounts_.back().get()] = stats_.back().get();
+  return *mounts_.back();
+}
+
+GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
+                                    const std::vector<int>& clients,
+                                    kclient::MountOptions kernel_options) {
+  sessions_.push_back(GvfsSession{});
+  GvfsSession& session = sessions_.back();
+
+  stats_.push_back(std::make_unique<rpc::StatsMap>());
+  rpc::StatsMap* stats = stats_.back().get();
+  session.stats = stats;
+
+  // Proxy server beside the kernel NFS server (loopback upstream).
+  const std::uint32_t session_port = next_port_++;
+  rpc::RpcNode& server_node =
+      domain_.CreateNode(server_host_, session_port, "proxy-server");
+  server_node.SetStatsSink(stats);  // counts CALLBACK / recovery traffic
+  proxy_servers_.push_back(std::make_unique<proxy::ProxyServer>(
+      sched_, server_node, nfsd_node_->address(), config));
+  session.server = proxy_servers_.back().get();
+
+  for (int index : clients) {
+    HostId host = client_hosts_.at(index);
+    // Proxy client: serves the local kernel client, calls the proxy server
+    // across the WAN (counted), and answers callbacks.
+    rpc::RpcNode& proxy_node = domain_.CreateNode(
+        host, session_port, "proxy-client@" + network_.HostName(host));
+    proxy_node.SetStatsSink(stats);
+    proxy_clients_.push_back(std::make_unique<proxy::ProxyClient>(
+        sched_, proxy_node, server_node.address(), config));
+    proxy::ProxyClient* proxy = proxy_clients_.back().get();
+    proxy->Start();
+    session.proxies.push_back(proxy);
+
+    // Unmodified kernel client, mounted against the local proxy (loopback).
+    rpc::RpcNode& kernel_node = domain_.CreateNode(
+        host, next_port_++, "kclient@" + network_.HostName(host));
+    mounts_.push_back(std::make_unique<kclient::KernelClient>(
+        sched_, kernel_node, proxy_node.address(), nfsd_->RootFh(),
+        kernel_options));
+    session.mounts.push_back(mounts_.back().get());
+    mount_stats_[mounts_.back().get()] = stats;
+  }
+  return session;
+}
+
+afs::AfsClient& Testbed::AfsMount(int index) {
+  if (!afs_server_) {
+    rpc::RpcNode& node = domain_.CreateNode(server_host_, 7000, "afsd");
+    afs_server_ = std::make_unique<afs::AfsServer>(sched_, fs_, node);
+  }
+  HostId host = client_hosts_.at(index);
+  rpc::RpcNode& node =
+      domain_.CreateNode(host, next_port_++, "afs@" + network_.HostName(host));
+  afs_clients_.push_back(std::make_unique<afs::AfsClient>(
+      sched_, node, net::Address{server_host_, 7000}));
+  return *afs_clients_.back();
+}
+
+rpc::StatsMap& Testbed::StatsOf(const kclient::KernelClient& mount) {
+  return *mount_stats_.at(&mount);
+}
+
+}  // namespace gvfs::workloads

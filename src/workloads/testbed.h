@@ -1,0 +1,118 @@
+// Experiment testbed: builds the paper's topology (§5) — one file server
+// host and N client hosts joined by emulated WAN links (default 40 ms RTT,
+// 4 Mbps, as in the paper's NIST Net setup) — and wires up either native NFS
+// mounts or middleware-established GVFS sessions over it.
+//
+// This is the "middleware" role from Figure 1: sessions are created on
+// demand, each with its own proxy server + per-host proxy clients +
+// unmodified kernel-client mounts, and independent consistency config.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "afs/afs.h"
+#include "gvfs/proxy_client.h"
+#include "gvfs/proxy_server.h"
+#include "gvfs/session.h"
+#include "kclient/kernel_client.h"
+#include "memfs/memfs.h"
+#include "net/network.h"
+#include "nfs3/server.h"
+#include "rpc/rpc.h"
+#include "sim/scheduler.h"
+
+namespace gvfs::workloads {
+
+struct TestbedConfig {
+  TestbedConfig() = default;
+  TestbedConfig(const TestbedConfig&) = default;
+  TestbedConfig& operator=(const TestbedConfig&) = default;
+
+  /// Paper WAN: 40 ms RTT, 4 Mbps.
+  net::LinkConfig wan{Milliseconds(20), 4'000'000};
+  /// Paper LAN: 100 Mbps; sub-millisecond RTT.
+  net::LinkConfig lan{Microseconds(250), 100'000'000};
+};
+
+/// One middleware-established GVFS session (Figure 1).
+struct GvfsSession {
+  proxy::ProxyServer* server = nullptr;
+  std::vector<proxy::ProxyClient*> proxies;
+  std::vector<kclient::KernelClient*> mounts;
+  /// WAN RPCs for this session (proxy-client upstream calls + server
+  /// callbacks), by procedure.
+  rpc::StatsMap* stats = nullptr;
+
+  kclient::KernelClient& mount(std::size_t i) { return *mounts.at(i); }
+  proxy::ProxyClient& proxy(std::size_t i) { return *proxies.at(i); }
+
+  /// Flushes all proxy caches and stops background tasks.
+  sim::Task<void> Shutdown();
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  sim::Scheduler& sched() { return sched_; }
+  net::Network& network() { return network_; }
+  memfs::MemFs& fs() { return fs_; }
+  nfs3::Nfs3Server& nfsd() { return *nfsd_; }
+  HostId server_host() const { return server_host_; }
+
+  /// Adds a client host connected to the server over the WAN (or LAN) link.
+  int AddWanClient();
+  int AddLanClient();
+  int ClientCount() const { return static_cast<int>(client_hosts_.size()); }
+  HostId client_host(int index) const { return client_hosts_.at(index); }
+
+  /// A native kernel-NFS mount on client `index` (the paper's NFS baseline).
+  /// Its WAN RPCs are counted in StatsOf(mount).
+  kclient::KernelClient& NativeMount(int index, kclient::MountOptions options = {});
+
+  /// Establishes a GVFS session across the given clients: a proxy server
+  /// beside the kernel NFS server, a proxy client per host, and a kernel
+  /// mount per host pointed at its local proxy. Background consistency tasks
+  /// are started.
+  GvfsSession& CreateSession(const proxy::SessionConfig& config,
+                             const std::vector<int>& clients,
+                             kclient::MountOptions kernel_options = {});
+
+  /// An AFS client on client `index`, talking to a shared AFS server over
+  /// the same exported tree (the Figure 6 reference DFS). The AFS server is
+  /// created lazily on first use.
+  afs::AfsClient& AfsMount(int index);
+
+  /// WAN RPC counters of a native mount created with NativeMount.
+  rpc::StatsMap& StatsOf(const kclient::KernelClient& mount);
+
+  /// Runs the simulation until the event queue drains.
+  void Run() { sched_.Run(); }
+
+ private:
+  TestbedConfig config_;
+  sim::Scheduler sched_;
+  net::Network network_;
+  rpc::Domain domain_;
+  memfs::MemFs fs_;
+  HostId server_host_;
+  rpc::RpcNode* nfsd_node_;
+  std::unique_ptr<nfs3::Nfs3Server> nfsd_;
+
+  std::vector<HostId> client_hosts_;
+  std::uint32_t next_port_ = 10000;
+
+  // Stable storage for created components.
+  std::deque<std::unique_ptr<kclient::KernelClient>> mounts_;
+  std::unique_ptr<afs::AfsServer> afs_server_;
+  std::deque<std::unique_ptr<afs::AfsClient>> afs_clients_;
+  std::deque<std::unique_ptr<proxy::ProxyClient>> proxy_clients_;
+  std::deque<std::unique_ptr<proxy::ProxyServer>> proxy_servers_;
+  std::deque<std::unique_ptr<rpc::StatsMap>> stats_;
+  std::deque<GvfsSession> sessions_;
+  std::map<const kclient::KernelClient*, rpc::StatsMap*> mount_stats_;
+};
+
+}  // namespace gvfs::workloads

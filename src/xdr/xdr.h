@@ -1,0 +1,149 @@
+// XDR (RFC 4506) subset used by the simulated ONC-RPC/NFS stack.
+//
+// All RPC argument/result structs serialize through these encoders; the
+// resulting byte counts feed the network simulator's bandwidth model, so
+// message sizes on the simulated wire match what a real XDR stack would send.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/types.h"
+
+namespace gvfs::xdr {
+
+/// Appends XDR-encoded primitives to a byte buffer.
+class Encoder {
+ public:
+  void PutU32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void PutI32(std::int32_t v) { PutU32(static_cast<std::uint32_t>(v)); }
+
+  void PutU64(std::uint64_t v) {
+    PutU32(static_cast<std::uint32_t>(v >> 32));
+    PutU32(static_cast<std::uint32_t>(v));
+  }
+
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+
+  void PutBool(bool v) { PutU32(v ? 1 : 0); }
+
+  /// Variable-length opaque: length prefix + data + pad to 4-byte boundary.
+  void PutOpaque(const std::uint8_t* data, std::size_t len) {
+    PutU32(static_cast<std::uint32_t>(len));
+    buf_.insert(buf_.end(), data, data + len);
+    Pad(len);
+  }
+
+  void PutOpaque(const Bytes& data) { PutOpaque(data.data(), data.size()); }
+
+  /// Fixed-length opaque: data + pad, no length prefix.
+  void PutFixedOpaque(const std::uint8_t* data, std::size_t len) {
+    buf_.insert(buf_.end(), data, data + len);
+    Pad(len);
+  }
+
+  void PutString(const std::string& s) {
+    PutOpaque(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void Pad(std::size_t len) {
+    while (len % 4 != 0) {
+      buf_.push_back(0);
+      ++len;
+    }
+  }
+
+  Bytes buf_;
+};
+
+enum class DecodeError { kTruncated, kBadValue };
+
+/// Reads XDR-encoded primitives from a byte buffer. Never reads out of
+/// bounds; a short buffer yields DecodeError::kTruncated.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  Expected<std::uint32_t, DecodeError> GetU32() {
+    if (size_ - pos_ < 4) return Unexpected(DecodeError::kTruncated);
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  Expected<std::int32_t, DecodeError> GetI32() {
+    auto v = GetU32();
+    if (!v) return Unexpected(v.error());
+    return static_cast<std::int32_t>(*v);
+  }
+
+  Expected<std::uint64_t, DecodeError> GetU64() {
+    auto hi = GetU32();
+    if (!hi) return Unexpected(hi.error());
+    auto lo = GetU32();
+    if (!lo) return Unexpected(lo.error());
+    return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+  }
+
+  Expected<std::int64_t, DecodeError> GetI64() {
+    auto v = GetU64();
+    if (!v) return Unexpected(v.error());
+    return static_cast<std::int64_t>(*v);
+  }
+
+  Expected<bool, DecodeError> GetBool() {
+    auto v = GetU32();
+    if (!v) return Unexpected(v.error());
+    if (*v > 1) return Unexpected(DecodeError::kBadValue);
+    return *v == 1;
+  }
+
+  Expected<Bytes, DecodeError> GetOpaque() {
+    auto len = GetU32();
+    if (!len) return Unexpected(len.error());
+    return GetFixedOpaque(*len);
+  }
+
+  Expected<Bytes, DecodeError> GetFixedOpaque(std::size_t len) {
+    const std::size_t padded = (len + 3) & ~std::size_t{3};
+    if (size_ - pos_ < padded) return Unexpected(DecodeError::kTruncated);
+    Bytes out(data_ + pos_, data_ + pos_ + len);
+    pos_ += padded;
+    return out;
+  }
+
+  Expected<std::string, DecodeError> GetString() {
+    auto raw = GetOpaque();
+    if (!raw) return Unexpected(raw.error());
+    return std::string(raw->begin(), raw->end());
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gvfs::xdr

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/expected.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace gvfs {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_EQ(Milliseconds(40), 40'000'000);
+  EXPECT_EQ(Microseconds(3), 3'000);
+  EXPECT_EQ(SecondsF(0.5), 500'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(42)), 42.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Milliseconds(1500)), 1.5);
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int, std::string> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int, std::string> e = Unexpected(std::string("boom"));
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), "boom");
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(ExpectedTest, VoidSpecialization) {
+  Expected<void, int> ok{};
+  EXPECT_TRUE(ok.has_value());
+  Expected<void, int> bad = Unexpected(5);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), 5);
+}
+
+TEST(ExpectedTest, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>, int> e = std::make_unique<int>(9);
+  ASSERT_TRUE(e.has_value());
+  auto p = std::move(e).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string, int> e = std::string("hello");
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.Range(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, BelowBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.Below(10), 10u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gvfs

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.h"
+#include "rpc/rpc.h"
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "xdr/xdr.h"
+
+namespace gvfs::rpc {
+namespace {
+
+constexpr std::uint32_t kProg = 100003;
+constexpr std::uint32_t kProcEcho = 1;
+constexpr std::uint32_t kProcSlow = 2;
+constexpr std::uint32_t kProcCount = 3;
+
+sim::Task<Bytes> EchoHandler(CallContext, Bytes args) { co_return args; }
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : network_(sched_), domain_(sched_, network_) {
+    client_host_ = network_.AddHost("client");
+    server_host_ = network_.AddHost("server");
+    network_.Connect(client_host_, server_host_,
+                     net::LinkConfig{Milliseconds(20), 4'000'000});
+    client_ = &domain_.CreateNode(client_host_, 1000, "client");
+    server_ = &domain_.CreateNode(server_host_, 2049, "server");
+    server_->RegisterHandler(kProg, kProcEcho, EchoHandler);
+  }
+
+  net::Address ServerAddr() const { return server_->address(); }
+
+  static CallOptions Opts(std::string label) {
+    CallOptions o;
+    o.label = std::move(label);
+    return o;
+  }
+
+  sim::Scheduler sched_;
+  net::Network network_;
+  Domain domain_;
+  HostId client_host_ = 0, server_host_ = 0;
+  RpcNode* client_ = nullptr;
+  RpcNode* server_ = nullptr;
+};
+
+struct CallResult {
+  bool done = false;
+  bool ok = false;
+  RpcError error = RpcError::kTimedOut;
+  Bytes body;
+  SimTime finished_at = -1;
+};
+
+sim::Task<void> DoCall(RpcNode* node, net::Address dst, std::uint32_t proc,
+                       Bytes args, CallOptions opts, sim::Scheduler* sched,
+                       CallResult* out) {
+  auto r = co_await node->Call(dst, kProg, proc, std::move(args), std::move(opts));
+  out->done = true;
+  out->ok = r.has_value();
+  if (r.has_value()) {
+    out->body = std::move(*r);
+  } else {
+    out->error = r.error();
+  }
+  out->finished_at = sched->Now();
+}
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  CallResult result;
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, Bytes{9, 8, 7}, Opts("ECHO"),
+                    &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.done);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.body, (Bytes{9, 8, 7}));
+  // One RTT (40 ms) plus transmission time of the two small datagrams.
+  EXPECT_GE(result.finished_at, Milliseconds(40));
+  EXPECT_LE(result.finished_at, Milliseconds(42));
+}
+
+TEST_F(RpcTest, HandlerCanSleepInVirtualTime) {
+  server_->RegisterHandler(kProg, kProcSlow,
+                           [this](CallContext, Bytes) -> sim::Task<Bytes> {
+                             co_await sim::Sleep(sched_, Seconds(3));
+                             co_return Bytes{1};
+                           });
+  CallResult result;
+  CallOptions opts = Opts("SLOW");
+  opts.timeout = Seconds(10);
+  sim::Spawn(
+      DoCall(client_, ServerAddr(), kProcSlow, {}, std::move(opts), &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.finished_at, Seconds(3) + Milliseconds(40));
+}
+
+TEST_F(RpcTest, UnknownProcedureReturnsProcUnavail) {
+  CallResult result;
+  sim::Spawn(DoCall(client_, ServerAddr(), 999, {}, Opts("BOGUS"), &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.done);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error, RpcError::kProcUnavail);
+}
+
+TEST_F(RpcTest, TimesOutWhenLinkDown) {
+  network_.SetLinkUp(client_host_, server_host_, false);
+  CallResult result;
+  CallOptions opts = Opts("ECHO");
+  opts.timeout = Seconds(1);
+  opts.max_retries = 2;
+  sim::Spawn(
+      DoCall(client_, ServerAddr(), kProcEcho, {}, std::move(opts), &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.done);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, RpcError::kTimedOut);
+  // 3 attempts x 1 s timeout.
+  EXPECT_EQ(result.finished_at, Seconds(3));
+}
+
+TEST_F(RpcTest, RetransmitSucceedsAfterPartitionHeals) {
+  network_.SetLinkUp(client_host_, server_host_, false);
+  sched_.At(Milliseconds(1500), [&] { network_.SetLinkUp(client_host_, server_host_, true); });
+
+  CallResult result;
+  CallOptions opts = Opts("ECHO");
+  opts.timeout = Seconds(1);
+  opts.max_retries = 5;
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, Bytes{5}, std::move(opts),
+                    &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.done);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.body, (Bytes{5}));
+  // First attempt at t=0 dropped; second at t=1 s dropped; third at t=2 s
+  // goes through.
+  EXPECT_GE(result.finished_at, Seconds(2));
+}
+
+TEST_F(RpcTest, DuplicateRequestCachePreventsReExecution) {
+  int executions = 0;
+  server_->RegisterHandler(kProg, kProcCount,
+                           [this, &executions](CallContext, Bytes) -> sim::Task<Bytes> {
+                             ++executions;
+                             // Slower than the client's retransmit timer, so a
+                             // retransmission always arrives mid-execution.
+                             co_await sim::Sleep(sched_, Milliseconds(500));
+                             co_return Bytes{static_cast<std::uint8_t>(executions)};
+                           });
+  CallResult result;
+  CallOptions opts = Opts("COUNT");
+  opts.timeout = Milliseconds(200);
+  opts.max_retries = 10;
+  sim::Spawn(
+      DoCall(client_, ServerAddr(), kProcCount, {}, std::move(opts), &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(executions, 1);  // duplicates suppressed while in progress
+  EXPECT_EQ(result.body, (Bytes{1}));
+}
+
+TEST_F(RpcTest, DuplicateAfterCompletionResendsCachedReply) {
+  int executions = 0;
+  server_->RegisterHandler(kProg, kProcCount,
+                           [&executions](CallContext, Bytes) -> sim::Task<Bytes> {
+                             ++executions;
+                             co_return Bytes{static_cast<std::uint8_t>(executions)};
+                           });
+  // Simulate a lost reply: requests get through, the first reply is dropped.
+  network_.SetOneWayUp(server_host_, client_host_, false);
+  sched_.At(Milliseconds(100),
+            [&] { network_.SetOneWayUp(server_host_, client_host_, true); });
+
+  CallResult result;
+  CallOptions opts = Opts("COUNT");
+  opts.timeout = Milliseconds(300);
+  opts.max_retries = 5;
+  sim::Spawn(
+      DoCall(client_, ServerAddr(), kProcCount, {}, std::move(opts), &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(executions, 1);  // second request served from the DRC
+  EXPECT_EQ(result.body, (Bytes{1}));
+}
+
+TEST_F(RpcTest, DownServerDropsRequests) {
+  server_->SetDown(true);
+  CallResult result;
+  CallOptions opts = Opts("ECHO");
+  opts.timeout = Milliseconds(500);
+  opts.max_retries = 1;
+  sim::Spawn(
+      DoCall(client_, ServerAddr(), kProcEcho, {}, std::move(opts), &sched_, &result));
+  sched_.Run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, RpcError::kTimedOut);
+}
+
+TEST_F(RpcTest, ServerRecoversAfterRestart) {
+  server_->SetDown(true);
+  sched_.At(Milliseconds(700), [&] { server_->SetDown(false); });
+  CallResult result;
+  CallOptions opts = Opts("ECHO");
+  opts.timeout = Milliseconds(500);
+  opts.max_retries = 5;
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, Bytes{1}, std::move(opts),
+                    &sched_, &result));
+  sched_.Run();
+  EXPECT_TRUE(result.ok);
+}
+
+TEST_F(RpcTest, DownClientCannotCall) {
+  client_->SetDown(true);
+  CallResult result;
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, {}, Opts("ECHO"), &sched_,
+                    &result));
+  sched_.Run();
+  ASSERT_TRUE(result.done);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, RpcError::kHostDown);
+}
+
+TEST_F(RpcTest, StatsCountOutgoingCallsByLabel) {
+  StatsMap stats;
+  client_->SetStatsSink(&stats);
+  CallResult r1, r2, r3;
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, {}, Opts("GETATTR"), &sched_, &r1));
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, {}, Opts("GETATTR"), &sched_, &r2));
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, {}, Opts("LOOKUP"), &sched_, &r3));
+  sched_.Run();
+  EXPECT_EQ(stats.Calls("GETATTR"), 2u);
+  EXPECT_EQ(stats.Calls("LOOKUP"), 1u);
+  EXPECT_EQ(stats.TotalCalls(), 3u);
+  EXPECT_GT(stats.TotalBytes(), 0u);
+}
+
+TEST_F(RpcTest, LoopbackCallsAreNotCounted) {
+  StatsMap stats;
+  RpcNode& proxy = domain_.CreateNode(client_host_, 3000, "proxy");
+  proxy.RegisterHandler(kProg, kProcEcho, EchoHandler);
+  client_->SetStatsSink(&stats);
+  CallResult result;
+  sim::Spawn(DoCall(client_, proxy.address(), kProcEcho, Bytes{1}, Opts("GETATTR"),
+                    &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(stats.TotalCalls(), 0u);  // same-host traffic excluded
+}
+
+TEST_F(RpcTest, ServerToClientCallbackWorks) {
+  // The GVFS pattern: the "server" node calls back into the "client" node.
+  client_->RegisterHandler(kProg, kProcEcho, EchoHandler);
+  CallResult result;
+  sim::Spawn(DoCall(server_, client_->address(), kProcEcho, Bytes{3}, Opts("CALLBACK"),
+                    &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.body, (Bytes{3}));
+}
+
+TEST_F(RpcTest, ConcurrentCallsMatchRepliesByXid) {
+  server_->RegisterHandler(kProg, kProcSlow,
+                           [this](CallContext, Bytes args) -> sim::Task<Bytes> {
+                             // Delay inversely proportional to payload value so
+                             // replies return out of order.
+                             co_await sim::Sleep(sched_, Seconds(10 - args.at(0)));
+                             co_return args;
+                           });
+  CallResult r1, r2;
+  CallOptions opts = Opts("SLOW");
+  opts.timeout = Seconds(30);
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcSlow, Bytes{1}, opts, &sched_, &r1));
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcSlow, Bytes{9}, opts, &sched_, &r2));
+  sched_.Run();
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r1.body, (Bytes{1}));
+  EXPECT_EQ(r2.body, (Bytes{9}));
+  EXPECT_LT(r2.finished_at, r1.finished_at);  // out-of-order completion
+}
+
+}  // namespace
+}  // namespace gvfs::rpc

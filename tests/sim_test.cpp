@@ -1,0 +1,363 @@
+// Tests for the coroutine simulation kernel.
+//
+// NOTE: coroutine lambdas must not capture (the closure dies before the
+// frame); every coroutine here takes its state via parameters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace gvfs::sim {
+namespace {
+
+TEST(SchedulerTest, EventsRunInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.At(Seconds(3), [&] { order.push_back(3); });
+  sched.At(Seconds(1), [&] { order.push_back(1); });
+  sched.At(Seconds(2), [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), Seconds(3));
+}
+
+TEST(SchedulerTest, TiesAreFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.At(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sched.After(Seconds(1), tick);
+  };
+  sched.After(Seconds(1), tick);
+  sched.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.Now(), Seconds(5));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler sched;
+  SimTime fired_at = -1;
+  sched.At(Seconds(5), [&] {
+    sched.At(Seconds(1), [&] { fired_at = sched.Now(); });  // in the past
+  });
+  sched.Run();
+  EXPECT_EQ(fired_at, Seconds(5));
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClock) {
+  Scheduler sched;
+  int fired = 0;
+  sched.At(Seconds(1), [&] { ++fired; });
+  sched.At(Seconds(10), [&] { ++fired; });
+  sched.RunUntil(Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.Now(), Seconds(5));
+  EXPECT_EQ(sched.PendingEvents(), 1u);
+}
+
+TEST(SchedulerTest, MaxEventsLimit) {
+  Scheduler sched;
+  std::function<void()> loop = [&] { sched.After(1, loop); };
+  sched.After(1, loop);
+  auto processed = sched.Run(100);
+  EXPECT_EQ(processed, 100u);
+}
+
+Task<int> ReturnFive(bool* started) {
+  *started = true;
+  co_return 5;
+}
+
+Task<void> AwaitInto(Task<int> task, int* out) { *out = co_await std::move(task); }
+
+TEST(TaskTest, LazyStart) {
+  Scheduler sched;
+  bool started = false;
+  auto t = ReturnFive(&started);
+  EXPECT_FALSE(started);  // lazy: not started until awaited
+  int result = 0;
+  Spawn(AwaitInto(std::move(t), &result));
+  sched.Run();
+  EXPECT_TRUE(started);
+  EXPECT_EQ(result, 5);
+}
+
+Task<int> Leaf() { co_return 2; }
+Task<int> Mid() { co_return 1 + co_await Leaf(); }
+Task<int> Outer() { co_return 1 + co_await Mid(); }
+
+TEST(TaskTest, NestedAwaitChains) {
+  Scheduler sched;
+  int result = 0;
+  Spawn(AwaitInto(Outer(), &result));
+  sched.Run();
+  EXPECT_EQ(result, 4);
+}
+
+Task<void> SleepThenRecord(Scheduler* sched, Duration d, SimTime* woke) {
+  co_await Sleep(*sched, d);
+  *woke = sched->Now();
+}
+
+TEST(TaskTest, SleepAdvancesVirtualTime) {
+  Scheduler sched;
+  SimTime woke = -1;
+  Spawn(SleepThenRecord(&sched, Seconds(7), &woke));
+  sched.Run();
+  EXPECT_EQ(woke, Seconds(7));
+}
+
+Task<void> ZeroSleep(Scheduler* sched, bool* done) {
+  co_await Sleep(*sched, 0);
+  *done = true;
+}
+
+TEST(TaskTest, ZeroSleepDoesNotSuspend) {
+  Scheduler sched;
+  bool done = false;
+  Spawn(ZeroSleep(&sched, &done));
+  // Spawn runs eagerly; zero-length sleep is ready immediately.
+  EXPECT_TRUE(done);
+}
+
+Task<void> TickProcess(Scheduler* sched, std::string name, Duration step,
+                       std::vector<std::string>* trace) {
+  for (int i = 0; i < 3; ++i) {
+    co_await Sleep(*sched, step);
+    trace->push_back(name);
+  }
+}
+
+TEST(TaskTest, InterleavedProcesses) {
+  Scheduler sched;
+  std::vector<std::string> trace;
+  Spawn(TickProcess(&sched, "a", Seconds(2), &trace));
+  Spawn(TickProcess(&sched, "b", Seconds(3), &trace));
+  sched.Run();
+  // a wakes at 2,4,6; b at 3,6,9. At t=6, b's wake was scheduled at t=3,
+  // a's at t=4, so b resumes first (FIFO by scheduling order).
+  EXPECT_EQ(trace, (std::vector<std::string>{"a", "b", "a", "b", "a", "b"}));
+}
+
+Task<int> Thrower() {
+  throw std::runtime_error("bad");
+  co_return 0;
+}
+
+Task<void> CatchFromThrower(bool* caught) {
+  try {
+    (void)co_await Thrower();
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(TaskTest, ExceptionPropagatesToAwaiter) {
+  Scheduler sched;
+  bool caught = false;
+  Spawn(CatchFromThrower(&caught));
+  sched.Run();
+  EXPECT_TRUE(caught);
+}
+
+Task<void> WaitOneShot(OneShot<int>* slot, std::optional<int>* got) {
+  *got = co_await slot->Wait();
+}
+
+TEST(OneShotTest, SetBeforeWait) {
+  Scheduler sched;
+  OneShot<int> slot(sched);
+  slot.Set(42);
+  std::optional<int> got;
+  Spawn(WaitOneShot(&slot, &got));
+  sched.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(OneShotTest, SetAfterWait) {
+  Scheduler sched;
+  OneShot<int> slot(sched);
+  std::optional<int> got;
+  Spawn(WaitOneShot(&slot, &got));
+  sched.At(Seconds(2), [&] { slot.Set(7); });
+  sched.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+}
+
+Task<void> WaitOneShotUntil(Scheduler* sched, OneShot<int>* slot, SimTime deadline,
+                            std::optional<int>* got, SimTime* when) {
+  *got = co_await slot->WaitUntil(deadline);
+  *when = sched->Now();
+}
+
+TEST(OneShotTest, TimeoutYieldsNullopt) {
+  Scheduler sched;
+  OneShot<int> slot(sched);
+  std::optional<int> got = 99;
+  SimTime when = -1;
+  Spawn(WaitOneShotUntil(&sched, &slot, Seconds(5), &got, &when));
+  sched.Run();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(when, Seconds(5));
+}
+
+TEST(OneShotTest, ValueBeatsTimeout) {
+  Scheduler sched;
+  OneShot<int> slot(sched);
+  std::optional<int> got;
+  SimTime when = -1;
+  Spawn(WaitOneShotUntil(&sched, &slot, Seconds(5), &got, &when));
+  sched.At(Seconds(2), [&] { slot.Set(1); });
+  sched.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1);
+  EXPECT_EQ(when, Seconds(2));
+  EXPECT_EQ(sched.Now(), Seconds(5));  // stale timeout event still drains
+}
+
+Task<void> ScopedOneShot(Scheduler* sched, std::optional<int>* got) {
+  OneShot<int> slot(*sched);
+  OneShot<int>* raw = &slot;
+  sched->At(Seconds(1), [raw] { raw->Set(3); });
+  *got = co_await slot.WaitUntil(Seconds(100));
+  // slot destroyed here; its timeout event at t=100 must not crash.
+}
+
+TEST(OneShotTest, StaleTimeoutAfterDestructionIsSafe) {
+  Scheduler sched;
+  std::optional<int> got;
+  Spawn(ScopedOneShot(&sched, &got));
+  sched.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 3);
+}
+
+TEST(OneShotTest, FirstValueWins) {
+  Scheduler sched;
+  OneShot<int> slot(sched);
+  slot.Set(1);
+  slot.Set(2);
+  std::optional<int> got;
+  Spawn(WaitOneShot(&slot, &got));
+  sched.Run();
+  EXPECT_EQ(*got, 1);
+}
+
+Task<void> WaitCondition(Condition* cond, int* woke) {
+  co_await cond->Wait();
+  ++*woke;
+}
+
+TEST(ConditionTest, NotifyAllWakesEveryWaiter) {
+  Scheduler sched;
+  Condition cond(sched);
+  int woke = 0;
+  for (int i = 0; i < 4; ++i) Spawn(WaitCondition(&cond, &woke));
+  EXPECT_EQ(cond.WaiterCount(), 4u);
+  sched.At(Seconds(1), [&] { cond.NotifyAll(); });
+  sched.Run();
+  EXPECT_EQ(woke, 4);
+}
+
+TEST(ConditionTest, NotifyWithNoWaitersIsNoop) {
+  Scheduler sched;
+  Condition cond(sched);
+  cond.NotifyAll();
+  sched.Run();
+  EXPECT_EQ(cond.WaiterCount(), 0u);
+}
+
+Task<void> CriticalSection(Scheduler* sched, Mutex* mu, int* in_critical,
+                           int* max_in_critical) {
+  co_await mu->Lock();
+  ++*in_critical;
+  *max_in_critical = std::max(*max_in_critical, *in_critical);
+  co_await Sleep(*sched, Seconds(1));
+  --*in_critical;
+  mu->Unlock();
+}
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  Scheduler sched;
+  Mutex mu(sched);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  for (int i = 0; i < 5; ++i) {
+    Spawn(CriticalSection(&sched, &mu, &in_critical, &max_in_critical));
+  }
+  sched.Run();
+  EXPECT_EQ(max_in_critical, 1);
+  EXPECT_EQ(sched.Now(), Seconds(5));  // fully serialized
+  EXPECT_FALSE(mu.locked());
+}
+
+Task<void> LockAndRecord(Scheduler* sched, Mutex* mu, int id, std::vector<int>* order) {
+  co_await mu->Lock();
+  order->push_back(id);
+  co_await Sleep(*sched, Seconds(1));
+  mu->Unlock();
+}
+
+TEST(MutexTest, FifoOrder) {
+  Scheduler sched;
+  Mutex mu(sched);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) Spawn(LockAndRecord(&sched, &mu, i, &order));
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task<void> SleepSecondsThenCount(Scheduler* sched, int secs, int* done) {
+  co_await Sleep(*sched, Seconds(secs));
+  ++*done;
+}
+
+Task<void> JoinAll(Scheduler* sched, std::vector<Task<void>> tasks, bool* all_done,
+                   int* done) {
+  co_await WhenAll(*sched, std::move(tasks));
+  *all_done = true;
+  EXPECT_EQ(*done, 3);
+}
+
+TEST(WhenAllTest, WaitsForAllTasks) {
+  Scheduler sched;
+  std::vector<Task<void>> tasks;
+  int done = 0;
+  for (int i = 1; i <= 3; ++i) tasks.push_back(SleepSecondsThenCount(&sched, i, &done));
+  bool all_done = false;
+  Spawn(JoinAll(&sched, std::move(tasks), &all_done, &done));
+  sched.Run();
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(sched.Now(), Seconds(3));  // parallel, not serial
+}
+
+Task<void> JoinEmpty(Scheduler* sched, bool* done) {
+  co_await WhenAll(*sched, {});
+  *done = true;
+}
+
+TEST(WhenAllTest, EmptyVectorCompletesImmediately) {
+  Scheduler sched;
+  bool done = false;
+  Spawn(JoinEmpty(&sched, &done));
+  sched.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace gvfs::sim

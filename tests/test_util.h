@@ -1,0 +1,49 @@
+// Shared helpers for driving coroutines to completion on a test scheduler.
+//
+// RunTask steps the scheduler only until the given task completes (rather
+// than draining the queue), because sessions keep persistent background
+// processes (invalidation pollers, write-back flushers) alive indefinitely.
+#pragma once
+
+#include <optional>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace gvfs::testutil {
+
+template <typename T>
+sim::Task<void> CaptureInto(sim::Task<T> task, std::optional<T>* out) {
+  *out = co_await std::move(task);
+}
+
+/// Spawns `task` and steps the scheduler until it completes.
+template <typename T>
+T RunTask(sim::Scheduler& sched, sim::Task<T> task) {
+  std::optional<T> out;
+  sim::Spawn(CaptureInto(std::move(task), &out));
+  while (!out.has_value() && !sched.Idle()) sched.Run(1);
+  if (!out.has_value()) {
+    ADD_FAILURE() << "task did not complete (event queue drained)";
+    std::abort();
+  }
+  return std::move(*out);
+}
+
+inline sim::Task<void> MarkDone(sim::Task<void> task, bool* done) {
+  co_await std::move(task);
+  *done = true;
+}
+
+/// void overload.
+inline void RunTask(sim::Scheduler& sched, sim::Task<void> task) {
+  bool done = false;
+  sim::Spawn(MarkDone(std::move(task), &done));
+  while (!done && !sched.Idle()) sched.Run(1);
+  if (!done) {
+    ADD_FAILURE() << "task did not complete (event queue drained)";
+    std::abort();
+  }
+}
+
+}  // namespace gvfs::testutil

@@ -1,0 +1,229 @@
+// Integration tests for the workload generators, using small configurations
+// so each scenario completes quickly while still exercising the full stack
+// (kernel client -> [proxies] -> NFS server) over the simulated WAN.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/ch1d.h"
+#include "workloads/lock_bench.h"
+#include "workloads/make_bench.h"
+#include "workloads/nanomos.h"
+#include "workloads/postmark.h"
+#include "workloads/testbed.h"
+
+namespace gvfs::workloads {
+namespace {
+
+using proxy::CacheMode;
+using proxy::ConsistencyModel;
+using proxy::SessionConfig;
+using testutil::RunTask;
+
+MakeConfig SmallMake() {
+  MakeConfig config;
+  config.sources = 30;
+  config.headers = 10;
+  config.objects = 15;
+  config.headers_per_object = 4;
+  config.compile_cpu = Milliseconds(100);
+  config.link_cpu = Milliseconds(500);
+  return config;
+}
+
+TEST(MakeBenchTest, RunsOnNativeNfs) {
+  Testbed bed;
+  bed.AddWanClient();
+  PopulateMakeTree(bed.fs(), SmallMake());
+  auto& mount = bed.NativeMount(0);
+  auto report = RunTask(bed.sched(), RunMake(bed.sched(), mount, SmallMake()));
+  EXPECT_TRUE(report.ok);
+  EXPECT_GT(report.RuntimeSeconds(), 1.0);
+  // Objects exist on the server afterwards.
+  EXPECT_TRUE(bed.fs().ResolvePath("/obj/o0.o").has_value());
+  EXPECT_TRUE(bed.fs().ResolvePath("/obj/tclsh").has_value());
+  // WAN consistency traffic happened.
+  EXPECT_GT(bed.StatsOf(mount).Calls("GETATTR"), 50u);
+}
+
+TEST(MakeBenchTest, GvfsFasterThanNfsInWan) {
+  MakeConfig config = SmallMake();
+
+  double nfs_seconds = 0;
+  std::uint64_t nfs_rpcs = 0;
+  {
+    Testbed bed;
+    bed.AddWanClient();
+    PopulateMakeTree(bed.fs(), config);
+    auto& mount = bed.NativeMount(0);
+    auto report = RunTask(bed.sched(), RunMake(bed.sched(), mount, config));
+    nfs_seconds = report.RuntimeSeconds();
+    nfs_rpcs = bed.StatsOf(mount).TotalCalls();
+  }
+
+  double gvfs_seconds = 0;
+  std::uint64_t gvfs_rpcs = 0;
+  {
+    Testbed bed;
+    bed.AddWanClient();
+    PopulateMakeTree(bed.fs(), config);
+    SessionConfig session_config;
+    session_config.model = ConsistencyModel::kInvalidationPolling;
+    session_config.cache_mode = CacheMode::kWriteBack;
+    auto& session = bed.CreateSession(session_config, {0});
+    auto report =
+        RunTask(bed.sched(), RunMake(bed.sched(), session.mount(0), config));
+    gvfs_seconds = report.RuntimeSeconds();
+    gvfs_rpcs = session.stats->TotalCalls();
+  }
+
+  EXPECT_LT(gvfs_seconds, nfs_seconds);
+  EXPECT_LT(gvfs_rpcs, nfs_rpcs / 2);
+}
+
+TEST(PostmarkTest, TransactionMixMatchesBiases) {
+  Testbed bed;
+  bed.AddWanClient();
+  PostmarkConfig config;
+  config.files = 20;
+  config.transactions = 60;
+  config.min_size = 32 * 1024;
+  config.max_size = 64 * 1024;
+  config.subdirectories = 5;
+  auto& mount = bed.NativeMount(0);
+  auto report = RunTask(bed.sched(), RunPostmark(bed.sched(), mount, config));
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.reads + report.appends + report.creates + report.deletes,
+            config.transactions);
+  // read/append bias 9: reads dominate appends.
+  EXPECT_GT(report.reads, report.appends);
+  EXPECT_GT(report.RuntimeSeconds(), 1.0);
+  // Pool cleaned up afterwards.
+  auto listing = bed.fs().ReadDir(*bed.fs().ResolvePath("/p0"), 0, 100);
+  ASSERT_TRUE(listing.has_value());
+  EXPECT_TRUE(listing->empty());
+}
+
+TEST(LockBenchTest, StrongConsistencyIsFair) {
+  Testbed bed;
+  for (int i = 0; i < 3; ++i) bed.AddWanClient();
+
+  SessionConfig config;
+  config.model = ConsistencyModel::kDelegationCallback;
+  config.cache_mode = CacheMode::kWriteBack;
+  kclient::MountOptions noac;
+  noac.noac = true;
+  auto& session = bed.CreateSession(config, {0, 1, 2}, noac);
+
+  LockBenchConfig lock_config;
+  lock_config.acquisitions_per_client = 3;
+  lock_config.hold_time = Seconds(2);
+  auto report = RunTask(
+      bed.sched(),
+      RunLockBench(bed.sched(),
+                   {&session.mount(0), &session.mount(1), &session.mount(2)},
+                   lock_config));
+  EXPECT_EQ(report.acquisition_order.size(), 9u);
+  // Strong consistency: releases visible promptly, so the lock circulates.
+  EXPECT_LE(report.MaxConsecutiveByOneClient(), 2);
+}
+
+TEST(LockBenchTest, WeakConsistencyFavorsPreviousOwner) {
+  Testbed bed;
+  for (int i = 0; i < 3; ++i) bed.AddWanClient();
+
+  kclient::MountOptions options;  // default: 30 s attribute cache
+  std::vector<kclient::Vfs*> mounts;
+  for (int i = 0; i < 3; ++i) mounts.push_back(&bed.NativeMount(i, options));
+
+  LockBenchConfig lock_config;
+  lock_config.acquisitions_per_client = 3;
+  lock_config.hold_time = Seconds(2);
+  auto report = RunTask(bed.sched(), RunLockBench(bed.sched(), mounts, lock_config));
+  EXPECT_EQ(report.acquisition_order.size(), 9u);
+  // Stale caches: the previous owner reacquires back-to-back.
+  EXPECT_GT(report.self_handoffs, 0);
+}
+
+TEST(NanomosTest, UpdateCostVisibleInIterationTimes) {
+  Testbed bed;
+  bed.AddWanClient();
+  bed.AddWanClient();
+  const int admin = bed.AddLanClient();
+
+  NanomosConfig config;
+  config.matlab_dirs = 6;
+  config.matlab_files_per_dir = 20;
+  config.mpitb_files = 30;
+  config.matlab_working_dirs = 4;
+  config.iterations = 6;
+  config.update_after_iteration = 3;
+  config.compute_per_iteration = Seconds(5);
+  config.inter_iteration_gap = Seconds(15);  // > poll period below
+  PopulateRepository(bed.fs(), config);
+
+  SessionConfig session_config;
+  session_config.model = ConsistencyModel::kInvalidationPolling;
+  session_config.poll_period = Seconds(10);
+  session_config.poll_max_period = Seconds(10);
+  auto& session = bed.CreateSession(session_config, {0, 1, admin});
+
+  auto report = RunTask(
+      bed.sched(),
+      RunNanomos(bed.sched(), {&session.mount(0), &session.mount(1)},
+                 &session.mount(2), UpdateKind::kMpitb, config));
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.iteration_seconds.size(), 6u);
+  // Cold first run is the slowest; warm runs settle near compute time;
+  // the post-update run (index 3) costs more than the warm runs around it.
+  EXPECT_GT(report.iteration_seconds[0], report.iteration_seconds[2]);
+  EXPECT_GT(report.iteration_seconds[3], report.iteration_seconds[2]);
+  EXPECT_LE(report.iteration_seconds[5], report.iteration_seconds[3]);
+}
+
+TEST(Ch1dTest, NfsConsistencyOverheadGrowsGvfsStaysFlat) {
+  Ch1dConfig config;
+  config.runs = 6;
+  config.files_per_run = 10;
+  config.file_bytes = 32 * 1024;
+  config.compute_base = Seconds(2);
+
+  std::vector<double> nfs_runs;
+  {
+    Testbed bed;
+    bed.AddWanClient();
+    bed.AddWanClient();
+    auto& producer = bed.NativeMount(0);
+    auto& consumer = bed.NativeMount(1);
+    auto report =
+        RunTask(bed.sched(), RunCh1d(bed.sched(), producer, consumer, config));
+    EXPECT_TRUE(report.ok);
+    nfs_runs = report.run_seconds;
+  }
+
+  std::vector<double> gvfs_runs;
+  {
+    Testbed bed;
+    bed.AddWanClient();
+    bed.AddWanClient();
+    SessionConfig session_config;
+    session_config.model = ConsistencyModel::kDelegationCallback;
+    session_config.cache_mode = CacheMode::kWriteBack;
+    kclient::MountOptions noac;
+    noac.noac = true;
+    auto& session = bed.CreateSession(session_config, {0, 1}, noac);
+    auto report = RunTask(
+        bed.sched(),
+        RunCh1d(bed.sched(), session.mount(0), session.mount(1), config));
+    EXPECT_TRUE(report.ok);
+    gvfs_runs = report.run_seconds;
+  }
+
+  ASSERT_EQ(nfs_runs.size(), 6u);
+  ASSERT_EQ(gvfs_runs.size(), 6u);
+  // NFS cost grows with the dataset; GVFS's last run beats NFS's last run.
+  EXPECT_GT(nfs_runs.back(), nfs_runs.front());
+  EXPECT_LT(gvfs_runs.back(), nfs_runs.back());
+}
+
+}  // namespace
+}  // namespace gvfs::workloads

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "xdr/xdr.h"
+
+namespace gvfs::xdr {
+namespace {
+
+TEST(XdrTest, U32RoundTrip) {
+  Encoder enc;
+  enc.PutU32(0xdeadbeef);
+  EXPECT_EQ(enc.size(), 4u);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetU32();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0xdeadbeefu);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTest, U32BigEndianWire) {
+  Encoder enc;
+  enc.PutU32(0x01020304);
+  const Bytes& b = enc.bytes();
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(XdrTest, I32Negative) {
+  Encoder enc;
+  enc.PutI32(-12345);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetI32();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, -12345);
+}
+
+TEST(XdrTest, U64RoundTrip) {
+  Encoder enc;
+  enc.PutU64(0x0123456789abcdefULL);
+  EXPECT_EQ(enc.size(), 8u);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetU64();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0x0123456789abcdefULL);
+}
+
+TEST(XdrTest, I64Negative) {
+  Encoder enc;
+  enc.PutI64(-9'000'000'000LL);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetI64();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, -9'000'000'000LL);
+}
+
+TEST(XdrTest, BoolRoundTrip) {
+  Encoder enc;
+  enc.PutBool(true);
+  enc.PutBool(false);
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(*dec.GetBool());
+  EXPECT_FALSE(*dec.GetBool());
+}
+
+TEST(XdrTest, BoolRejectsOutOfRange) {
+  Encoder enc;
+  enc.PutU32(2);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetBool();
+  ASSERT_FALSE(v.has_value());
+  EXPECT_EQ(v.error(), DecodeError::kBadValue);
+}
+
+TEST(XdrTest, OpaquePadding) {
+  Encoder enc;
+  Bytes payload = {1, 2, 3, 4, 5};
+  enc.PutOpaque(payload);
+  // 4 (length) + 5 (data) + 3 (pad) = 12
+  EXPECT_EQ(enc.size(), 12u);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetOpaque();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, payload);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTest, EmptyOpaque) {
+  Encoder enc;
+  enc.PutOpaque(Bytes{});
+  EXPECT_EQ(enc.size(), 4u);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetOpaque();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->empty());
+}
+
+TEST(XdrTest, FixedOpaqueNoLengthPrefix) {
+  Encoder enc;
+  std::uint8_t data[6] = {9, 8, 7, 6, 5, 4};
+  enc.PutFixedOpaque(data, 6);
+  EXPECT_EQ(enc.size(), 8u);  // 6 + 2 pad
+  Decoder dec(enc.bytes());
+  auto v = dec.GetFixedOpaque(6);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 9);
+  EXPECT_EQ((*v)[5], 4);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTest, StringRoundTrip) {
+  Encoder enc;
+  enc.PutString("hello, xdr");
+  Decoder dec(enc.bytes());
+  auto v = dec.GetString();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hello, xdr");
+}
+
+TEST(XdrTest, TruncatedU32) {
+  Bytes short_buf = {1, 2, 3};
+  Decoder dec(short_buf);
+  auto v = dec.GetU32();
+  ASSERT_FALSE(v.has_value());
+  EXPECT_EQ(v.error(), DecodeError::kTruncated);
+}
+
+TEST(XdrTest, TruncatedOpaqueBody) {
+  Encoder enc;
+  enc.PutU32(100);  // claims 100 bytes follow; none do
+  Decoder dec(enc.bytes());
+  auto v = dec.GetOpaque();
+  ASSERT_FALSE(v.has_value());
+  EXPECT_EQ(v.error(), DecodeError::kTruncated);
+}
+
+TEST(XdrTest, MixedSequenceRoundTrip) {
+  Encoder enc;
+  enc.PutU32(7);
+  enc.PutString("name");
+  enc.PutU64(1ULL << 40);
+  enc.PutBool(true);
+  enc.PutOpaque(Bytes{0xff});
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(*dec.GetU32(), 7u);
+  EXPECT_EQ(*dec.GetString(), "name");
+  EXPECT_EQ(*dec.GetU64(), 1ULL << 40);
+  EXPECT_TRUE(*dec.GetBool());
+  EXPECT_EQ((*dec.GetOpaque())[0], 0xff);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTest, RemainingCount) {
+  Encoder enc;
+  enc.PutU32(1);
+  enc.PutU32(2);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.remaining(), 8u);
+  (void)dec.GetU32();
+  EXPECT_EQ(dec.remaining(), 4u);
+}
+
+// Property-style sweep: encode/decode random payload sizes, verify padding
+// invariants hold for every size.
+class XdrOpaqueSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(XdrOpaqueSweep, SizeAlwaysMultipleOfFour) {
+  const int n = GetParam();
+  Bytes payload(static_cast<std::size_t>(n), 0xab);
+  Encoder enc;
+  enc.PutOpaque(payload);
+  EXPECT_EQ(enc.size() % 4, 0u);
+  Decoder dec(enc.bytes());
+  auto v = dec.GetOpaque();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, payload);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResidues, XdrOpaqueSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 1024,
+                                           4095, 4096, 4097));
+
+}  // namespace
+}  // namespace gvfs::xdr
