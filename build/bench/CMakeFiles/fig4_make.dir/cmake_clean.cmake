@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_make.dir/fig4_make.cpp.o"
+  "CMakeFiles/fig4_make.dir/fig4_make.cpp.o.d"
+  "fig4_make"
+  "fig4_make.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_postmark.dir/fig5_postmark.cpp.o"
+  "CMakeFiles/fig5_postmark.dir/fig5_postmark.cpp.o.d"
+  "fig5_postmark"
+  "fig5_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

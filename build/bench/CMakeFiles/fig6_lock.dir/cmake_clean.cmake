@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lock.dir/fig6_lock.cpp.o"
+  "CMakeFiles/fig6_lock.dir/fig6_lock.cpp.o.d"
+  "fig6_lock"
+  "fig6_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

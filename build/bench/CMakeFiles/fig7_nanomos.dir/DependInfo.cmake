@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_nanomos.cpp" "bench/CMakeFiles/fig7_nanomos.dir/fig7_nanomos.cpp.o" "gcc" "bench/CMakeFiles/fig7_nanomos.dir/fig7_nanomos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gvfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/afs/CMakeFiles/gvfs_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvfs/CMakeFiles/gvfs_gvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kclient/CMakeFiles/gvfs_kclient.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs3/CMakeFiles/gvfs_nfs3.dir/DependInfo.cmake"
+  "/root/repo/build/src/memfs/CMakeFiles/gvfs_memfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gvfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gvfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

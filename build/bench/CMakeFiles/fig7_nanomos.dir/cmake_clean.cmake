@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nanomos.dir/fig7_nanomos.cpp.o"
+  "CMakeFiles/fig7_nanomos.dir/fig7_nanomos.cpp.o.d"
+  "fig7_nanomos"
+  "fig7_nanomos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nanomos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ch1d.dir/fig8_ch1d.cpp.o"
+  "CMakeFiles/fig8_ch1d.dir/fig8_ch1d.cpp.o.d"
+  "fig8_ch1d"
+  "fig8_ch1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ch1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_repository.dir/software_repository.cpp.o"
+  "CMakeFiles/software_repository.dir/software_repository.cpp.o.d"
+  "software_repository"
+  "software_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

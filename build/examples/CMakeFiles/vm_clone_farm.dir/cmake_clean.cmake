@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_clone_farm.dir/vm_clone_farm.cpp.o"
+  "CMakeFiles/vm_clone_farm.dir/vm_clone_farm.cpp.o.d"
+  "vm_clone_farm"
+  "vm_clone_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_clone_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

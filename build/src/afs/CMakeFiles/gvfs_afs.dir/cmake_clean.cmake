@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_afs.dir/afs.cpp.o"
+  "CMakeFiles/gvfs_afs.dir/afs.cpp.o.d"
+  "libgvfs_afs.a"
+  "libgvfs_afs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_afs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gvfs_afs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_common.dir/logging.cpp.o"
+  "CMakeFiles/gvfs_common.dir/logging.cpp.o.d"
+  "libgvfs_common.a"
+  "libgvfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_gvfs.dir/disk_cache.cpp.o"
+  "CMakeFiles/gvfs_gvfs.dir/disk_cache.cpp.o.d"
+  "CMakeFiles/gvfs_gvfs.dir/proto.cpp.o"
+  "CMakeFiles/gvfs_gvfs.dir/proto.cpp.o.d"
+  "CMakeFiles/gvfs_gvfs.dir/proxy_client.cpp.o"
+  "CMakeFiles/gvfs_gvfs.dir/proxy_client.cpp.o.d"
+  "CMakeFiles/gvfs_gvfs.dir/proxy_server.cpp.o"
+  "CMakeFiles/gvfs_gvfs.dir/proxy_server.cpp.o.d"
+  "CMakeFiles/gvfs_gvfs.dir/session.cpp.o"
+  "CMakeFiles/gvfs_gvfs.dir/session.cpp.o.d"
+  "libgvfs_gvfs.a"
+  "libgvfs_gvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_gvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

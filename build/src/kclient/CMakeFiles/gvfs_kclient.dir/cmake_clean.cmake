@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_kclient.dir/kernel_client.cpp.o"
+  "CMakeFiles/gvfs_kclient.dir/kernel_client.cpp.o.d"
+  "libgvfs_kclient.a"
+  "libgvfs_kclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_kclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

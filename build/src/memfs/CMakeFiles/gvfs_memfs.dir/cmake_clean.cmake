@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_memfs.dir/memfs.cpp.o"
+  "CMakeFiles/gvfs_memfs.dir/memfs.cpp.o.d"
+  "libgvfs_memfs.a"
+  "libgvfs_memfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_memfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gvfs_memfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_net.dir/network.cpp.o"
+  "CMakeFiles/gvfs_net.dir/network.cpp.o.d"
+  "libgvfs_net.a"
+  "libgvfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

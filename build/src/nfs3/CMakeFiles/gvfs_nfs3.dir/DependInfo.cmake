@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs3/proto.cpp" "src/nfs3/CMakeFiles/gvfs_nfs3.dir/proto.cpp.o" "gcc" "src/nfs3/CMakeFiles/gvfs_nfs3.dir/proto.cpp.o.d"
+  "/root/repo/src/nfs3/server.cpp" "src/nfs3/CMakeFiles/gvfs_nfs3.dir/server.cpp.o" "gcc" "src/nfs3/CMakeFiles/gvfs_nfs3.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memfs/CMakeFiles/gvfs_memfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gvfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gvfs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

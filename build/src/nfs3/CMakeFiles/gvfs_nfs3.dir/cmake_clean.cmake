@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_nfs3.dir/proto.cpp.o"
+  "CMakeFiles/gvfs_nfs3.dir/proto.cpp.o.d"
+  "CMakeFiles/gvfs_nfs3.dir/server.cpp.o"
+  "CMakeFiles/gvfs_nfs3.dir/server.cpp.o.d"
+  "libgvfs_nfs3.a"
+  "libgvfs_nfs3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_nfs3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

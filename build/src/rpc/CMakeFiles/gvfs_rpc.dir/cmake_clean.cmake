@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_rpc.dir/rpc.cpp.o"
+  "CMakeFiles/gvfs_rpc.dir/rpc.cpp.o.d"
+  "libgvfs_rpc.a"
+  "libgvfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

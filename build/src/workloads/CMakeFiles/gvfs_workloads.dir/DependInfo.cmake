@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ch1d.cpp" "src/workloads/CMakeFiles/gvfs_workloads.dir/ch1d.cpp.o" "gcc" "src/workloads/CMakeFiles/gvfs_workloads.dir/ch1d.cpp.o.d"
+  "/root/repo/src/workloads/lock_bench.cpp" "src/workloads/CMakeFiles/gvfs_workloads.dir/lock_bench.cpp.o" "gcc" "src/workloads/CMakeFiles/gvfs_workloads.dir/lock_bench.cpp.o.d"
+  "/root/repo/src/workloads/make_bench.cpp" "src/workloads/CMakeFiles/gvfs_workloads.dir/make_bench.cpp.o" "gcc" "src/workloads/CMakeFiles/gvfs_workloads.dir/make_bench.cpp.o.d"
+  "/root/repo/src/workloads/nanomos.cpp" "src/workloads/CMakeFiles/gvfs_workloads.dir/nanomos.cpp.o" "gcc" "src/workloads/CMakeFiles/gvfs_workloads.dir/nanomos.cpp.o.d"
+  "/root/repo/src/workloads/postmark.cpp" "src/workloads/CMakeFiles/gvfs_workloads.dir/postmark.cpp.o" "gcc" "src/workloads/CMakeFiles/gvfs_workloads.dir/postmark.cpp.o.d"
+  "/root/repo/src/workloads/testbed.cpp" "src/workloads/CMakeFiles/gvfs_workloads.dir/testbed.cpp.o" "gcc" "src/workloads/CMakeFiles/gvfs_workloads.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/afs/CMakeFiles/gvfs_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvfs/CMakeFiles/gvfs_gvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kclient/CMakeFiles/gvfs_kclient.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs3/CMakeFiles/gvfs_nfs3.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gvfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memfs/CMakeFiles/gvfs_memfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gvfs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_workloads.dir/ch1d.cpp.o"
+  "CMakeFiles/gvfs_workloads.dir/ch1d.cpp.o.d"
+  "CMakeFiles/gvfs_workloads.dir/lock_bench.cpp.o"
+  "CMakeFiles/gvfs_workloads.dir/lock_bench.cpp.o.d"
+  "CMakeFiles/gvfs_workloads.dir/make_bench.cpp.o"
+  "CMakeFiles/gvfs_workloads.dir/make_bench.cpp.o.d"
+  "CMakeFiles/gvfs_workloads.dir/nanomos.cpp.o"
+  "CMakeFiles/gvfs_workloads.dir/nanomos.cpp.o.d"
+  "CMakeFiles/gvfs_workloads.dir/postmark.cpp.o"
+  "CMakeFiles/gvfs_workloads.dir/postmark.cpp.o.d"
+  "CMakeFiles/gvfs_workloads.dir/testbed.cpp.o"
+  "CMakeFiles/gvfs_workloads.dir/testbed.cpp.o.d"
+  "libgvfs_workloads.a"
+  "libgvfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

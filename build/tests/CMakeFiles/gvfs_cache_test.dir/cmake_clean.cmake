@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_cache_test.dir/gvfs_cache_test.cpp.o"
+  "CMakeFiles/gvfs_cache_test.dir/gvfs_cache_test.cpp.o.d"
+  "gvfs_cache_test"
+  "gvfs_cache_test.pdb"
+  "gvfs_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

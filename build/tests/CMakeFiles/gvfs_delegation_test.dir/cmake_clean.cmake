@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_delegation_test.dir/gvfs_delegation_test.cpp.o"
+  "CMakeFiles/gvfs_delegation_test.dir/gvfs_delegation_test.cpp.o.d"
+  "gvfs_delegation_test"
+  "gvfs_delegation_test.pdb"
+  "gvfs_delegation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_delegation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_failure_test.dir/gvfs_failure_test.cpp.o"
+  "CMakeFiles/gvfs_failure_test.dir/gvfs_failure_test.cpp.o.d"
+  "gvfs_failure_test"
+  "gvfs_failure_test.pdb"
+  "gvfs_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

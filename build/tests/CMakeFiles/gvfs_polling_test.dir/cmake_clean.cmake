@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_polling_test.dir/gvfs_polling_test.cpp.o"
+  "CMakeFiles/gvfs_polling_test.dir/gvfs_polling_test.cpp.o.d"
+  "gvfs_polling_test"
+  "gvfs_polling_test.pdb"
+  "gvfs_polling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_polling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_property_test.dir/gvfs_property_test.cpp.o"
+  "CMakeFiles/gvfs_property_test.dir/gvfs_property_test.cpp.o.d"
+  "gvfs_property_test"
+  "gvfs_property_test.pdb"
+  "gvfs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

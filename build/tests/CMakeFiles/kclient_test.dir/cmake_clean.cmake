@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kclient_test.dir/kclient_test.cpp.o"
+  "CMakeFiles/kclient_test.dir/kclient_test.cpp.o.d"
+  "kclient_test"
+  "kclient_test.pdb"
+  "kclient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

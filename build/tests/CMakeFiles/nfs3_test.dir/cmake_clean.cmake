@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs3_test.dir/nfs3_test.cpp.o"
+  "CMakeFiles/nfs3_test.dir/nfs3_test.cpp.o.d"
+  "nfs3_test"
+  "nfs3_test.pdb"
+  "nfs3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

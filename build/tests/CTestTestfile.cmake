@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xdr_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/memfs_test[1]_include.cmake")
+include("/root/repo/build/tests/nfs3_test[1]_include.cmake")
+include("/root/repo/build/tests/kclient_test[1]_include.cmake")
+include("/root/repo/build/tests/gvfs_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/gvfs_polling_test[1]_include.cmake")
+include("/root/repo/build/tests/gvfs_delegation_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/afs_test[1]_include.cmake")
+include("/root/repo/build/tests/gvfs_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/gvfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
