@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.h"
+#include "rpc/stats.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
 
@@ -54,6 +56,23 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintRule() {
   std::printf("---------------------------------------------------------------"
               "---------------\n");
+}
+
+/// Per-procedure WAN RPC breakdown: call/byte counts plus completion latency
+/// (mean and max) and the node's peak concurrency gauge, so pipelined paths
+/// (windowed write-back, read-ahead, callback multicast) show up directly.
+inline void PrintRpcStats(const std::string& name, const rpc::StatsMap& stats) {
+  std::printf("%s: %llu RPCs, %.1f KB, peak in-flight %llu\n", name.c_str(),
+              static_cast<unsigned long long>(stats.TotalCalls()),
+              static_cast<double>(stats.TotalBytes()) / 1024.0,
+              static_cast<unsigned long long>(stats.PeakInFlight()));
+  for (const auto& [label, calls] : stats.calls()) {
+    std::printf("  %-10s %8llu calls %10.1f KB  lat avg %8.2f ms  max %8.2f ms\n",
+                label.c_str(), static_cast<unsigned long long>(calls),
+                static_cast<double>(stats.Bytes(label)) / 1024.0,
+                ToSeconds(stats.LatencyAvg(label)) * 1e3,
+                ToSeconds(stats.LatencyMax(label)) * 1e3);
+  }
 }
 
 }  // namespace gvfs::bench

@@ -27,7 +27,7 @@ using workloads::RunMake;
 using workloads::Testbed;
 using workloads::TestbedConfig;
 
-enum class Setup { kNfs, kGvfs, kGvfsWb };
+enum class Setup { kNfs, kGvfs, kGvfsWb, kGvfsWbPipe };
 
 const char* SetupName(Setup setup) {
   switch (setup) {
@@ -37,6 +37,8 @@ const char* SetupName(Setup setup) {
       return "GVFS";
     case Setup::kGvfsWb:
       return "GVFS-WB";
+    case Setup::kGvfsWbPipe:
+      return "GVFS-WB-P";
   }
   return "?";
 }
@@ -68,10 +70,15 @@ Result RunOne(Setup setup, bool wan) {
     session_config.model = proxy::ConsistencyModel::kInvalidationPolling;
     session_config.poll_period = Seconds(30);
     session_config.poll_max_period = Seconds(30);
-    session_config.cache_mode = setup == Setup::kGvfsWb
-                                    ? proxy::CacheMode::kWriteBack
-                                    : proxy::CacheMode::kReadOnly;
+    session_config.cache_mode = setup == Setup::kGvfs
+                                    ? proxy::CacheMode::kReadOnly
+                                    : proxy::CacheMode::kWriteBack;
     session_config.wb_flush_period = 0;  // flush on shutdown
+    if (setup == Setup::kGvfsWbPipe) {
+      // Pipelined variant: windowed write-back plus sequential read-ahead.
+      session_config.wb_window = 8;
+      session_config.read_ahead = 8;
+    }
     auto& session = bed.CreateSession(session_config, {0});
     auto report =
         Drive(bed.sched(), RunMake(bed.sched(), session.mount(0), make_config));
@@ -90,9 +97,10 @@ void Main() {
               "LOOKUP", "READ", "WRITE", "GETINV", "total");
   PrintRule();
 
-  Result wan_results[3];
-  const Setup setups[3] = {Setup::kNfs, Setup::kGvfs, Setup::kGvfsWb};
-  for (int i = 0; i < 3; ++i) {
+  Result wan_results[4];
+  const Setup setups[4] = {Setup::kNfs, Setup::kGvfs, Setup::kGvfsWb,
+                           Setup::kGvfsWbPipe};
+  for (int i = 0; i < 4; ++i) {
     wan_results[i] = RunOne(setups[i], /*wan=*/true);
     const auto& rpcs = wan_results[i].rpcs;
     std::printf("%-10s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
@@ -106,7 +114,7 @@ void Main() {
   std::printf("%-10s %12s %12s\n", "setup", "LAN", "WAN");
   PrintRule();
   double lan_nfs = 0;
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 4; ++i) {
     Result lan = RunOne(setups[i], /*wan=*/false);
     if (setups[i] == Setup::kNfs) lan_nfs = lan.runtime_seconds;
     std::printf("%-10s %12.1f %12.1f", SetupName(setups[i]), lan.runtime_seconds,

@@ -134,6 +134,15 @@ void DiskCache::MarkClean(const nfs3::Fh& fh, std::uint64_t index) {
   if (b != it->second.blocks.end()) b->second.dirty = false;
 }
 
+bool DiskCache::NoteReadAccess(const nfs3::Fh& fh, std::uint64_t index) {
+  auto& entry = files_[fh];
+  if (entry.last_read_index == index) return false;  // same-block re-read
+  const bool sequential =
+      entry.last_read_index != kNoReadYet && index == entry.last_read_index + 1;
+  entry.last_read_index = index;
+  return sequential;
+}
+
 std::vector<std::uint64_t> DiskCache::DirtyOffsets(const nfs3::Fh& fh) const {
   std::vector<std::uint64_t> out;
   auto it = files_.find(fh);

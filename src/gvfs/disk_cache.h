@@ -37,7 +37,11 @@ class DiskCache {
     SimTime mtime_seen = 0;
     std::uint64_t size_seen = 0;
     std::map<std::uint64_t, Block> blocks;  // block index -> block
+    /// Last block index read through the proxy (read-ahead detection).
+    std::uint64_t last_read_index = kNoReadYet;
   };
+
+  static constexpr std::uint64_t kNoReadYet = ~std::uint64_t{0};
 
   explicit DiskCache(std::uint32_t block_size) : block_size_(block_size) {}
 
@@ -83,6 +87,11 @@ class DiskCache {
   void DropFileData(const nfs3::Fh& fh);
   /// Clears a block's dirty flag after successful write-back.
   void MarkClean(const nfs3::Fh& fh, std::uint64_t index);
+
+  /// Records a block read at `index` and reports whether the access
+  /// continues a sequential run (read-ahead trigger). Repeated reads of the
+  /// same block neither extend nor break the run.
+  bool NoteReadAccess(const nfs3::Fh& fh, std::uint64_t index);
 
   /// Byte offsets (block-aligned) of this file's dirty blocks, in order.
   std::vector<std::uint64_t> DirtyOffsets(const nfs3::Fh& fh) const;

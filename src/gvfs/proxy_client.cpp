@@ -165,6 +165,10 @@ sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
     co_return Serialize(res);
   }
 
+  // A forwarded GETATTR must reflect every write already acknowledged to the
+  // kernel (noac kernels size their appends from it): drain the pipeline.
+  co_await DrainAsyncWrites(fh);
+
   auto body = co_await Upstream(nfs3::kGetAttr, std::move(args), fh, "GETATTR");
   if (!body) co_return Fault<nfs3::GetAttrRes>();
   auto res = nfs3::Parse<nfs3::GetAttrRes>(*body);
@@ -304,10 +308,22 @@ sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
   const Fh fh = parsed->file;
   const std::uint32_t bs = cache_.block_size();
   const std::uint64_t index = parsed->offset / bs;
+  const bool sequential = cache_.NoteReadAccess(fh, index);
+
+  // If a read-ahead READ for this very block is in flight, join it rather
+  // than racing it upstream with a duplicate; the re-check below then serves
+  // the prefetched block (or falls through if it was discarded).
+  while (prefetch_inflight_.count({fh, index}) > 0) {
+    co_await prefetch_done_.Wait();
+  }
 
   if (AttrServable(fh)) {
     const DiskCache::Block* block = cache_.FindBlock(fh, index);
     if (block != nullptr) {
+      // Keep the pipeline ahead of the reader: when a sequential scan is
+      // being served from cache, start fetching the blocks past the window
+      // edge before the reader faults on them.
+      if (sequential) MaybeReadAhead(fh, index);
       const std::uint64_t file_size = cache_.ValidAttr(fh)->attr.size;
       const std::uint64_t block_start = index * bs;
       const std::uint64_t in_block = parsed->offset - block_start;
@@ -328,6 +344,10 @@ sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
     }
   }
 
+  // Read-through must not overtake the async write-through pipeline: drain
+  // any in-flight WRITEs to this file before asking the server for bytes.
+  co_await DrainAsyncWrites(fh);
+
   auto body = co_await Upstream(nfs3::kRead, std::move(args), fh, "READ");
   if (!body) co_return Fault<nfs3::ReadRes>();
   auto res = nfs3::Parse<nfs3::ReadRes>(*body);
@@ -344,10 +364,65 @@ sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
     Absorb(fh, res->attr, /*own_write=*/false);
     if (parsed->offset % bs == 0 && !res->data.empty()) {
       cache_.StoreBlock(fh, index, res->data, /*dirty=*/false);
+      if (sequential) MaybeReadAhead(fh, index);
       co_await sim::Sleep(sched_, config_.disk_access_time);  // cache insert
     }
   }
   co_return std::move(*body);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential read-ahead
+// ---------------------------------------------------------------------------
+
+void ProxyClient::MaybeReadAhead(const Fh& fh, std::uint64_t index) {
+  if (config_.read_ahead == 0) return;
+  const std::uint32_t bs = cache_.block_size();
+  // The known size bounds the window: never prefetch past EOF.
+  DiskCache::AttrEntry* attr = cache_.AnyAttr(fh);
+  if (attr == nullptr) return;
+  const std::uint64_t size = attr->attr.size;
+  for (std::uint32_t k = 1; k <= config_.read_ahead; ++k) {
+    const std::uint64_t next = index + k;
+    if (next * bs >= size) break;
+    if (cache_.FindBlock(fh, next) != nullptr) continue;
+    if (!prefetch_inflight_.insert({fh, next}).second) continue;
+    sim::Spawn(Prefetch(fh, next));
+  }
+}
+
+sim::Task<void> ProxyClient::Prefetch(Fh fh, std::uint64_t index) {
+  const std::uint64_t epoch = epoch_;
+  nfs3::ReadArgs args;
+  args.file = fh;
+  args.offset = index * cache_.block_size();
+  args.count = cache_.block_size();
+  auto body = co_await Upstream(nfs3::kRead, Serialize(args), fh, "READ");
+  prefetch_inflight_.erase({fh, index});
+
+  if (body && epoch == epoch_) {
+    auto res = nfs3::Parse<nfs3::ReadRes>(*body);
+    if (res && res->status == Status::kOk && !res->data.empty()) {
+      // Deliberately no Absorb: a prefetched reply must never re-validate
+      // attributes a concurrent invalidation just cleared — that would let
+      // the next fault be served from a stale prefetched block. The block is
+      // kept only if the file is still at the mtime this client last
+      // trusted, and never clobbers dirty data.
+      DiskCache::FileEntry* entry = cache_.FindFile(fh);
+      const bool changed = entry == nullptr ||
+                           (res->attr.has_value() && entry->mtime_seen != 0 &&
+                            res->attr->mtime != entry->mtime_seen);
+      const DiskCache::Block* existing = cache_.FindBlock(fh, index);
+      if (changed) {
+        ++stats_.prefetches_discarded;
+      } else if (existing == nullptr || !existing->dirty) {
+        cache_.StoreBlock(fh, index, std::move(res->data), /*dirty=*/false);
+        ++stats_.blocks_prefetched;
+      }
+    }
+  }
+  // Wake demand reads parked on this block (whether or not it was kept).
+  prefetch_done_.NotifyAll();
 }
 
 sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
@@ -393,6 +468,46 @@ sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
     co_return Serialize(res);
   }
 
+  // Pipelined write-through: an unstable WRITE may be acknowledged before it
+  // reaches the server — NFSv3 defers durability to COMMIT — so the forward
+  // happens asynchronously through the write window and the kernel's next
+  // WRITE overlaps this one's WAN round trip. Gated on wb_window > 1 (the
+  // default stays strictly serial) and on read-only cache mode: in
+  // write-back mode a forwarded WRITE is the delegation-acquisition probe
+  // and must stay synchronous so the following writes absorb locally.
+  if (config_.wb_window > 1 && config_.cache_mode == CacheMode::kReadOnly &&
+      parsed->stable == nfs3::StableHow::kUnstable &&
+      cache_.AnyAttr(fh) != nullptr) {
+    const std::uint64_t start = parsed->offset;
+    const std::uint64_t end = parsed->offset + parsed->data.size();
+    AsyncWrites& aw = AsyncWritesFor(fh);
+    for (const auto& range : aw.ranges) {
+      if (start < range.second && range.first < end) {
+        // Overlapping in-flight write: drain first so upstream applies the
+        // two writes in submission order.
+        co_await DrainAsyncWrites(fh);
+        break;
+      }
+    }
+    co_await wt_slots_.Acquire();  // backpressure: at most wb_window in flight
+    AsyncWrites& aw2 = AsyncWritesFor(fh);  // re-lookup: map may have grown
+    aw2.ranges.emplace_back(start, end);
+    if (parsed->offset % bs == 0) {
+      cache_.StoreBlock(fh, parsed->offset / bs, parsed->data, /*dirty=*/false);
+    }
+    DiskCache::AttrEntry* entry = cache_.AnyAttr(fh);
+    entry->attr.size = std::max<std::uint64_t>(entry->attr.size, end);
+    entry->attr.mtime = sched_.Now();
+    aw2.in_flight.Spawn(ForwardWriteAsync(fh, std::move(args), start, end));
+
+    nfs3::WriteRes res;
+    res.attr = entry->attr;
+    res.count = static_cast<std::uint32_t>(parsed->data.size());
+    res.committed = nfs3::StableHow::kUnstable;
+    co_await sim::Sleep(sched_, config_.disk_access_time);
+    co_return Serialize(res);
+  }
+
   auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE");
   if (!body) co_return Fault<nfs3::WriteRes>();
   auto res = nfs3::Parse<nfs3::WriteRes>(*body);
@@ -409,10 +524,59 @@ sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
   co_return std::move(*body);
 }
 
+ProxyClient::AsyncWrites& ProxyClient::AsyncWritesFor(const Fh& fh) {
+  return async_writes_.try_emplace(fh, sched_).first->second;
+}
+
+sim::Task<void> ProxyClient::ForwardWriteAsync(Fh fh, Bytes args,
+                                               std::uint64_t start,
+                                               std::uint64_t end) {
+  const std::uint64_t epoch = epoch_;
+  auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE");
+  AsyncWrites& aw = AsyncWritesFor(fh);
+  for (auto it = aw.ranges.begin(); it != aw.ranges.end(); ++it) {
+    if (it->first == start && it->second == end) {
+      aw.ranges.erase(it);
+      break;
+    }
+  }
+  wt_slots_.Release();
+  if (epoch != epoch_) co_return;  // crashed while in flight
+  auto res = body ? nfs3::Parse<nfs3::WriteRes>(*body)
+                  : std::optional<nfs3::WriteRes>{};
+  if (!body || !res || res->status != Status::kOk) {
+    aw.failed = true;  // surfaced by the next COMMIT
+    co_return;
+  }
+  if (res->attr.has_value()) {
+    auto& fe = cache_.FileFor(fh);
+    if (fe.blocks.empty() && fe.mtime_seen == 0) fe.mtime_seen = res->attr->mtime;
+  }
+  Absorb(fh, res->attr, /*own_write=*/true);
+}
+
+sim::Task<void> ProxyClient::DrainAsyncWrites(Fh fh) {
+  auto it = async_writes_.find(fh);
+  if (it == async_writes_.end()) co_return;
+  while (it->second.in_flight.Outstanding() > 0) {
+    co_await it->second.in_flight.Wait();
+  }
+}
+
 sim::Task<Bytes> ProxyClient::HandleCommit(Bytes args) {
   auto parsed = nfs3::Parse<nfs3::CommitArgs>(args);
   if (!parsed) co_return Fault<nfs3::CommitRes>();
   const Fh fh = parsed->file;
+
+  // Settle the async write-through pipeline before promising durability.
+  auto aw_it = async_writes_.find(fh);
+  if (aw_it != async_writes_.end()) {
+    co_await DrainAsyncWrites(fh);
+    if (aw_it->second.failed) {
+      aw_it->second.failed = false;
+      co_return Fault<nfs3::CommitRes>();
+    }
+  }
 
   if (config_.cache_mode == CacheMode::kWriteBack &&
       cache_.DirtyBlockCount(fh) > 0) {
@@ -564,6 +728,9 @@ sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext, Bytes args) {
   if (!parsed) co_return Serialize(CallbackRes{});
   const Fh fh = parsed->file;
   DropDelegation(fh);
+  // The recall reply promises the server our updates are visible: async
+  // write-through WRITEs to this file must land first.
+  co_await DrainAsyncWrites(fh);
 
   CallbackRes res;
   if (parsed->type == CallbackType::kRecallWrite) {
@@ -678,6 +845,7 @@ sim::Task<void> ProxyClient::FlushLoop() {
 }
 
 sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
+  const std::uint64_t epoch = epoch_;
   const std::uint64_t index = offset / cache_.block_size();
   const DiskCache::Block* block = cache_.FindBlock(fh, index);
   if (block == nullptr || !block->dirty) co_return true;
@@ -688,6 +856,10 @@ sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
   wargs.stable = nfs3::StableHow::kUnstable;
   wargs.data = block->data;
   auto body = co_await Upstream(nfs3::kWrite, Serialize(wargs), fh, "WRITE");
+  // Epoch check after the RPC, not just at loop tops: a crash while this
+  // WRITE was in flight must not mark the surviving dirty block clean (the
+  // recovery re-scan relies on the dirty flags).
+  if (epoch != epoch_) co_return false;
   if (!body) co_return false;
   auto res = nfs3::Parse<nfs3::WriteRes>(*body);
   if (!res || res->status != Status::kOk) co_return false;
@@ -697,28 +869,91 @@ sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
   co_return true;
 }
 
+sim::Mutex& ProxyClient::FlushLockFor(const Fh& fh) {
+  return flush_locks_.try_emplace(fh, sched_).first->second;
+}
+
 sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit) {
-  bool flushed_any = false;
-  for (std::uint64_t offset : cache_.DirtyOffsets(fh)) {
-    flushed_any |= co_await FlushBlock(fh, offset);
+  const std::uint64_t epoch = epoch_;
+  // Serialize whole-file flushes: a second flusher (periodic loop, recall,
+  // shutdown) waits until the current window fully drains, which both
+  // preserves per-block write-after-write order and makes a recall arriving
+  // mid-flush hold its reply until in-flight WRITEs land.
+  sim::Mutex& lock = FlushLockFor(fh);
+  co_await lock.Lock();
+  if (epoch != epoch_) {
+    lock.Unlock();
+    co_return;
   }
-  if (flushed_any && commit) {
+
+  bool flushed_any = false;
+  const std::size_t window = std::max<std::size_t>(1, config_.wb_window);
+  const auto offsets = cache_.DirtyOffsets(fh);
+  if (window == 1 || offsets.size() <= 1) {
+    for (std::uint64_t offset : offsets) {
+      if (epoch != epoch_) break;
+      flushed_any |= co_await FlushBlock(fh, offset);
+    }
+  } else {
+    // Sliding window: up to `window` WRITEs in flight; each completion frees
+    // a slot for the next dirty block. One COMMIT covers the whole batch
+    // once the window drains.
+    sim::Semaphore slots(sched_, window);
+    sim::WaitGroup in_flight(sched_);
+    auto any = std::make_shared<bool>(false);
+    for (std::uint64_t offset : offsets) {
+      co_await slots.Acquire();
+      if (epoch != epoch_) {
+        slots.Release();
+        break;  // stop issuing; the joined window below still drains
+      }
+      in_flight.Spawn([](ProxyClient* self, Fh file, std::uint64_t off,
+                         sim::Semaphore* sem,
+                         std::shared_ptr<bool> flushed) -> sim::Task<void> {
+        const bool ok = co_await self->FlushBlock(file, off);
+        *flushed = *flushed || ok;
+        sem->Release();
+      }(this, fh, offset, &slots, any));
+    }
+    co_await in_flight.Wait();
+    flushed_any = *any;
+  }
+
+  if (epoch == epoch_ && flushed_any && commit) {
     nfs3::CommitArgs cargs;
     cargs.file = fh;
     auto body = co_await Upstream(nfs3::kCommit, Serialize(cargs), fh, "COMMIT");
     (void)body;
   }
+  lock.Unlock();
 }
 
 sim::Task<void> ProxyClient::AsyncFlush(Fh fh) { co_await FlushFile(fh, true); }
 
 sim::Task<void> ProxyClient::FlushAll() {
-  for (const Fh& fh : cache_.FilesWithDirtyData()) {
-    co_await FlushFile(fh, /*commit=*/true);
+  const auto files = cache_.FilesWithDirtyData();
+  if (config_.wb_window <= 1 || files.size() <= 1) {
+    for (const Fh& fh : files) {
+      co_await FlushFile(fh, /*commit=*/true);
+    }
+    co_return;
   }
+  // Distinct files flush concurrently, each with its own WRITE window.
+  sim::WaitGroup in_flight(sched_);
+  for (const Fh& fh : files) {
+    in_flight.Spawn(FlushFile(fh, /*commit=*/true));
+  }
+  co_await in_flight.Wait();
 }
 
 sim::Task<void> ProxyClient::Shutdown() {
+  // Settle the async write-through pipeline, then flush dirty data. FlushAll
+  // joins every window it opens, so by the time it returns there are no
+  // in-flight flush tasks left to cancel; the epoch bump then stops any
+  // straggler loop (poller, periodic flusher) at its next resumption.
+  for (auto& [fh, aw] : async_writes_) {
+    while (aw.in_flight.Outstanding() > 0) co_await aw.in_flight.Wait();
+  }
   co_await FlushAll();
   running_ = false;
   ++epoch_;
@@ -738,32 +973,59 @@ void ProxyClient::Crash() {
   poll_period_ = config_.poll_period;
 }
 
+sim::Task<void> ProxyClient::RecoverFile(Fh fh) {
+  DiskCache::FileEntry* entry = cache_.FindFile(fh);
+  auto reply = co_await upstream_.Call<nfs3::GetAttrRes>(nfs3::kGetAttr,
+                                                         nfs3::GetAttrArgs{fh});
+  const bool conflicted =
+      !reply || reply->status != Status::kOk ||
+      (entry != nullptr && reply->attr.mtime != entry->mtime_seen);
+  if (conflicted) {
+    // The cached dirty data is considered corrupted; the application will
+    // see an error when it tries to use it.
+    cache_.DropFileData(fh);
+    cache_.InvalidateAttr(fh);
+    corrupted_.push_back(fh);
+    co_return;
+  }
+  auto dirty = cache_.DirtyOffsets(fh);
+  if (!dirty.empty()) co_await FlushBlock(fh, dirty.front());
+}
+
 sim::Task<void> ProxyClient::Recover() {
   node_.SetDown(false);
   cache_.InvalidateAllAttrs();
+  const std::uint64_t epoch = epoch_;
 
   // For files with cached dirty data, write back a single block each: this
   // reacquires the write delegation if nobody modified the file during the
-  // crash, and detects conflicts otherwise (§4.3.4).
-  for (const Fh& fh : cache_.FilesWithDirtyData()) {
-    DiskCache::FileEntry* entry = cache_.FindFile(fh);
-    auto reply = co_await upstream_.Call<nfs3::GetAttrRes>(nfs3::kGetAttr,
-                                                           nfs3::GetAttrArgs{fh});
-    const bool conflicted =
-        !reply || reply->status != Status::kOk ||
-        (entry != nullptr && reply->attr.mtime != entry->mtime_seen);
-    if (conflicted) {
-      // The cached dirty data is considered corrupted; the application will
-      // see an error when it tries to use it.
-      cache_.DropFileData(fh);
-      cache_.InvalidateAttr(fh);
-      corrupted_.push_back(fh);
-      continue;
+  // crash, and detects conflicts otherwise (§4.3.4). The probes are
+  // independent per file, so they fan out through the write-back window.
+  const auto dirty_files = cache_.FilesWithDirtyData();
+  const std::size_t window = std::max<std::size_t>(1, config_.wb_window);
+  if (window == 1 || dirty_files.size() <= 1) {
+    for (const Fh& fh : dirty_files) {
+      if (epoch != epoch_) co_return;  // crashed again mid-recovery
+      co_await RecoverFile(fh);
     }
-    auto dirty = cache_.DirtyOffsets(fh);
-    if (!dirty.empty()) co_await FlushBlock(fh, dirty.front());
+  } else {
+    sim::Semaphore slots(sched_, window);
+    sim::WaitGroup in_flight(sched_);
+    for (const Fh& fh : dirty_files) {
+      co_await slots.Acquire();
+      if (epoch != epoch_) {
+        slots.Release();
+        break;
+      }
+      in_flight.Spawn([](ProxyClient* self, Fh file,
+                         sim::Semaphore* sem) -> sim::Task<void> {
+        co_await self->RecoverFile(file);
+        sem->Release();
+      }(this, fh, &slots));
+    }
+    co_await in_flight.Wait();
   }
-  Start();
+  if (epoch == epoch_) Start();
 }
 
 }  // namespace gvfs::proxy

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
 
 #include "gvfs/disk_cache.h"
 #include "gvfs/proto.h"
@@ -29,6 +31,7 @@
 #include "nfs3/client.h"
 #include "nfs3/proto.h"
 #include "rpc/rpc.h"
+#include "sim/concurrency.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -43,6 +46,10 @@ struct ProxyClientStats {
   std::uint64_t force_invalidations = 0;
   std::uint64_t callbacks_received = 0;
   std::uint64_t blocks_flushed = 0;
+  /// Blocks brought in by sequential read-ahead (served the next fault).
+  std::uint64_t blocks_prefetched = 0;
+  /// Prefetch replies discarded (invalidated or changed mid-flight).
+  std::uint64_t prefetches_discarded = 0;
 };
 
 class ProxyClient {
@@ -127,16 +134,52 @@ class ProxyClient {
   /// directory state changed underneath us.
   sim::Task<bool> RefreshDirListing(nfs3::Fh dir);
 
+  // -- read-ahead --
+
+  /// Launches background prefetches of the blocks after `index` (bounded by
+  /// the configured window and the known file size).
+  void MaybeReadAhead(const nfs3::Fh& fh, std::uint64_t index);
+  sim::Task<void> Prefetch(nfs3::Fh fh, std::uint64_t index);
+
   // -- background tasks --
   sim::Task<void> PollLoop();
   sim::Task<void> PollOnce();
   sim::Task<void> FlushLoop();
 
+  // -- pipelined write-through (NFSv3 unstable-write contract) --
+
+  /// Per-file state of asynchronously forwarded write-through WRITEs.
+  struct AsyncWrites {
+    explicit AsyncWrites(sim::Scheduler& sched) : in_flight(sched) {}
+    sim::WaitGroup in_flight;
+    /// Byte ranges currently in flight; an overlapping new write drains the
+    /// window first (write-after-write order on the wire).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    /// Sticky failure flag, reported (and cleared) by the next COMMIT.
+    bool failed = false;
+  };
+
+  AsyncWrites& AsyncWritesFor(const nfs3::Fh& fh);
+  /// Forwards one unstable WRITE upstream inside the window.
+  sim::Task<void> ForwardWriteAsync(nfs3::Fh fh, Bytes args, std::uint64_t start,
+                                    std::uint64_t end);
+  /// Joins every in-flight async WRITE of `fh` (no-op when none).
+  sim::Task<void> DrainAsyncWrites(nfs3::Fh fh);
+
   /// Writes one dirty block upstream; returns false on failure.
   sim::Task<bool> FlushBlock(nfs3::Fh fh, std::uint64_t offset);
+  /// Flushes every dirty block of `fh` through a window of up to
+  /// `config_.wb_window` WRITEs in flight, then (optionally) one coalesced
+  /// COMMIT. Concurrent flushes of the same file serialize on a per-file
+  /// lock so per-block write-after-write order is preserved.
   sim::Task<void> FlushFile(nfs3::Fh fh, bool commit);
   /// Asynchronous remainder flush after a block-list callback reply.
   sim::Task<void> AsyncFlush(nfs3::Fh fh);
+  /// §4.3.4 per-file recovery probe: GETATTR conflict check, then one-block
+  /// write-back to reacquire the delegation.
+  sim::Task<void> RecoverFile(nfs3::Fh fh);
+
+  sim::Mutex& FlushLockFor(const nfs3::Fh& fh);
 
   sim::Scheduler& sched_;
   rpc::RpcNode& node_;
@@ -145,6 +188,19 @@ class ProxyClient {
   DiskCache cache_;
 
   std::map<nfs3::Fh, Delegation> delegations_;
+  /// Per-file flush serialization (never erased: a crashed flush task may
+  /// still hold a reference; the map is bounded by the file population).
+  std::map<nfs3::Fh, sim::Mutex> flush_locks_;
+  /// Pipelined write-through tracking (never erased, same reason as above).
+  std::map<nfs3::Fh, AsyncWrites> async_writes_;
+  /// Window cap for async write-through forwarding, shared across files.
+  sim::Semaphore wt_slots_{sched_,
+                           config_.wb_window > 0 ? config_.wb_window : 1};
+  /// Blocks with a prefetch READ in flight (suppresses duplicates); demand
+  /// reads that miss on one of these join the prefetch via `prefetch_done_`
+  /// instead of issuing their own upstream READ.
+  std::set<std::pair<nfs3::Fh, std::uint64_t>> prefetch_inflight_;
+  sim::Condition prefetch_done_{sched_};
   std::uint64_t poll_timestamp_ = 0;
   Duration poll_period_;
   bool running_ = false;

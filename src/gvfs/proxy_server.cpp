@@ -370,43 +370,59 @@ sim::Task<void> ProxyServer::RecallConflicts(Fh fh, net::Address requester,
     }
   }
 
-  if (!to_recall.empty()) ++it->second.recalling;
-  for (const auto& [addr, granted] : to_recall) {
-    const CallbackType type = granted == DelegationType::kWrite
-                                  ? CallbackType::kRecallWrite
-                                  : CallbackType::kRecallRead;
-    if (type == CallbackType::kRecallWrite) {
-      ++stats_.recalls_write;
-    } else {
-      ++stats_.recalls_read;
-    }
-    CallbackRes res = co_await SendCallback(addr, fh, type, offset);
+  if (to_recall.empty()) co_return;
 
-    auto again = files_.find(fh);
-    if (again == files_.end()) continue;
-    auto sharer = again->second.sharers.find(addr);
-    if (sharer != again->second.sharers.end()) {
-      sharer->second.granted = DelegationType::kNone;
+  ++it->second.recalling;
+  if (to_recall.size() == 1) {
+    co_await RecallOne(fh, to_recall.front().first, to_recall.front().second,
+                       offset);
+  } else {
+    // Multicast: every conflicting sharer is recalled concurrently and the
+    // operation proceeds once all of them answered (or timed out), so the
+    // wait costs one callback round trip instead of one per sharer.
+    sim::WaitGroup in_flight(sched_);
+    for (const auto& [addr, granted] : to_recall) {
+      in_flight.Spawn(RecallOne(fh, addr, granted, offset));
     }
-    if (!res.pending_offsets.empty()) {
-      // Block-list optimization: the write delegation is considered revoked
-      // now; the server monitors the remaining write-back (§4.3.2).
-      again->second.pending_writeback.insert(res.pending_offsets.begin(),
-                                             res.pending_offsets.end());
-      again->second.writeback_owner = addr;
-      if (res.file_size > 0) {
-        // Extend the upstream file to the holder's authoritative size so
-        // other clients see correct attributes while blocks trickle in.
-        nfs3::SetAttrArgs extend;
-        extend.object = fh;
-        extend.size = res.file_size;
-        (void)co_await upstream_.Call<nfs3::SetAttrRes>(nfs3::kSetAttr, extend);
-      }
-    }
+    co_await in_flight.Wait();
   }
-  if (!to_recall.empty()) {
-    auto again = files_.find(fh);
-    if (again != files_.end()) --again->second.recalling;
+  auto again = files_.find(fh);
+  if (again != files_.end()) --again->second.recalling;
+}
+
+sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
+                                       DelegationType granted,
+                                       std::optional<std::uint64_t> offset) {
+  const CallbackType type = granted == DelegationType::kWrite
+                                ? CallbackType::kRecallWrite
+                                : CallbackType::kRecallRead;
+  if (type == CallbackType::kRecallWrite) {
+    ++stats_.recalls_write;
+  } else {
+    ++stats_.recalls_read;
+  }
+  CallbackRes res = co_await SendCallback(addr, fh, type, offset);
+
+  auto again = files_.find(fh);
+  if (again == files_.end()) co_return;
+  auto sharer = again->second.sharers.find(addr);
+  if (sharer != again->second.sharers.end()) {
+    sharer->second.granted = DelegationType::kNone;
+  }
+  if (!res.pending_offsets.empty()) {
+    // Block-list optimization: the write delegation is considered revoked
+    // now; the server monitors the remaining write-back (§4.3.2).
+    again->second.pending_writeback.insert(res.pending_offsets.begin(),
+                                           res.pending_offsets.end());
+    again->second.writeback_owner = addr;
+    if (res.file_size > 0) {
+      // Extend the upstream file to the holder's authoritative size so
+      // other clients see correct attributes while blocks trickle in.
+      nfs3::SetAttrArgs extend;
+      extend.object = fh;
+      extend.size = res.file_size;
+      (void)co_await upstream_.Call<nfs3::SetAttrRes>(nfs3::kSetAttr, extend);
+    }
   }
 }
 
@@ -490,27 +506,39 @@ sim::Task<void> ProxyServer::Recover() {
   in_grace_ = true;
   // A single multicast round: every known client gets a whole-cache
   // callback; write-delegation holders answer with their dirty-file lists.
-  for (const auto& client : persistent_clients_) {
-    rpc::CallOptions opts;
-    opts.label = "CALLBACK";
-    opts.timeout = Seconds(2);
-    opts.max_retries = 2;
-    auto reply = co_await node_.Call(client, kGvfsProgram, kRecovery,
-                                     Serialize(RecoveryArgs{}), std::move(opts));
-    if (!reply) continue;  // client itself crashed; it will reconcile later
-    auto parsed = nfs3::Parse<RecoveryRes>(*reply);
-    if (!parsed) continue;
-    for (const auto& fh : parsed->dirty_files) {
-      // Rebuild the open-file table: the client still holds dirty data, so
-      // it keeps a write delegation to finish its write-back.
-      auto& sharer = files_[fh].sharers[client];
-      sharer.last_access = sched_.Now();
-      sharer.last_write = sched_.Now();
-      sharer.granted = DelegationType::kWrite;
+  // All callbacks go out concurrently so the grace period lasts one slow
+  // client's round trip, not the sum over the client list.
+  if (persistent_clients_.size() == 1) {
+    co_await RecoverClient(*persistent_clients_.begin());
+  } else if (!persistent_clients_.empty()) {
+    sim::WaitGroup in_flight(sched_);
+    for (const auto& client : persistent_clients_) {
+      in_flight.Spawn(RecoverClient(client));
     }
+    co_await in_flight.Wait();
   }
   in_grace_ = false;
   grace_over_.NotifyAll();
+}
+
+sim::Task<void> ProxyServer::RecoverClient(net::Address client) {
+  rpc::CallOptions opts;
+  opts.label = "CALLBACK";
+  opts.timeout = Seconds(2);
+  opts.max_retries = 2;
+  auto reply = co_await node_.Call(client, kGvfsProgram, kRecovery,
+                                   Serialize(RecoveryArgs{}), std::move(opts));
+  if (!reply) co_return;  // client itself crashed; it will reconcile later
+  auto parsed = nfs3::Parse<RecoveryRes>(*reply);
+  if (!parsed) co_return;
+  for (const auto& fh : parsed->dirty_files) {
+    // Rebuild the open-file table: the client still holds dirty data, so
+    // it keeps a write delegation to finish its write-back.
+    auto& sharer = files_[fh].sharers[client];
+    sharer.last_access = sched_.Now();
+    sharer.last_write = sched_.Now();
+    sharer.granted = DelegationType::kWrite;
+  }
 }
 
 void ProxyServer::RegisterClient(net::Address client) {

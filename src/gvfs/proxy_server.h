@@ -30,6 +30,7 @@
 #include "nfs3/client.h"
 #include "nfs3/proto.h"
 #include "rpc/rpc.h"
+#include "sim/concurrency.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -129,6 +130,12 @@ class ProxyServer {
   // -- delegation machinery --
   sim::Task<void> RecallConflicts(nfs3::Fh fh, net::Address requester,
                                   bool write_op, std::optional<std::uint64_t> offset);
+  /// One recall callback to one conflicting sharer, plus the post-reply
+  /// bookkeeping (grant revocation, §4.3.2 block-list absorption).
+  sim::Task<void> RecallOne(nfs3::Fh fh, net::Address addr, DelegationType granted,
+                            std::optional<std::uint64_t> offset);
+  /// One state-recovery callback to one known client (§4.3.4).
+  sim::Task<void> RecoverClient(net::Address client);
   /// Write-back monitor: a reader touching a block still pending write-back
   /// forces the owner to submit it promptly.
   sim::Task<void> EnsureBlockWrittenBack(nfs3::Fh fh, net::Address requester,

@@ -67,6 +67,17 @@ struct SessionConfig {
   /// recall/shutdown).
   Duration wb_flush_period = Seconds(60);
 
+  /// Write-back pipelining: max WRITE RPCs a flush keeps in flight per file
+  /// (sliding window), with one coalesced COMMIT once the window drains.
+  /// 1 preserves the fully serialized behaviour (one RPC per RTT); values
+  /// > 1 also let FlushAll / Recover work distinct files concurrently.
+  std::size_t wb_window = 1;
+
+  /// Sequential read-ahead: number of blocks prefetched in parallel once the
+  /// proxy detects a sequential block-fault pattern on a file. 0 disables
+  /// read-ahead (every fault costs a full serialized round trip).
+  std::uint32_t read_ahead = 0;
+
   /// Cache block size (matches NFS rsize/wsize).
   std::uint32_t block_size = 32 * 1024;
 

@@ -104,6 +104,11 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
   auto slot = std::make_shared<sim::OneShot<Reply>>(sched_);
   pending_[xid] = slot;
 
+  // The gauge/latency instrumentation mirrors Count()'s WAN-only rule.
+  const bool tracked = stats_ != nullptr && dst.host != address_.host;
+  const SimTime started = sched_.Now();
+  if (tracked) stats_->BeginCall();
+
   std::optional<Reply> reply;
   for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
     SendCall(dst, xid, prog, proc, args, opts.label);
@@ -114,6 +119,7 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
                opts.label.c_str(), xid, attempt + 1);
   }
   pending_.erase(xid);
+  if (tracked) stats_->EndCall(opts.label, sched_.Now() - started);
 
   if (!reply.has_value()) co_return Unexpected(RpcError::kTimedOut);
   switch (reply->stat) {

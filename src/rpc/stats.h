@@ -3,11 +3,19 @@
 // CALLBACK); a StatsMap is attached to each WAN-facing RPC node and counts
 // outgoing calls at send time. Loopback (kernel-client -> local proxy)
 // traffic is deliberately left unattached, matching the paper's counting.
+//
+// Beyond the paper's counts, the map tracks a concurrency gauge (calls in
+// flight now / at peak) and per-procedure completion latency (sum + max), so
+// pipelined paths (windowed write-back, read-ahead, callback multicast) are
+// observable in bench output rather than inferred from runtimes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/types.h"
 
 namespace gvfs::rpc {
 
@@ -16,6 +24,22 @@ class StatsMap {
   void Count(const std::string& label, std::size_t wire_bytes) {
     ++calls_[label];
     bytes_[label] += wire_bytes;
+  }
+
+  /// A logical call (send through final reply/timeout) entered flight.
+  void BeginCall() {
+    ++in_flight_;
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  }
+
+  /// The matching completion; `latency` spans first send to resolution
+  /// (including retransmissions), so it is what the application observed.
+  void EndCall(const std::string& label, Duration latency) {
+    if (in_flight_ > 0) --in_flight_;
+    Latency& lat = latency_[label];
+    ++lat.count;
+    lat.sum += latency;
+    lat.max = std::max(lat.max, latency);
   }
 
   std::uint64_t Calls(const std::string& label) const {
@@ -40,16 +64,48 @@ class StatsMap {
     return sum;
   }
 
+  std::uint64_t InFlight() const { return in_flight_; }
+  std::uint64_t PeakInFlight() const { return peak_in_flight_; }
+
+  Duration LatencySum(const std::string& label) const {
+    auto it = latency_.find(label);
+    return it == latency_.end() ? 0 : it->second.sum;
+  }
+
+  Duration LatencyMax(const std::string& label) const {
+    auto it = latency_.find(label);
+    return it == latency_.end() ? 0 : it->second.max;
+  }
+
+  /// Mean completion latency, or 0 when no call finished under this label.
+  Duration LatencyAvg(const std::string& label) const {
+    auto it = latency_.find(label);
+    if (it == latency_.end() || it->second.count == 0) return 0;
+    return it->second.sum / static_cast<Duration>(it->second.count);
+  }
+
   const std::map<std::string, std::uint64_t>& calls() const { return calls_; }
 
   void Reset() {
     calls_.clear();
     bytes_.clear();
+    latency_.clear();
+    in_flight_ = 0;
+    peak_in_flight_ = 0;
   }
 
  private:
+  struct Latency {
+    std::uint64_t count = 0;
+    Duration sum = 0;
+    Duration max = 0;
+  };
+
   std::map<std::string, std::uint64_t> calls_;
   std::map<std::string, std::uint64_t> bytes_;
+  std::map<std::string, Latency> latency_;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t peak_in_flight_ = 0;
 };
 
 }  // namespace gvfs::rpc

@@ -1,0 +1,122 @@
+// Structured-concurrency toolkit for simulated processes: a counting
+// Semaphore (sliding RPC windows) and a WaitGroup (join-all for detached
+// tasks). Together they express the "N requests in flight, join at the end"
+// pattern the GVFS proxies use to pipeline multi-RPC paths (windowed
+// write-back, read-ahead, callback multicast) without giving up the FIFO
+// determinism of the scheduler: all resumptions are funneled through it,
+// exactly like the primitives in sync.h.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace gvfs::sim {
+
+/// Counting semaphore with FIFO hand-off. `co_await sem.Acquire()` takes a
+/// permit (suspending while none are free); `Release()` returns it, waking
+/// the longest-waiting acquirer first.
+class Semaphore {
+ public:
+  Semaphore(Scheduler& sched, std::size_t permits)
+      : sched_(sched), permits_(permits) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (sem->permits_ > 0) {
+          --sem->permits_;
+          return false;  // acquired without suspending
+        }
+        sem->waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void Release() {
+    if (waiters_.empty()) {
+      ++permits_;
+      return;
+    }
+    // The permit transfers directly to the next waiter.
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sched_.At(sched_.Now(), [h] { h.resume(); });
+  }
+
+  std::size_t available() const { return permits_; }
+  std::size_t WaiterCount() const { return waiters_.size(); }
+
+ private:
+  Scheduler& sched_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Join-all barrier for detached tasks. Spawn() launches a task and tracks
+/// it; `co_await wg.Wait()` suspends until every tracked task has finished
+/// (and completes immediately when none are outstanding). The WaitGroup must
+/// outlive its spawned tasks — awaiting Wait() before destruction guarantees
+/// that.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Scheduler& sched) : sched_(sched) {}
+
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+  ~WaitGroup() { assert(outstanding_ == 0 && "WaitGroup destroyed with live tasks"); }
+
+  void Add(int n = 1) { outstanding_ += n; }
+
+  void Done() {
+    assert(outstanding_ > 0);
+    if (--outstanding_ == 0 && !waiters_.empty()) {
+      std::vector<std::coroutine_handle<>> to_wake;
+      to_wake.swap(waiters_);
+      for (auto h : to_wake) {
+        sched_.At(sched_.Now(), [h] { h.resume(); });
+      }
+    }
+  }
+
+  /// Launches `task` as a detached process counted by this group.
+  void Spawn(Task<void> task) {
+    Add();
+    sim::Spawn([](Task<void> inner, WaitGroup* wg) -> Task<void> {
+      co_await std::move(inner);
+      wg->Done();
+    }(std::move(task), this));
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      WaitGroup* wg;
+      bool await_ready() const noexcept { return wg->outstanding_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { wg->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  int Outstanding() const { return outstanding_; }
+
+ private:
+  Scheduler& sched_;
+  int outstanding_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace gvfs::sim
