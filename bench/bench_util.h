@@ -1,8 +1,12 @@
-// Shared helpers for the figure-reproduction harnesses: table printing and
-// a driver that runs a workload coroutine to completion on a testbed.
+// Shared helpers for the figure-reproduction harnesses: table printing, a
+// driver that runs a workload coroutine to completion on a testbed, a
+// minimal JSON emitter for machine-readable BENCH_*.json artifacts, and
+// tiny argv flag parsing (--json-out / --trace-out style).
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,12 +71,151 @@ inline void PrintRpcStats(const std::string& name, const rpc::StatsMap& stats) {
               static_cast<double>(stats.TotalBytes()) / 1024.0,
               static_cast<unsigned long long>(stats.PeakInFlight()));
   for (const auto& [label, calls] : stats.calls()) {
-    std::printf("  %-10s %8llu calls %10.1f KB  lat avg %8.2f ms  max %8.2f ms\n",
+    std::printf("  %-10s %8llu calls %10.1f KB  lat avg %8.2f"
+                "  p50 %8.2f  p95 %8.2f  p99 %8.2f  max %8.2f ms\n",
                 label.c_str(), static_cast<unsigned long long>(calls),
                 static_cast<double>(stats.Bytes(label)) / 1024.0,
                 ToSeconds(stats.LatencyAvg(label)) * 1e3,
+                ToSeconds(stats.LatencyP50(label)) * 1e3,
+                ToSeconds(stats.LatencyP95(label)) * 1e3,
+                ToSeconds(stats.LatencyP99(label)) * 1e3,
                 ToSeconds(stats.LatencyMax(label)) * 1e3);
   }
+}
+
+// ---------------------------------------------------------------------------
+// JSON artifacts
+// ---------------------------------------------------------------------------
+
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Build-a-string JSON object; values nest by passing another JsonObject (or
+/// a vector of them) as the value. Key order is insertion order.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return AddRaw(key, buf);
+  }
+  JsonObject& Add(const std::string& key, std::uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, int value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  JsonObject& Add(const std::string& key, const char* value) {
+    return AddRaw(key, JsonQuote(value));
+  }
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, JsonQuote(value));
+  }
+  JsonObject& Add(const std::string& key, const JsonObject& value) {
+    return AddRaw(key, value.Dump());
+  }
+  JsonObject& Add(const std::string& key, const std::vector<JsonObject>& value) {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (i > 0) arr += ",";
+      arr += value[i].Dump();
+    }
+    arr += "]";
+    return AddRaw(key, arr);
+  }
+
+  std::string Dump() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& AddRaw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += JsonQuote(key) + ":" + rendered;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+/// Per-procedure RPC stats as a JSON object (the machine-readable twin of
+/// PrintRpcStats; latencies in milliseconds).
+inline JsonObject RpcStatsJson(const rpc::StatsMap& stats) {
+  JsonObject out;
+  out.Add("total_calls", stats.TotalCalls());
+  out.Add("total_bytes", stats.TotalBytes());
+  out.Add("peak_in_flight", stats.PeakInFlight());
+  std::vector<JsonObject> procs;
+  for (const auto& [label, calls] : stats.calls()) {
+    JsonObject proc;
+    proc.Add("proc", label);
+    proc.Add("calls", calls);
+    proc.Add("bytes", stats.Bytes(label));
+    proc.Add("lat_avg_ms", ToSeconds(stats.LatencyAvg(label)) * 1e3);
+    proc.Add("lat_p50_ms", ToSeconds(stats.LatencyP50(label)) * 1e3);
+    proc.Add("lat_p95_ms", ToSeconds(stats.LatencyP95(label)) * 1e3);
+    proc.Add("lat_p99_ms", ToSeconds(stats.LatencyP99(label)) * 1e3);
+    proc.Add("lat_max_ms", ToSeconds(stats.LatencyMax(label)) * 1e3);
+    procs.push_back(std::move(proc));
+  }
+  out.Add("procs", procs);
+  return out;
+}
+
+/// Writes `content` to `path`; complains on stderr (and returns false) when
+/// the file cannot be created.
+inline bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------------
+
+/// Returns the value of `--flag value` or `--flag=value`, or nullopt.
+inline std::optional<std::string> FlagValue(int argc, char** argv,
+                                            const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i] && i + 1 < argc) return std::string(argv[i + 1]);
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 }  // namespace gvfs::bench

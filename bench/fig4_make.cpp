@@ -91,7 +91,7 @@ Result RunOne(Setup setup, bool wan) {
   return result;
 }
 
-void Main() {
+void Main(const std::optional<std::string>& json_out) {
   PrintHeader("Figure 4(a): Make benchmark - RPCs over the WAN (thousands)");
   std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "setup", "GETATTR",
               "LOOKUP", "READ", "WRITE", "GETINV", "total");
@@ -114,9 +114,16 @@ void Main() {
   std::printf("%-10s %12s %12s\n", "setup", "LAN", "WAN");
   PrintRule();
   double lan_nfs = 0;
+  std::vector<JsonObject> rows;
   for (int i = 0; i < 4; ++i) {
     Result lan = RunOne(setups[i], /*wan=*/false);
     if (setups[i] == Setup::kNfs) lan_nfs = lan.runtime_seconds;
+    JsonObject row;
+    row.Add("setup", SetupName(setups[i]));
+    row.Add("lan_s", lan.runtime_seconds);
+    row.Add("wan_s", wan_results[i].runtime_seconds);
+    row.Add("wan_rpcs", RpcStatsJson(wan_results[i].rpcs));
+    rows.push_back(std::move(row));
     std::printf("%-10s %12.1f %12.1f", SetupName(setups[i]), lan.runtime_seconds,
                 wan_results[i].runtime_seconds);
     if (setups[i] != Setup::kNfs && lan_nfs > 0) {
@@ -132,12 +139,21 @@ void Main() {
   std::printf("Paper shape: GVFS serves the GETATTR storm locally (tens of "
               "GETINVs instead),\nreduces LOOKUPs via the disk cache, and "
               "write-back removes most WRITEs.\n");
+  if (json_out.has_value()) {
+    JsonObject doc;
+    doc.Add("figure", "fig4_make");
+    doc.Add("wan_speedup_gvfs_wb", speedup);
+    doc.Add("setups", rows);
+    if (WriteTextFile(*json_out, doc.Dump() + "\n")) {
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace gvfs::bench
 
-int main() {
-  gvfs::bench::Main();
+int main(int argc, char** argv) {
+  gvfs::bench::Main(gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

@@ -16,8 +16,11 @@
 // create/delete bias 5.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "bench_util.h"
+#include "trace/checker.h"
+#include "trace/export.h"
 #include "workloads/postmark.h"
 #include "workloads/testbed.h"
 
@@ -87,18 +90,141 @@ int Smoke() {
   return 0;
 }
 
-void Main() {
+std::vector<std::string> HostNames(workloads::Testbed& bed) {
+  std::vector<std::string> names;
+  for (HostId h = 0; h < bed.network().HostCount(); ++h) {
+    names.push_back(bed.network().HostName(h));
+  }
+  return names;
+}
+
+sim::Task<void> ConflictingStat(kclient::KernelClient& mount) {
+  // A cold Stat from a second client forces the proxy server to recall the
+  // write delegation the first client acquired on the shared file — that
+  // recall is the CALLBACK span the trace exists to show.
+  auto attr = co_await mount.Stat("/shared.dat");
+  (void)attr;
+}
+
+sim::Task<void> WriteShared(kclient::KernelClient& mount) {
+  kclient::OpenFlags flags;
+  flags.write = true;
+  flags.create = true;
+  auto fd = co_await mount.Open("/shared.dat", flags);
+  if (!fd.has_value()) co_return;
+  Bytes data(32 * 1024, 0x5a);
+  auto written = co_await mount.Write(*fd, 0, data);
+  (void)written;
+  auto closed = co_await mount.Close(*fd);
+  (void)closed;
+}
+
+/// Trace mode: one small GVFS1 (polling) run for GETINV spans and one
+/// two-client GVFS2 (delegation) run whose conflicting Stat produces a
+/// CALLBACK span, merged into one Chrome trace file with separate tracks.
+int RunTraced(const std::string& trace_out, const char* trace_dump) {
+  trace::ChromeTraceWriter writer;
+  std::uint64_t violations = 0;
+
+  PostmarkConfig small;  // keep the trace readable: tens of files, not 600
+  small.files = 30;
+  small.transactions = 40;
+  small.subdirectories = 5;
+  small.max_size = 64 * 1024;
+
+  std::ofstream dump;
+  if (trace_dump != nullptr) dump.open(trace_dump, std::ios::trunc);
+
+  {
+    TestbedConfig net_config;  // paper 40 ms WAN
+    Testbed bed(net_config);
+    bed.AddWanClient();
+    trace::TraceBuffer& buffer = bed.EnableTracing();
+    proxy::SessionConfig session_config;
+    session_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+    session_config.poll_period = Seconds(5);  // frequent GETINV spans
+    session_config.poll_max_period = Seconds(5);
+    auto& session = bed.CreateSession(session_config, {0});
+    Drive(bed.sched(), RunPostmark(bed.sched(), session.mount(0), small));
+    Drive(bed.sched(), session.Shutdown());
+
+    trace::ChromeTraceOptions options;
+    options.host_names = HostNames(bed);
+    options.process_prefix = "gvfs1/";
+    options.pid_offset = 0;
+    writer.Add(buffer, options);
+    if (dump.is_open()) trace::WriteTimeline(buffer, dump, options.host_names);
+    auto found = trace::TraceChecker(proxy::NfsTraceCheckerConfig()).Check(buffer);
+    violations += found.size();
+    if (!found.empty()) {
+      std::fprintf(stderr, "%s", trace::FormatViolations(found).c_str());
+    }
+    std::printf("gvfs1 trace: %llu events (%llu dropped)\n",
+                static_cast<unsigned long long>(buffer.recorded()),
+                static_cast<unsigned long long>(buffer.dropped()));
+  }
+
+  {
+    TestbedConfig net_config;
+    Testbed bed(net_config);
+    bed.AddWanClient();
+    bed.AddWanClient();
+    trace::TraceBuffer& buffer = bed.EnableTracing();
+    proxy::SessionConfig session_config;
+    session_config.model = proxy::ConsistencyModel::kDelegationCallback;
+    session_config.read_ahead = 8;
+    session_config.wb_window = 8;
+    kclient::MountOptions kernel_options;
+    kernel_options.noac = true;
+    auto& session = bed.CreateSession(session_config, {0, 1}, kernel_options);
+    Drive(bed.sched(), RunPostmark(bed.sched(), session.mount(0), small));
+    Drive(bed.sched(), WriteShared(session.mount(0)));
+    Drive(bed.sched(), ConflictingStat(session.mount(1)));
+    Drive(bed.sched(), session.Shutdown());
+
+    trace::ChromeTraceOptions options;
+    options.host_names = HostNames(bed);
+    options.process_prefix = "gvfs2/";
+    options.pid_offset = 100;  // keep the runs' tracks apart when merged
+    writer.Add(buffer, options);
+    if (dump.is_open()) trace::WriteTimeline(buffer, dump, options.host_names);
+    auto found = trace::TraceChecker(proxy::NfsTraceCheckerConfig()).Check(buffer);
+    violations += found.size();
+    if (!found.empty()) {
+      std::fprintf(stderr, "%s", trace::FormatViolations(found).c_str());
+    }
+    std::printf("gvfs2 trace: %llu events (%llu dropped)\n",
+                static_cast<unsigned long long>(buffer.recorded()),
+                static_cast<unsigned long long>(buffer.dropped()));
+  }
+
+  if (!writer.WriteTo(trace_out)) return 1;
+  std::printf("wrote %zu Chrome trace events to %s "
+              "(load at ui.perfetto.dev); %llu invariant violations\n",
+              writer.event_count(), trace_out.c_str(),
+              static_cast<unsigned long long>(violations));
+  return violations == 0 ? 0 : 1;
+}
+
+void Main(const std::optional<std::string>& json_out) {
   PrintHeader("Figure 5: PostMark transaction-phase runtime (seconds) vs RTT");
   std::printf("%-10s %10s %10s %10s\n", "RTT (ms)", "NFS", "GVFS1", "GVFS2");
   PrintRule();
   const double rtts[] = {0.5, 5, 10, 20, 40};
   double crossover_seen = -1;
   double nfs40 = 0, gvfs40 = 0;
+  std::vector<JsonObject> points;
   for (double rtt : rtts) {
     const double nfs = RunOne(Setup::kNfs, rtt);
     const double gvfs1 = RunOne(Setup::kGvfs1, rtt);
     const double gvfs2 = RunOne(Setup::kGvfs2, rtt);
     std::printf("%-10.1f %10.1f %10.1f %10.1f\n", rtt, nfs, gvfs1, gvfs2);
+    JsonObject point;
+    point.Add("rtt_ms", rtt);
+    point.Add("nfs_s", nfs);
+    point.Add("gvfs1_s", gvfs1);
+    point.Add("gvfs2_s", gvfs2);
+    points.push_back(std::move(point));
     if (crossover_seen < 0 && gvfs1 < nfs) crossover_seen = rtt;
     if (rtt == 40) {
       nfs40 = nfs;
@@ -112,15 +238,34 @@ void Main() {
               "proxy's disk-cache capacity advantage already pays off at LAN\n"
               "latency in this model, which pulls the crossover below the\n"
               "paper's ~10 ms (see EXPERIMENTS.md).\n");
+  if (json_out.has_value()) {
+    JsonObject doc;
+    doc.Add("figure", "fig5_postmark");
+    doc.Add("unit", "transaction-phase seconds");
+    doc.Add("crossover_rtt_ms", crossover_seen);
+    doc.Add("speedup_at_40ms", nfs40 / gvfs40);
+    doc.Add("points", points);
+    if (WriteTextFile(*json_out, doc.Dump() + "\n")) {
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+  using gvfs::bench::FlagValue;
+  if (gvfs::bench::HasFlag(argc, argv, "--smoke")) {
     return gvfs::bench::Smoke();
   }
-  gvfs::bench::Main();
+  const auto trace_out = FlagValue(argc, argv, "--trace-out");
+  const auto trace_dump = FlagValue(argc, argv, "--trace-dump");
+  if (trace_out.has_value() || trace_dump.has_value()) {
+    return gvfs::bench::RunTraced(
+        trace_out.value_or("BENCH_fig5_trace.json"),
+        trace_dump.has_value() ? trace_dump->c_str() : nullptr);
+  }
+  gvfs::bench::Main(FlagValue(argc, argv, "--json-out"));
   return 0;
 }

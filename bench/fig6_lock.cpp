@@ -127,7 +127,17 @@ void PrintResult(Setup setup, const Result& result) {
               result.report.MaxConsecutiveByOneClient());
 }
 
-void Main(bool sweep_period) {
+JsonObject ResultJson(Setup setup, const Result& result) {
+  JsonObject row;
+  row.Add("setup", SetupName(setup));
+  row.Add("runtime_s", result.report.RuntimeSeconds());
+  row.Add("self_handoffs", result.report.self_handoffs);
+  row.Add("max_streak", result.report.MaxConsecutiveByOneClient());
+  if (result.rpcs_comparable) row.Add("rpcs", RpcStatsJson(result.rpcs));
+  return row;
+}
+
+void Main(bool sweep_period, const std::optional<std::string>& json_out) {
   PrintHeader("Figure 6: lock benchmark (6 clients, 10 acquisitions each)");
   std::printf("%-10s %10s %10s %10s %10s %10s %10s\n", "setup", "runtime",
               "GETATTR", "LOOKUP", "GETINV", "CALLBACK", "consist.");
@@ -155,6 +165,21 @@ void Main(bool sweep_period) {
               static_cast<double>(ConsistencyCalls(nfs_noac.rpcs)) /
                   ConsistencyCalls(gvfs_cb.rpcs));
 
+  if (json_out.has_value()) {
+    JsonObject doc;
+    doc.Add("figure", "fig6_lock");
+    std::vector<JsonObject> rows;
+    rows.push_back(ResultJson(Setup::kNfsInv, nfs_inv));
+    rows.push_back(ResultJson(Setup::kGvfsInv, gvfs_inv));
+    rows.push_back(ResultJson(Setup::kNfsNoac, nfs_noac));
+    rows.push_back(ResultJson(Setup::kGvfsCb, gvfs_cb));
+    rows.push_back(ResultJson(Setup::kAfs, afs));
+    doc.Add("setups", rows);
+    if (WriteTextFile(*json_out, doc.Dump() + "\n")) {
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+  }
+
   if (sweep_period) {
     PrintHeader("Ablation: GVFS-inv polling period (staleness/traffic tradeoff)");
     std::printf("%-12s %10s %10s %12s %12s\n", "period (s)", "runtime", "GETINV",
@@ -175,10 +200,7 @@ void Main(bool sweep_period) {
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
-  bool sweep = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--sweep-period") == 0) sweep = true;
-  }
-  gvfs::bench::Main(sweep);
+  const bool sweep = gvfs::bench::HasFlag(argc, argv, "--sweep-period");
+  gvfs::bench::Main(sweep, gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

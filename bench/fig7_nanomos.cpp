@@ -72,7 +72,8 @@ Outcome RunOne(bool gvfs, UpdateKind kind) {
   return outcome;
 }
 
-void PrintCase(const char* title, UpdateKind kind, double baseline_getinv) {
+JsonObject PrintCase(const char* title, UpdateKind kind,
+                     double baseline_getinv) {
   PrintHeader(title);
   Outcome nfs = RunOne(/*gvfs=*/false, kind);
   Outcome gvfs = RunOne(/*gvfs=*/true, kind);
@@ -96,26 +97,52 @@ void PrintCase(const char* title, UpdateKind kind, double baseline_getinv) {
   std::printf("\nwarm-iteration speedup: %.2fx (paper: >2x)\n", warm_speedup);
   std::printf("GETINV calls per client attributable to the update: %.0f\n",
               gvfs.getinv_per_client - baseline_getinv);
+
+  JsonObject row;
+  row.Add("case", title);
+  row.Add("warm_speedup", warm_speedup);
+  row.Add("update_getinv_per_client", gvfs.getinv_per_client - baseline_getinv);
+  std::vector<JsonObject> iterations;
+  for (std::size_t i = 0; i < nfs.report.iteration_seconds.size(); ++i) {
+    JsonObject it;
+    it.Add("iteration", static_cast<std::uint64_t>(i + 1));
+    it.Add("nfs_s", nfs.report.iteration_seconds[i]);
+    it.Add("gvfs_s", gvfs.report.iteration_seconds[i]);
+    iterations.push_back(std::move(it));
+  }
+  row.Add("iterations", iterations);
+  return row;
 }
 
-void Main() {
+void Main(const std::optional<std::string>& json_out) {
   // Baseline (no update) isolates the GETINV traffic the update causes.
   Outcome baseline = RunOne(/*gvfs=*/true, UpdateKind::kNone);
-  PrintCase("Figure 7(a): NanoMOS, whole-MATLAB update between runs 4 and 5",
-            UpdateKind::kMatlab, baseline.getinv_per_client);
-  PrintCase("Figure 7(b): NanoMOS, MPITB-only update between runs 4 and 5",
-            UpdateKind::kMpitb, baseline.getinv_per_client);
+  std::vector<JsonObject> cases;
+  cases.push_back(
+      PrintCase("Figure 7(a): NanoMOS, whole-MATLAB update between runs 4 and 5",
+                UpdateKind::kMatlab, baseline.getinv_per_client));
+  cases.push_back(
+      PrintCase("Figure 7(b): NanoMOS, MPITB-only update between runs 4 and 5",
+                UpdateKind::kMpitb, baseline.getinv_per_client));
   std::printf(
       "\nPaper shape: NFS pays the same consistency-check volume every run\n"
       "(and after any update); GVFS batches invalidations in GETINV replies\n"
       "proportional to the update size (~30 calls/client for MATLAB, ~2 for\n"
       "MPITB, at 512 handles per reply).\n");
+  if (json_out.has_value()) {
+    JsonObject doc;
+    doc.Add("figure", "fig7_nanomos");
+    doc.Add("cases", cases);
+    if (WriteTextFile(*json_out, doc.Dump() + "\n")) {
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace gvfs::bench
 
-int main() {
-  gvfs::bench::Main();
+int main(int argc, char** argv) {
+  gvfs::bench::Main(gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

@@ -63,7 +63,7 @@ Outcome RunOne(bool gvfs, Duration expiry = Seconds(600), Duration renew = Secon
   return outcome;
 }
 
-void Main(bool sweep_expiry) {
+void Main(bool sweep_expiry, const std::optional<std::string>& json_out) {
   PrintHeader("Figure 8: CH1D consumer runtime per run (seconds)");
   Outcome nfs = RunOne(/*gvfs=*/false);
   Outcome gvfs = RunOne(/*gvfs=*/true);
@@ -83,6 +83,25 @@ void Main(bool sweep_expiry) {
   std::printf("speedup at run 15: %.2fx (paper: ~5x)\n", final_speedup);
   std::printf("callbacks per producer run (avg): %.1f (paper: ~30, one per new file)\n",
               static_cast<double>(gvfs.callbacks) / 15.0);
+
+  if (json_out.has_value()) {
+    JsonObject doc;
+    doc.Add("figure", "fig8_ch1d");
+    doc.Add("final_speedup", final_speedup);
+    doc.Add("callbacks", gvfs.callbacks);
+    std::vector<JsonObject> runs;
+    for (std::size_t i = 0; i < nfs.report.run_seconds.size(); ++i) {
+      JsonObject run;
+      run.Add("run", static_cast<std::uint64_t>(i + 1));
+      run.Add("nfs_s", nfs.report.run_seconds[i]);
+      run.Add("gvfs_s", gvfs.report.run_seconds[i]);
+      runs.push_back(std::move(run));
+    }
+    doc.Add("runs", runs);
+    if (WriteTextFile(*json_out, doc.Dump() + "\n")) {
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+  }
 
   {
     // Ablation: the READDIR-based name-cache refresh (DESIGN.md §5). Without
@@ -113,10 +132,7 @@ void Main(bool sweep_expiry) {
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
-  bool sweep = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--sweep-expiry") == 0) sweep = true;
-  }
-  gvfs::bench::Main(sweep);
+  const bool sweep = gvfs::bench::HasFlag(argc, argv, "--sweep-expiry");
+  gvfs::bench::Main(sweep, gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

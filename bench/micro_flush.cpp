@@ -77,7 +77,7 @@ Point RunOne(std::size_t window, bool print_stats) {
   return point;
 }
 
-int Main(bool check) {
+int Main(bool check, const std::optional<std::string>& json_out) {
   PrintHeader("Write-back flush latency vs wb_window (64 x 32 KB dirty blocks, "
               "40 ms RTT, 100 Mbps)");
   std::printf("%-10s %12s %10s %10s %14s %10s\n", "wb_window", "flush (s)",
@@ -116,6 +116,29 @@ int Main(bool check) {
   const double speedup8 = points[0].flush_seconds / points[3].flush_seconds;
   std::printf("],\"speedup_w8_vs_w1\":%.2f}\n", speedup8);
 
+  if (json_out.has_value()) {
+    JsonObject doc;
+    doc.Add("benchmark", "micro_flush");
+    doc.Add("rtt_ms", kRttMs);
+    doc.Add("bandwidth_bps", static_cast<std::uint64_t>(kBandwidthBps));
+    doc.Add("blocks", kBlocks);
+    doc.Add("speedup_w8_vs_w1", speedup8);
+    std::vector<JsonObject> rows;
+    for (const Point& p : points) {
+      JsonObject row;
+      row.Add("wb_window", static_cast<std::uint64_t>(p.window));
+      row.Add("flush_s", p.flush_seconds);
+      row.Add("writes", p.writes);
+      row.Add("commits", p.commits);
+      row.Add("peak_in_flight", p.peak_in_flight);
+      rows.push_back(std::move(row));
+    }
+    doc.Add("points", rows);
+    if (WriteTextFile(*json_out, doc.Dump() + "\n")) {
+      std::printf("wrote %s\n", json_out->c_str());
+    }
+  }
+
   if (check && speedup8 < 4.0) {
     std::fprintf(stderr, "FAIL: wb_window=8 speedup %.2fx < 4x\n", speedup8);
     return 1;
@@ -128,6 +151,7 @@ int Main(bool check) {
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
-  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
-  return gvfs::bench::Main(check);
+  const bool check = gvfs::bench::HasFlag(argc, argv, "--check");
+  return gvfs::bench::Main(check,
+                           gvfs::bench::FlagValue(argc, argv, "--json-out"));
 }

@@ -131,6 +131,21 @@ GrantSuffix GrantSuffix::ExtractFrom(Bytes& reply_body) {
   return out;
 }
 
+trace::CheckerConfig NfsTraceCheckerConfig() {
+  trace::CheckerConfig config;
+  // The non-idempotent NFSv3 procedures: re-executing any of these on a
+  // retransmitted request changes the outcome (EEXIST on the second CREATE,
+  // ENOENT on the second REMOVE, ...), which is exactly what the duplicate
+  // request cache exists to prevent.
+  config.AddNonIdempotent(nfs3::kProgram, nfs3::kCreate);
+  config.AddNonIdempotent(nfs3::kProgram, nfs3::kMkdir);
+  config.AddNonIdempotent(nfs3::kProgram, nfs3::kRemove);
+  config.AddNonIdempotent(nfs3::kProgram, nfs3::kRmdir);
+  config.AddNonIdempotent(nfs3::kProgram, nfs3::kRename);
+  config.AddNonIdempotent(nfs3::kProgram, nfs3::kLink);
+  return config;
+}
+
 #undef GVFS_TRY
 
 }  // namespace gvfs::proxy

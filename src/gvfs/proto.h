@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "nfs3/proto.h"
+#include "trace/checker.h"
 
 namespace gvfs::proxy {
 
@@ -127,5 +128,13 @@ struct GrantSuffix {
   /// Extracts (and strips) a suffix from a reply body, if present.
   static GrantSuffix ExtractFrom(Bytes& reply_body);
 };
+
+// ---------------------------------------------------------------------------
+// Trace checking
+// ---------------------------------------------------------------------------
+
+/// Checker configuration for this protocol: the NFSv3 procedures whose
+/// re-execution the duplicate-request cache must prevent (invariant 4).
+trace::CheckerConfig NfsTraceCheckerConfig();
 
 }  // namespace gvfs::proxy

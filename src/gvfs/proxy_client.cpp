@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "sim/sync.h"
+#include "trace/trace.h"
 
 namespace gvfs::proxy {
 
@@ -100,6 +101,11 @@ void ProxyClient::StoreGrant(const Fh& fh, DelegationType type) {
   auto& deleg = delegations_[fh];
   // A write delegation is never downgraded by a read grant refresh.
   if (!(deleg.type == DelegationType::kWrite && type == DelegationType::kRead)) {
+    if (deleg.type != type) {
+      node_.tracer().Deleg(trace::EventType::kDelegGrant, node_.address().host,
+                           fh.fsid, fh.ino, static_cast<std::uint32_t>(type),
+                           upstream_.server().host, 0, 0);
+    }
     deleg.type = type;
   }
   deleg.refreshed_at = sched_.Now();
@@ -111,6 +117,10 @@ void ProxyClient::Absorb(const Fh& fh, const nfs3::PostOpAttr& attr, bool own_wr
   if (!attr.has_value()) return;
   cache_.ObserveMtime(fh, attr->mtime, attr->size, own_write);
   cache_.StoreAttr(fh, *attr, sched_.Now());
+  // kCacheMiss marks "entry (re)validated from an upstream reply" — the
+  // refresh edge the stale-read invariant pairs against invalidations.
+  node_.tracer().Cache(trace::EventType::kCacheMiss, node_.address().host,
+                       fh.fsid, fh.ino, trace::kNoOffset, "");
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +167,8 @@ sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
 
   if (AttrServable(fh)) {
     ++stats_.served_locally;
+    node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                         fh.fsid, fh.ino, trace::kNoOffset, "GETATTR");
     // Snapshot before the disk-access sleep: a concurrent callback may
     // invalidate the entry while we wait (the reply is already "in flight").
     nfs3::GetAttrRes res;
@@ -250,6 +262,8 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
       if (!child->valid()) {
         // Cached negative entry.
         ++stats_.served_locally;
+        node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                             dir.fsid, dir.ino, trace::kNoOffset, "LOOKUP");
         nfs3::LookupRes res;
         res.status = Status::kNoEnt;
         res.dir_attr = cache_.ValidAttr(dir)->attr;
@@ -258,6 +272,11 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
       }
       if (AttrServable(*child)) {
         ++stats_.served_locally;
+        node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                             dir.fsid, dir.ino, trace::kNoOffset, "LOOKUP");
+        node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                             child->fsid, child->ino, trace::kNoOffset,
+                             "LOOKUP");
         nfs3::LookupRes res;
         res.object = *child;
         res.obj_attr = cache_.ValidAttr(*child)->attr;
@@ -289,6 +308,8 @@ sim::Task<Bytes> ProxyClient::HandleAccess(Bytes args) {
   const Fh fh = parsed->object;
   if (AttrServable(fh)) {
     ++stats_.served_locally;
+    node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                         fh.fsid, fh.ino, trace::kNoOffset, "ACCESS");
     nfs3::AccessRes res;
     res.attr = cache_.ValidAttr(fh)->attr;
     res.access = parsed->access;
@@ -339,6 +360,8 @@ sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
       res.count = static_cast<std::uint32_t>(res.data.size());
       res.eof = parsed->offset + res.count >= file_size;
       ++stats_.served_locally;
+      node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                           fh.fsid, fh.ino, block_start, "READ");
       co_await sim::Sleep(sched_, config_.disk_access_time);
       co_return Serialize(res);
     }
@@ -460,6 +483,8 @@ sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
     entry->valid = true;
 
     ++stats_.served_locally;
+    node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                         fh.fsid, fh.ino, parsed->offset, "WRITE");
     nfs3::WriteRes res;
     res.attr = entry->attr;
     res.count = static_cast<std::uint32_t>(parsed->data.size());
@@ -584,6 +609,8 @@ sim::Task<Bytes> ProxyClient::HandleCommit(Bytes args) {
     // the data reaches the server on the next flush (§4.3, write delegation
     // "can further delay writes").
     ++stats_.served_locally;
+    node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
+                         fh.fsid, fh.ino, trace::kNoOffset, "COMMIT");
     nfs3::CommitRes res;
     const DiskCache::AttrEntry* entry = cache_.ValidAttr(fh);
     if (entry != nullptr) res.attr = entry->attr;
@@ -722,12 +749,34 @@ sim::Task<Bytes> ProxyClient::HandlePassthrough(std::uint32_t proc, Bytes args) 
 // Callbacks (server -> client)
 // ---------------------------------------------------------------------------
 
-sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, Bytes args) {
   ++stats_.callbacks_received;
   auto parsed = nfs3::Parse<CallbackArgs>(args);
   if (!parsed) co_return Serialize(CallbackRes{});
   const Fh fh = parsed->file;
   DropDelegation(fh);
+  {
+    // Sample the wanted block's dirty bit now: this is the moment the §4.3.2
+    // write-back obligation is incurred, and what the checker holds us to.
+    std::uint32_t flags = 0;
+    if (parsed->type == CallbackType::kRecallWrite && parsed->has_wanted_offset) {
+      flags |= trace::kDelegFlagHasWanted;
+      const std::uint64_t aligned =
+          parsed->wanted_offset - parsed->wanted_offset % cache_.block_size();
+      const DiskCache::Block* wanted =
+          cache_.FindBlock(fh, aligned / cache_.block_size());
+      if (wanted != nullptr && wanted->dirty) flags |= trace::kDelegFlagWantedDirty;
+    }
+    node_.tracer().Deleg(
+        trace::EventType::kDelegRecall, node_.address().host, fh.fsid, fh.ino,
+        static_cast<std::uint32_t>(parsed->type == CallbackType::kRecallWrite
+                                       ? DelegationType::kWrite
+                                       : DelegationType::kRead),
+        ctx.caller.host, flags,
+        parsed->has_wanted_offset
+            ? parsed->wanted_offset - parsed->wanted_offset % cache_.block_size()
+            : 0);
+  }
   // The recall reply promises the server our updates are visible: async
   // write-through WRITEs to this file must land first.
   co_await DrainAsyncWrites(fh);
@@ -754,16 +803,24 @@ sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext, Bytes args) {
     }
   }
   cache_.InvalidateAttr(fh);
+  node_.tracer().Deleg(
+      trace::EventType::kDelegRelease, node_.address().host, fh.fsid, fh.ino,
+      static_cast<std::uint32_t>(parsed->type == CallbackType::kRecallWrite
+                                     ? DelegationType::kWrite
+                                     : DelegationType::kRead),
+      ctx.caller.host, 0, 0);
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRecovery(rpc::CallContext, Bytes) {
+sim::Task<Bytes> ProxyClient::HandleRecovery(rpc::CallContext ctx, Bytes) {
   ++stats_.callbacks_received;
   // Whole-cache callback after a server restart: every cached attribute
   // must be revalidated; write-delegation state is reported back so the
   // server can rebuild its table.
   cache_.InvalidateAllAttrs();
   delegations_.clear();
+  node_.tracer().Inv(trace::EventType::kInvForce, node_.address().host, 0, 0,
+                     /*timestamp=*/0, /*count=*/0, ctx.caller.host);
   RecoveryRes res;
   res.dirty_files = cache_.FilesWithDirtyData();
   co_return Serialize(res);
@@ -812,11 +869,17 @@ sim::Task<void> ProxyClient::PollOnce() {
     ++stats_.polls;
     poll_timestamp_ = res->new_timestamp;
     if (res->force_invalidate) {
+      node_.tracer().Inv(trace::EventType::kInvForce, node_.address().host, 0,
+                         0, res->new_timestamp, 0, upstream_.server().host);
       cache_.InvalidateAllAttrs();
       ++stats_.force_invalidations;
       got_news = true;
     } else {
       for (const auto& fh : res->handles) {
+        node_.tracer().Inv(trace::EventType::kInvPoll, node_.address().host,
+                           fh.fsid, fh.ino, res->new_timestamp,
+                           static_cast<std::uint32_t>(res->handles.size()),
+                           upstream_.server().host);
         cache_.InvalidateAttr(fh);
         ++stats_.invalidations_applied;
       }
@@ -864,6 +927,8 @@ sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
   auto res = nfs3::Parse<nfs3::WriteRes>(*body);
   if (!res || res->status != Status::kOk) co_return false;
   cache_.MarkClean(fh, index);
+  node_.tracer().Cache(trace::EventType::kCacheWriteBack, node_.address().host,
+                       fh.fsid, fh.ino, offset, "WRITE");
   Absorb(fh, res->attr, /*own_write=*/true);
   ++stats_.blocks_flushed;
   co_return true;
@@ -964,6 +1029,7 @@ sim::Task<void> ProxyClient::Shutdown() {
 // ---------------------------------------------------------------------------
 
 void ProxyClient::Crash() {
+  node_.tracer().Node(trace::EventType::kNodeCrash, node_.address().host);
   node_.SetDown(true);
   running_ = false;
   ++epoch_;
@@ -994,7 +1060,10 @@ sim::Task<void> ProxyClient::RecoverFile(Fh fh) {
 
 sim::Task<void> ProxyClient::Recover() {
   node_.SetDown(false);
+  node_.tracer().Node(trace::EventType::kNodeRecover, node_.address().host);
   cache_.InvalidateAllAttrs();
+  node_.tracer().Inv(trace::EventType::kInvForce, node_.address().host, 0, 0,
+                     /*timestamp=*/0, /*count=*/0, upstream_.server().host);
   const std::uint64_t epoch = epoch_;
 
   // For files with cached dirty data, write back a single block each: this

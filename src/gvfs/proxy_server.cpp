@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace gvfs::proxy {
 
@@ -150,6 +151,9 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
   RegisterClient(ctx.caller);
 
   OpInfo info = Classify(proc, args);
+  // Fault injection for the trace checker's negative tests: skip the recall
+  // step entirely so conflicting delegations can coexist.
+  const bool skip_recalls = config_.unsafe_skip_recalls;
 
   // Resolve victims (e.g. the file a REMOVE will unlink) before the mutation
   // lands, so their holders can be recalled / invalidated too.
@@ -164,7 +168,7 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
 
   const bool delegation_model = config_.model == ConsistencyModel::kDelegationCallback;
 
-  if (delegation_model) {
+  if (delegation_model && !skip_recalls) {
     // Recall conflicting delegations before the operation proceeds.
     for (const auto& fh : info.writes) {
       co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, info.offset);
@@ -238,14 +242,22 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
 
 void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
   if (config_.model != ConsistencyModel::kInvalidationPolling) return;
+  const auto& tr = node_.tracer();
+  const HostId host = node_.address().host;
   ++inv_clock_;
   for (auto& [client, state] : inv_clients_) {
     if (client == writer) continue;  // the writer observed its own change
     if (!state.pending.insert(fh).second) continue;  // coalesced
     state.buffer.push_back(InvEntry{inv_clock_, fh});
     ++stats_.invalidations_recorded;
+    tr.Inv(trace::EventType::kInvAppend, host, fh.fsid, fh.ino, inv_clock_,
+           static_cast<std::uint32_t>(state.buffer.size()), client.host);
     if (state.buffer.size() > config_.inv_buffer_capacity) {
-      state.pending.erase(state.buffer.front().fh);
+      const InvEntry& oldest = state.buffer.front();
+      tr.Inv(trace::EventType::kInvWrap, host, oldest.fh.fsid, oldest.fh.ino,
+             oldest.timestamp,
+             static_cast<std::uint32_t>(state.buffer.size()), client.host);
+      state.pending.erase(oldest.fh);
       state.buffer.pop_front();
       state.overflowed = true;  // wrap-around: this client must force-invalidate
     }
@@ -255,6 +267,8 @@ void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
 sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
   ++stats_.getinv_served;
   RegisterClient(ctx.caller);
+  const auto& tr = node_.tracer();
+  const HostId host = node_.address().host;
 
   GetInvRes res;
   auto parsed = nfs3::Parse<GetInvArgs>(args);
@@ -273,6 +287,8 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
     res.new_timestamp = inv_clock_;
     res.force_invalidate = true;
     ++stats_.force_invalidations;
+    tr.Inv(trace::EventType::kInvForce, host, 0, 0, inv_clock_, 0,
+           ctx.caller.host);
     co_return Serialize(res);
   }
 
@@ -289,6 +305,8 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
     res.new_timestamp = inv_clock_;
     res.force_invalidate = true;
     ++stats_.force_invalidations;
+    tr.Inv(trace::EventType::kInvForce, host, 0, 0, inv_clock_, 0,
+           ctx.caller.host);
     co_return Serialize(res);
   }
 
@@ -309,6 +327,8 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
     res.poll_again = true;
   }
   res.new_timestamp = state.last_acked;
+  tr.Inv(trace::EventType::kInvPoll, host, 0, 0, res.new_timestamp,
+         static_cast<std::uint32_t>(res.handles.size()), ctx.caller.host);
   co_return Serialize(res);
 }
 
@@ -316,13 +336,19 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
 // Delegations (§4.3)
 // ---------------------------------------------------------------------------
 
-void ProxyServer::ExpireSharers(FileState& state) {
+void ProxyServer::ExpireSharers(const Fh& fh, FileState& state) {
   const SimTime now = sched_.Now();
   for (auto it = state.sharers.begin(); it != state.sharers.end();) {
     if (now - it->second.last_access > config_.deleg_expiry) {
       // Speculated closed; no callback needed — the client-side renewal
       // period is shorter than the expiry, so a live client would have
       // refreshed it.
+      if (it->second.granted != DelegationType::kNone) {
+        node_.tracer().Deleg(
+            trace::EventType::kDelegExpiry, node_.address().host, fh.fsid,
+            fh.ino, static_cast<std::uint32_t>(it->second.granted),
+            it->first.host, trace::kDelegFlagServerSide, 0);
+      }
       it = state.sharers.erase(it);
     } else {
       ++it;
@@ -357,7 +383,7 @@ sim::Task<void> ProxyServer::RecallConflicts(Fh fh, net::Address requester,
                                              std::optional<std::uint64_t> offset) {
   auto it = files_.find(fh);
   if (it == files_.end()) co_return;
-  ExpireSharers(it->second);
+  ExpireSharers(fh, it->second);
 
   // Collect the conflicting holders first: the sharer map may be touched by
   // concurrent requests while we await callbacks.
@@ -401,6 +427,12 @@ sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
   } else {
     ++stats_.recalls_read;
   }
+  node_.tracer().Deleg(
+      trace::EventType::kDelegRecall, node_.address().host, fh.fsid, fh.ino,
+      static_cast<std::uint32_t>(granted), addr.host,
+      trace::kDelegFlagServerSide |
+          (offset.has_value() ? trace::kDelegFlagHasWanted : 0),
+      offset.value_or(0));
   CallbackRes res = co_await SendCallback(addr, fh, type, offset);
 
   auto again = files_.find(fh);
@@ -408,6 +440,9 @@ sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
   auto sharer = again->second.sharers.find(addr);
   if (sharer != again->second.sharers.end()) {
     sharer->second.granted = DelegationType::kNone;
+    node_.tracer().Deleg(trace::EventType::kDelegRelease, node_.address().host,
+                         fh.fsid, fh.ino, static_cast<std::uint32_t>(granted),
+                         addr.host, trace::kDelegFlagServerSide, 0);
   }
   if (!res.pending_offsets.empty()) {
     // Block-list optimization: the write delegation is considered revoked
@@ -436,6 +471,12 @@ sim::Task<void> ProxyServer::EnsureBlockWrittenBack(Fh fh, net::Address requeste
 
   // Requests to blocks not yet written back generate callbacks forcing the
   // owner to submit them promptly (§4.3.2).
+  node_.tracer().Deleg(trace::EventType::kDelegRecall, node_.address().host,
+                       fh.fsid, fh.ino,
+                       static_cast<std::uint32_t>(DelegationType::kWrite),
+                       it->second.writeback_owner.host,
+                       trace::kDelegFlagServerSide | trace::kDelegFlagHasWanted,
+                       block_offset);
   co_await SendCallback(it->second.writeback_owner, fh, CallbackType::kRecallWrite,
                         block_offset);
   // The owner's WRITE (observed in HandleNfs) retires the pending offset.
@@ -444,7 +485,12 @@ sim::Task<void> ProxyServer::EnsureBlockWrittenBack(Fh fh, net::Address requeste
 DelegationType ProxyServer::DecideGrant(const Fh& fh, net::Address requester,
                                         bool write_op) {
   auto& state = files_[fh];
-  ExpireSharers(state);
+  ExpireSharers(fh, state);
+  // Fault injection for the trace checker's negative tests: grant blindly,
+  // ignoring every conflict rule below.
+  if (config_.unsafe_skip_recalls) {
+    return write_op ? DelegationType::kWrite : DelegationType::kRead;
+  }
   // Temporarily non-cacheable: a recall is in flight or a write-back is
   // still being monitored (§4.3.1 / §4.3.2).
   if (state.recalling > 0 || !state.pending_writeback.empty()) {
@@ -479,6 +525,12 @@ void ProxyServer::TouchSharer(const Fh& fh, net::Address client, bool write_op,
   if (granted == DelegationType::kWrite ||
       (granted == DelegationType::kRead &&
        sharer.granted != DelegationType::kWrite)) {
+    if (sharer.granted != granted) {
+      node_.tracer().Deleg(trace::EventType::kDelegGrant, node_.address().host,
+                           fh.fsid, fh.ino,
+                           static_cast<std::uint32_t>(granted), client.host,
+                           trace::kDelegFlagServerSide, 0);
+    }
     sharer.granted = granted;
   }
 }
@@ -492,6 +544,7 @@ sim::Task<void> ProxyServer::WaitGrace() {
 }
 
 void ProxyServer::Crash() {
+  node_.tracer().Node(trace::EventType::kNodeCrash, node_.address().host);
   node_.SetDown(true);
   inv_clients_.clear();
   inv_clock_ = 1;
@@ -501,6 +554,7 @@ void ProxyServer::Crash() {
 
 sim::Task<void> ProxyServer::Recover() {
   node_.SetDown(false);
+  node_.tracer().Node(trace::EventType::kNodeRecover, node_.address().host);
   if (config_.model != ConsistencyModel::kDelegationCallback) co_return;
 
   in_grace_ = true;
@@ -538,6 +592,10 @@ sim::Task<void> ProxyServer::RecoverClient(net::Address client) {
     sharer.last_access = sched_.Now();
     sharer.last_write = sched_.Now();
     sharer.granted = DelegationType::kWrite;
+    node_.tracer().Deleg(trace::EventType::kDelegGrant, node_.address().host,
+                         fh.fsid, fh.ino,
+                         static_cast<std::uint32_t>(DelegationType::kWrite),
+                         client.host, trace::kDelegFlagServerSide, 0);
   }
 }
 

@@ -144,7 +144,7 @@ class ProxyServer {
                              bool write_op);
   void TouchSharer(const nfs3::Fh& fh, net::Address client, bool write_op,
                    DelegationType granted);
-  void ExpireSharers(FileState& state);
+  void ExpireSharers(const nfs3::Fh& fh, FileState& state);
   sim::Task<CallbackRes> SendCallback(net::Address client, nfs3::Fh fh,
                                       CallbackType type,
                                       std::optional<std::uint64_t> wanted);

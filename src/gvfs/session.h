@@ -92,6 +92,12 @@ struct SessionConfig {
   /// disk overhead the paper measures in LAN (~4 % read-only, ~8 % with
   /// write-back); it is what the WAN savings must amortize.
   Duration disk_access_time = Microseconds(1000);
+
+  /// Fault injection for the trace checker's negative tests: the proxy
+  /// server grants delegations without recalling conflicting holders,
+  /// deliberately breaking the §4.3 single-writer invariant so the checker
+  /// has something to catch. NEVER enable outside tests.
+  bool unsafe_skip_recalls = false;
 };
 
 }  // namespace gvfs::proxy

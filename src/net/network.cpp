@@ -20,12 +20,15 @@ void Network::Send(Packet packet) {
 
   auto it = links_.find(DirKey(from, to));
   if (it == links_.end()) {
+    ++no_link_stats_[DirKey(from, to)].dropped;
+    tracer_.NetDrop(from, to, packet.wire_size);
     GVFS_WARN("drop: no link %s -> %s", HostName(from).c_str(), HostName(to).c_str());
     return;
   }
   Link& link = it->second;
   if (!link.up) {
     ++link.stats.dropped;
+    tracer_.NetDrop(from, to, packet.wire_size);
     GVFS_TRACE("drop: link down %s -> %s", HostName(from).c_str(),
                HostName(to).c_str());
     return;

@@ -20,6 +20,7 @@
 
 #include "common/types.h"
 #include "sim/scheduler.h"
+#include "trace/trace.h"
 
 namespace gvfs::net {
 
@@ -100,8 +101,15 @@ class Network {
 
   LinkStats StatsFor(HostId from, HostId to) const {
     auto it = links_.find(DirKey(from, to));
-    return it == links_.end() ? LinkStats{} : it->second.stats;
+    if (it != links_.end()) return it->second.stats;
+    // Sends over a never-connected pair still account their drops (packets
+    // and bytes stay zero: nothing was ever carried).
+    auto nit = no_link_stats_.find(DirKey(from, to));
+    return nit == no_link_stats_.end() ? LinkStats{} : nit->second;
   }
+
+  /// Attaches a tracer recording packet-drop events. Disabled by default.
+  void SetTracer(trace::Tracer tracer) { tracer_ = tracer; }
 
  private:
   struct HostState {
@@ -125,6 +133,9 @@ class Network {
   sim::Scheduler& sched_;
   std::vector<HostState> hosts_;
   std::map<std::uint64_t, Link> links_;
+  /// Drop counters for (from, to) pairs with no link configured.
+  std::map<std::uint64_t, LinkStats> no_link_stats_;
+  trace::Tracer tracer_;
   Duration loopback_latency_ = Microseconds(30);
 };
 

@@ -111,6 +111,10 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
 
   std::optional<Reply> reply;
   for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    tracer_.Rpc(attempt == 0 ? trace::EventType::kRpcSend
+                             : trace::EventType::kRpcRetransmit,
+                address_.host, address_.port, dst.host, dst.port, xid, prog,
+                proc, opts.label);
     SendCall(dst, xid, prog, proc, args, opts.label);
     reply = co_await slot->WaitUntil(sched_.Now() + opts.timeout);
     if (reply.has_value()) break;
@@ -119,6 +123,10 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
                opts.label.c_str(), xid, attempt + 1);
   }
   pending_.erase(xid);
+  tracer_.Rpc(reply.has_value() ? trace::EventType::kRpcReply
+                                : trace::EventType::kRpcTimeout,
+              address_.host, address_.port, dst.host, dst.port, xid, prog,
+              proc, opts.label);
   if (tracked) stats_->EndCall(opts.label, sched_.Now() - started);
 
   if (!reply.has_value()) co_return Unexpected(RpcError::kTimedOut);
@@ -165,6 +173,8 @@ void RpcNode::OnPacket(net::Packet packet) {
     if (drc_it->second.completed) {
       // Retransmitted request we already served: resend the cached reply
       // without re-executing the handler.
+      tracer_.Rpc(trace::EventType::kRpcDrcHit, address_.host, address_.port,
+                  packet.src.host, packet.src.port, *xid, *prog, *proc, "");
       SendReply(packet.src, *xid, drc_it->second.stat, drc_it->second.reply);
     }
     // In progress: drop the duplicate; the original execution will reply.
@@ -183,6 +193,8 @@ void RpcNode::OnPacket(net::Packet packet) {
     return;
   }
   DrcInsert(key);
+  tracer_.Rpc(trace::EventType::kRpcExec, address_.host, address_.port,
+              packet.src.host, packet.src.port, *xid, *prog, *proc, "");
   CallContext ctx{packet.src, *xid};
   sim::Spawn(RunHandler(handler_it->second, ctx, std::move(*args), key));
 }
@@ -218,6 +230,7 @@ RpcNode& Domain::CreateNode(HostId host, std::uint32_t port, std::string name) {
   assert(nodes_.find(address) == nodes_.end() && "port already bound");
   auto node = std::make_unique<RpcNode>(sched_, network_, address, std::move(name));
   RpcNode& ref = *node;
+  ref.SetTracer(tracer_);
   nodes_[address] = std::move(node);
 
   if (!mux_installed_[host]) {
@@ -233,6 +246,11 @@ RpcNode& Domain::CreateNode(HostId host, std::uint32_t port, std::string name) {
 RpcNode* Domain::Find(net::Address address) {
   auto it = nodes_.find(address);
   return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+void Domain::SetTracer(trace::Tracer tracer) {
+  tracer_ = tracer;
+  for (auto& [address, node] : nodes_) node->SetTracer(tracer);
 }
 
 }  // namespace gvfs::rpc

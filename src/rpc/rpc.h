@@ -22,6 +22,7 @@
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "trace/trace.h"
 
 namespace gvfs::rpc {
 
@@ -86,6 +87,12 @@ class RpcNode {
   /// Attaches a per-procedure stats sink (counts outgoing calls). May be null.
   void SetStatsSink(StatsMap* sink) { stats_ = sink; }
 
+  /// Attaches a tracer recording RPC lifecycle events (send, retransmit,
+  /// reply, timeout, handler execution, duplicate-cache hits). Components
+  /// layered on this node (the gvfs proxies) record through it as well.
+  void SetTracer(trace::Tracer tracer) { tracer_ = tracer; }
+  const trace::Tracer& tracer() const { return tracer_; }
+
   /// Crash simulation: a down node drops all incoming packets and refuses to
   /// send. Soft state (duplicate-request cache, pending calls) is lost.
   void SetDown(bool down);
@@ -140,6 +147,7 @@ class RpcNode {
   static constexpr std::size_t kDrcCapacity = 2048;
 
   StatsMap* stats_ = nullptr;
+  trace::Tracer tracer_;
 };
 
 /// Owns all RPC nodes in a simulation and demultiplexes incoming packets to
@@ -154,6 +162,9 @@ class Domain {
 
   RpcNode* Find(net::Address address);
 
+  /// Attaches a tracer to every node, existing and future.
+  void SetTracer(trace::Tracer tracer);
+
   sim::Scheduler& scheduler() { return sched_; }
   net::Network& network() { return network_; }
 
@@ -162,6 +173,7 @@ class Domain {
   net::Network& network_;
   std::map<net::Address, std::unique_ptr<RpcNode>> nodes_;
   std::map<HostId, bool> mux_installed_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace gvfs::rpc

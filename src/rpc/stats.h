@@ -11,6 +11,8 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,6 +42,7 @@ class StatsMap {
     ++lat.count;
     lat.sum += latency;
     lat.max = std::max(lat.max, latency);
+    ++lat.hist[BucketFor(latency)];
   }
 
   std::uint64_t Calls(const std::string& label) const {
@@ -84,6 +87,37 @@ class StatsMap {
     return it->second.sum / static_cast<Duration>(it->second.count);
   }
 
+  /// Latency percentile from the log-bucketed histogram (power-of-two
+  /// microsecond buckets), or 0 when no call finished under this label. The
+  /// value returned is the bucket's upper bound, clamped to the recorded
+  /// max, so the tail is never under-reported by more than one bucket (a
+  /// factor of two at microsecond resolution).
+  Duration LatencyPercentile(const std::string& label, double pct) const {
+    auto it = latency_.find(label);
+    if (it == latency_.end() || it->second.count == 0) return 0;
+    const Latency& lat = it->second;
+    const auto rank = static_cast<std::uint64_t>(
+        pct / 100.0 * static_cast<double>(lat.count) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < lat.hist.size(); ++b) {
+      seen += lat.hist[b];
+      if (seen >= std::max<std::uint64_t>(rank, 1)) {
+        return std::min(lat.max, BucketUpperBound(b));
+      }
+    }
+    return lat.max;
+  }
+
+  Duration LatencyP50(const std::string& label) const {
+    return LatencyPercentile(label, 50);
+  }
+  Duration LatencyP95(const std::string& label) const {
+    return LatencyPercentile(label, 95);
+  }
+  Duration LatencyP99(const std::string& label) const {
+    return LatencyPercentile(label, 99);
+  }
+
   const std::map<std::string, std::uint64_t>& calls() const { return calls_; }
 
   void Reset() {
@@ -95,10 +129,28 @@ class StatsMap {
   }
 
  private:
+  /// Histogram buckets are powers of two in microseconds: bucket b holds
+  /// latencies in [2^(b-1), 2^b) us, bucket 0 holds sub-microsecond calls.
+  /// 40 buckets cover ~12 simulated days — beyond any plausible RPC.
+  static constexpr std::size_t kHistBuckets = 40;
+
+  static std::size_t BucketFor(Duration latency) {
+    const auto us = static_cast<std::uint64_t>(
+        latency > 0 ? latency / kMicrosecond : 0);
+    const std::size_t b = std::bit_width(us);  // 0 for us == 0
+    return std::min(b, kHistBuckets - 1);
+  }
+
+  static Duration BucketUpperBound(std::size_t bucket) {
+    if (bucket == 0) return kMicrosecond;
+    return static_cast<Duration>(1ull << bucket) * kMicrosecond;
+  }
+
   struct Latency {
     std::uint64_t count = 0;
     Duration sum = 0;
     Duration max = 0;
+    std::array<std::uint64_t, kHistBuckets> hist{};
   };
 
   std::map<std::string, std::uint64_t> calls_;

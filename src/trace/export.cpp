@@ -1,0 +1,303 @@
+#include "trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace gvfs::trace {
+namespace {
+
+std::string HostLabel(const std::vector<std::string>& names, HostId host) {
+  if (host < names.size() && !names[host].empty()) return names[host];
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "host %u", host);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome ts fields are microseconds.
+double ToMicros(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+std::string FhString(std::uint64_t fsid, std::uint64_t ino) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%" PRIu64, fsid, ino);
+  return buf;
+}
+
+/// Args JSON ({"k":v,...}) describing an event's payload for instant events.
+std::string PayloadArgs(const TraceBuffer& buf, const Event& ev) {
+  char out[256];
+  switch (ev.type) {
+    case EventType::kNetDrop:
+      std::snprintf(out, sizeof(out), "{\"dst_host\":%u,\"wire_size\":%u}",
+                    ev.u.net.dst_host, ev.u.net.wire_size);
+      return out;
+    case EventType::kCacheHit:
+    case EventType::kCacheMiss:
+    case EventType::kCacheWriteBack: {
+      const auto& c = ev.u.cache;
+      if (c.offset == kNoOffset) {
+        std::snprintf(out, sizeof(out), "{\"fh\":\"%s\",\"op\":\"%s\"}",
+                      FhString(c.fsid, c.ino).c_str(),
+                      JsonEscape(buf.LabelName(c.label)).c_str());
+      } else {
+        std::snprintf(out, sizeof(out),
+                      "{\"fh\":\"%s\",\"op\":\"%s\",\"offset\":%" PRIu64 "}",
+                      FhString(c.fsid, c.ino).c_str(),
+                      JsonEscape(buf.LabelName(c.label)).c_str(), c.offset);
+      }
+      return out;
+    }
+    case EventType::kDelegGrant:
+    case EventType::kDelegRecall:
+    case EventType::kDelegRelease:
+    case EventType::kDelegExpiry: {
+      const auto& d = ev.u.deleg;
+      std::snprintf(out, sizeof(out),
+                    "{\"fh\":\"%s\",\"type\":%u,\"peer_host\":%u,\"flags\":%u,"
+                    "\"wanted_offset\":%" PRIu64 "}",
+                    FhString(d.fsid, d.ino).c_str(), d.deleg_type, d.peer_host,
+                    d.flags,
+                    (d.flags & kDelegFlagHasWanted) != 0 ? d.wanted_offset : 0);
+      return out;
+    }
+    case EventType::kInvAppend:
+    case EventType::kInvPoll:
+    case EventType::kInvWrap:
+    case EventType::kInvForce: {
+      const auto& i = ev.u.inv;
+      std::snprintf(out, sizeof(out),
+                    "{\"fh\":\"%s\",\"timestamp\":%" PRIu64
+                    ",\"count\":%u,\"peer_host\":%u}",
+                    FhString(i.fsid, i.ino).c_str(), i.timestamp, i.count,
+                    i.peer_host);
+      return out;
+    }
+    default:
+      return "{}";
+  }
+}
+
+}  // namespace
+
+void ChromeTraceWriter::Add(const TraceBuffer& buffer,
+                            const ChromeTraceOptions& options) {
+  char line[512];
+
+  // Track which (pid, tid) pairs appear so we can emit name metadata.
+  std::set<HostId> hosts_seen;
+
+  // Open RPC spans keyed by (host, port, xid).
+  struct OpenSpan {
+    SimTime start = 0;
+    std::uint32_t retransmits = 0;
+    Event send;  // the kRpcSend event (payload reused for the span)
+  };
+  std::map<std::tuple<HostId, std::uint32_t, std::uint32_t>, OpenSpan> open;
+
+  auto pid_of = [&](HostId host) { return options.pid_offset + host; };
+
+  auto emit_span = [&](const OpenSpan& span, SimTime end, bool timed_out) {
+    const auto& rpc = span.send.u.rpc;
+    std::string name = buffer.LabelName(rpc.label);
+    if (name.empty()) {
+      char tmp[48];
+      std::snprintf(tmp, sizeof(tmp), "proc %u/%u", rpc.prog, rpc.proc);
+      name = tmp;
+    }
+    if (timed_out) name += " (timeout)";
+    std::snprintf(
+        line, sizeof(line),
+        "{\"name\":\"%s\",\"cat\":\"rpc\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":{\"xid\":%u,"
+        "\"prog\":%u,\"proc\":%u,\"peer_host\":%u,\"retransmits\":%u}}",
+        JsonEscape(name).c_str(), ToMicros(span.start),
+        ToMicros(end - span.start), pid_of(span.send.host), span.send.port,
+        rpc.xid, rpc.prog, rpc.proc, rpc.peer_host, span.retransmits);
+    events_.push_back(line);
+  };
+
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Event& ev = buffer.at(i);
+    hosts_seen.insert(ev.host);
+    switch (ev.type) {
+      case EventType::kRpcSend: {
+        OpenSpan span;
+        span.start = ev.time;
+        span.send = ev;
+        open[{ev.host, ev.port, ev.u.rpc.xid}] = span;
+        continue;
+      }
+      case EventType::kRpcRetransmit: {
+        auto it = open.find({ev.host, ev.port, ev.u.rpc.xid});
+        if (it != open.end()) ++it->second.retransmits;
+        continue;
+      }
+      case EventType::kRpcReply:
+      case EventType::kRpcTimeout: {
+        auto it = open.find({ev.host, ev.port, ev.u.rpc.xid});
+        if (it == open.end()) continue;
+        emit_span(it->second, ev.time, ev.type == EventType::kRpcTimeout);
+        open.erase(it);
+        continue;
+      }
+      default:
+        break;
+    }
+    // Everything else: a thread-scoped instant event.
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\","
+                  "\"ts\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":%s}",
+                  EventTypeName(ev.type), ToMicros(ev.time), pid_of(ev.host),
+                  ev.port, PayloadArgs(buffer, ev).c_str());
+    events_.push_back(line);
+  }
+
+  // Calls still in flight when the trace ended: render them as zero-length
+  // spans so the send is not silently lost.
+  for (const auto& [key, span] : open) {
+    emit_span(span, span.start, false);
+  }
+
+  for (HostId host : hosts_seen) {
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"%s%s\"}}",
+                  pid_of(host), JsonEscape(options.process_prefix).c_str(),
+                  JsonEscape(HostLabel(options.host_names, host)).c_str());
+    events_.push_back(line);
+  }
+}
+
+void ChromeTraceWriter::Write(std::ostream& out) const {
+  out << "[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out << events_[i];
+    if (i + 1 < events_.size()) out << ',';
+    out << '\n';
+  }
+  out << "]\n";
+}
+
+bool ChromeTraceWriter::WriteTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    GVFS_WARN("trace: cannot open %s for writing", path.c_str());
+    return false;
+  }
+  Write(out);
+  return out.good();
+}
+
+void WriteTimeline(const TraceBuffer& buffer, std::ostream& out,
+                   const std::vector<std::string>& host_names) {
+  char line[384];
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Event& ev = buffer.at(i);
+    std::snprintf(line, sizeof(line), "[%12.6f] %-8s %-15s",
+                  ToSeconds(ev.time), HostLabel(host_names, ev.host).c_str(),
+                  EventTypeName(ev.type));
+    out << line;
+    switch (ev.type) {
+      case EventType::kRpcSend:
+      case EventType::kRpcRetransmit:
+      case EventType::kRpcReply:
+      case EventType::kRpcTimeout:
+      case EventType::kRpcExec:
+      case EventType::kRpcDrcHit: {
+        const auto& r = ev.u.rpc;
+        std::snprintf(line, sizeof(line), " %s xid=%u peer=%s:%u",
+                      buffer.LabelName(r.label).c_str(), r.xid,
+                      HostLabel(host_names, r.peer_host).c_str(), r.peer_port);
+        out << line;
+        break;
+      }
+      case EventType::kNetDrop:
+        std::snprintf(line, sizeof(line), " -> %s (%u bytes)",
+                      HostLabel(host_names, ev.u.net.dst_host).c_str(),
+                      ev.u.net.wire_size);
+        out << line;
+        break;
+      case EventType::kCacheHit:
+      case EventType::kCacheMiss:
+      case EventType::kCacheWriteBack: {
+        const auto& c = ev.u.cache;
+        std::snprintf(line, sizeof(line), " fh=%s %s",
+                      FhString(c.fsid, c.ino).c_str(),
+                      buffer.LabelName(c.label).c_str());
+        out << line;
+        if (c.offset != kNoOffset) {
+          std::snprintf(line, sizeof(line), " offset=%" PRIu64, c.offset);
+          out << line;
+        }
+        break;
+      }
+      case EventType::kDelegGrant:
+      case EventType::kDelegRecall:
+      case EventType::kDelegRelease:
+      case EventType::kDelegExpiry: {
+        const auto& d = ev.u.deleg;
+        std::snprintf(line, sizeof(line), " fh=%s type=%u peer=%s%s",
+                      FhString(d.fsid, d.ino).c_str(), d.deleg_type,
+                      HostLabel(host_names, d.peer_host).c_str(),
+                      (d.flags & kDelegFlagServerSide) != 0 ? " (server)" : "");
+        out << line;
+        if ((d.flags & kDelegFlagHasWanted) != 0) {
+          std::snprintf(line, sizeof(line), " wanted=%" PRIu64 "%s",
+                        d.wanted_offset,
+                        (d.flags & kDelegFlagWantedDirty) != 0 ? " dirty" : "");
+          out << line;
+        }
+        break;
+      }
+      case EventType::kInvAppend:
+      case EventType::kInvPoll:
+      case EventType::kInvWrap:
+      case EventType::kInvForce: {
+        const auto& v = ev.u.inv;
+        std::snprintf(line, sizeof(line),
+                      " fh=%s ts=%" PRIu64 " count=%u peer=%s",
+                      FhString(v.fsid, v.ino).c_str(), v.timestamp, v.count,
+                      HostLabel(host_names, v.peer_host).c_str());
+        out << line;
+        break;
+      }
+      case EventType::kNodeCrash:
+      case EventType::kNodeRecover:
+        break;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace gvfs::trace

@@ -1,0 +1,160 @@
+#include "trace/trace.h"
+
+#include <cassert>
+
+namespace gvfs::trace {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kRpcSend:
+      return "RPC_SEND";
+    case EventType::kRpcRetransmit:
+      return "RPC_RETRANSMIT";
+    case EventType::kRpcReply:
+      return "RPC_REPLY";
+    case EventType::kRpcTimeout:
+      return "RPC_TIMEOUT";
+    case EventType::kRpcExec:
+      return "RPC_EXEC";
+    case EventType::kRpcDrcHit:
+      return "RPC_DRC_HIT";
+    case EventType::kNetDrop:
+      return "NET_DROP";
+    case EventType::kCacheHit:
+      return "CACHE_HIT";
+    case EventType::kCacheMiss:
+      return "CACHE_MISS";
+    case EventType::kCacheWriteBack:
+      return "CACHE_WRITEBACK";
+    case EventType::kDelegGrant:
+      return "DELEG_GRANT";
+    case EventType::kDelegRecall:
+      return "DELEG_RECALL";
+    case EventType::kDelegRelease:
+      return "DELEG_RELEASE";
+    case EventType::kDelegExpiry:
+      return "DELEG_EXPIRY";
+    case EventType::kInvAppend:
+      return "INV_APPEND";
+    case EventType::kInvPoll:
+      return "INV_POLL";
+    case EventType::kInvWrap:
+      return "INV_WRAP";
+    case EventType::kInvForce:
+      return "INV_FORCE";
+    case EventType::kNodeCrash:
+      return "NODE_CRASH";
+    case EventType::kNodeRecover:
+      return "NODE_RECOVER";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  labels_.push_back("");  // id 0 is always the empty label
+  label_ids_[""] = 0;
+}
+
+void TraceBuffer::Push(const Event& event) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+const Event& TraceBuffer::at(std::size_t i) const {
+  assert(i < ring_.size());
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+std::uint16_t TraceBuffer::InternLabel(const std::string& label) {
+  auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->second;
+  // Saturate rather than grow without bound: ids are u16 and real runs use a
+  // few dozen labels at most.
+  if (labels_.size() >= 0xffff) return 0;
+  const auto id = static_cast<std::uint16_t>(labels_.size());
+  labels_.push_back(label);
+  label_ids_[label] = id;
+  return id;
+}
+
+const std::string& TraceBuffer::LabelName(std::uint16_t id) const {
+  return id < labels_.size() ? labels_[id] : labels_[0];
+}
+
+void TraceBuffer::Clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+Event Tracer::Stamp(EventType type, HostId host, std::uint32_t port) const {
+  Event ev;
+  ev.time = clock_ != nullptr ? *clock_ : 0;
+  ev.type = type;
+  ev.host = host;
+  ev.port = port;
+  return ev;
+}
+
+void Tracer::Rpc(EventType type, HostId host, std::uint32_t port,
+                 HostId peer_host, std::uint32_t peer_port, std::uint32_t xid,
+                 std::uint32_t prog, std::uint32_t proc,
+                 const std::string& label) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(type, host, port);
+  ev.u.rpc = RpcPayload{peer_host, peer_port, xid, prog, proc,
+                        buffer_->InternLabel(label)};
+  buffer_->Push(ev);
+}
+
+void Tracer::NetDrop(HostId src, HostId dst, std::size_t wire_size) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(EventType::kNetDrop, src, 0);
+  ev.u.net = NetPayload{dst, static_cast<std::uint32_t>(wire_size)};
+  buffer_->Push(ev);
+}
+
+void Tracer::Cache(EventType type, HostId host, std::uint64_t fsid,
+                   std::uint64_t ino, std::uint64_t offset,
+                   const std::string& label) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(type, host, 0);
+  ev.u.cache = CachePayload{fsid, ino, offset, buffer_->InternLabel(label)};
+  buffer_->Push(ev);
+}
+
+void Tracer::Deleg(EventType type, HostId host, std::uint64_t fsid,
+                   std::uint64_t ino, std::uint32_t deleg_type, HostId peer_host,
+                   std::uint32_t flags, std::uint64_t wanted_offset) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(type, host, 0);
+  ev.u.deleg =
+      DelegPayload{fsid, ino, wanted_offset, deleg_type, peer_host, flags};
+  buffer_->Push(ev);
+}
+
+void Tracer::Inv(EventType type, HostId host, std::uint64_t fsid,
+                 std::uint64_t ino, std::uint64_t timestamp, std::uint32_t count,
+                 HostId peer_host) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(type, host, 0);
+  ev.u.inv = InvPayload{fsid, ino, timestamp, count, peer_host};
+  buffer_->Push(ev);
+}
+
+void Tracer::Node(EventType type, HostId host) const {
+  if (buffer_ == nullptr) return;
+  buffer_->Push(Stamp(type, host, 0));
+}
+
+}  // namespace gvfs::trace

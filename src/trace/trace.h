@@ -1,0 +1,189 @@
+// Structured event tracing for simulation runs.
+//
+// Every interesting protocol action — RPC send/reply/retransmit/timeout,
+// cache hit/miss/write-back, delegation grant/recall/release/expiry,
+// invalidation-buffer append/poll/wrap/force-invalidate, node crash and
+// recovery — is recorded as a fixed-size typed event (tagged-union payload)
+// in a bounded per-run ring buffer, stamped with the simulation clock.
+//
+// The producer side is a nullable `Tracer` value handle threaded through
+// net::Network, rpc::RpcNode and the gvfs proxy layers; when no buffer is
+// attached every record call is a no-op (benches default to tracing off).
+// Consumers replay the buffer: exporters (export.h) render Chrome
+// trace-event JSON and a human-readable timeline; the TraceChecker
+// (checker.h) asserts protocol invariants over the stream.
+//
+// This library is a leaf: it depends only on gvfs_common, so any layer
+// (net, rpc, gvfs) can record events without include cycles. File handles
+// are therefore carried as raw (fsid, ino) pairs rather than nfs3::Fh.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gvfs::trace {
+
+enum class EventType : std::uint8_t {
+  // RPC layer (rpc::RpcNode).
+  kRpcSend,        // first transmission of a call
+  kRpcRetransmit,  // timeout-driven retransmission of the same xid
+  kRpcReply,       // caller matched a reply to a pending call
+  kRpcTimeout,     // caller gave up after all retransmissions
+  kRpcExec,        // server began executing a handler (post-DRC)
+  kRpcDrcHit,      // server resent a cached reply instead of re-executing
+  // Network layer (net::Network).
+  kNetDrop,  // packet dropped on a downed or missing link
+  // Proxy disk cache (gvfs::proxy::ProxyClient).
+  kCacheHit,        // request served from the local cache
+  kCacheMiss,       // entry (re)validated from an upstream reply
+  kCacheWriteBack,  // one dirty block written upstream
+  // Delegations (§4.3). Server-side bookkeeping events carry
+  // kDelegFlagServerSide; client-side recall/release events do not.
+  kDelegGrant,    // delegation granted (server) / grant stored (client)
+  kDelegRecall,   // recall issued (server) / CALLBACK received (client)
+  kDelegRelease,  // delegation revoked (server) / CALLBACK replied (client)
+  kDelegExpiry,   // server expired a speculatively-open sharer
+  // Invalidation polling (§4.2).
+  kInvAppend,  // server appended a handle to a client's buffer
+  kInvPoll,    // GETINV served (server) / invalidation applied (client)
+  kInvWrap,    // circular buffer overflowed; oldest entry dropped
+  kInvForce,   // whole-cache invalidation (overflow, bootstrap, recovery)
+  // Node lifecycle.
+  kNodeCrash,
+  kNodeRecover,
+};
+
+const char* EventTypeName(EventType type);
+
+// DelegPayload::flags bits.
+constexpr std::uint32_t kDelegFlagServerSide = 1;   // recorded by the server
+constexpr std::uint32_t kDelegFlagHasWanted = 2;    // wanted_offset is valid
+constexpr std::uint32_t kDelegFlagWantedDirty = 4;  // wanted block was dirty
+
+/// Sentinel for cache events without a byte offset (attribute-level ops).
+constexpr std::uint64_t kNoOffset = ~0ull;
+
+struct RpcPayload {
+  std::uint32_t peer_host = 0;  // other endpoint of the call
+  std::uint32_t peer_port = 0;
+  std::uint32_t xid = 0;
+  std::uint32_t prog = 0;
+  std::uint32_t proc = 0;
+  std::uint16_t label = 0;  // interned procedure label
+};
+
+struct NetPayload {
+  std::uint32_t dst_host = 0;
+  std::uint32_t wire_size = 0;
+};
+
+struct CachePayload {
+  std::uint64_t fsid = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t offset = kNoOffset;  // byte offset for block-level events
+  std::uint16_t label = 0;           // interned procedure label ("" if n/a)
+};
+
+struct DelegPayload {
+  std::uint64_t fsid = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t wanted_offset = 0;  // valid iff kDelegFlagHasWanted
+  std::uint32_t deleg_type = 0;     // proxy::DelegationType as integer
+  std::uint32_t peer_host = 0;      // grantee (server side) / server (client)
+  std::uint32_t flags = 0;
+};
+
+struct InvPayload {
+  std::uint64_t fsid = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t timestamp = 0;  // logical invalidation clock
+  std::uint32_t count = 0;      // buffer depth / handles in batch
+  std::uint32_t peer_host = 0;
+};
+
+struct Event {
+  SimTime time = 0;
+  EventType type = EventType::kRpcSend;
+  HostId host = kInvalidHost;  // recording host
+  std::uint32_t port = 0;      // recording node's port (0 when n/a)
+  union Payload {
+    RpcPayload rpc;
+    NetPayload net;
+    CachePayload cache;
+    DelegPayload deleg;
+    InvPayload inv;
+    Payload() : rpc() {}
+  } u;
+};
+
+/// Bounded ring buffer of events plus the label intern table. When full, the
+/// oldest events are overwritten and `dropped()` counts the overwrites, so a
+/// consumer can tell whether it is looking at a complete run.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 20);
+
+  void Push(const Event& event);
+
+  /// Interns a label string, returning its stable id (0 is always "").
+  std::uint16_t InternLabel(const std::string& label);
+  const std::string& LabelName(std::uint16_t id) const;
+
+  /// Events currently held, oldest first.
+  std::size_t size() const { return ring_.size(); }
+  const Event& at(std::size_t i) const;
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  std::vector<std::string> labels_;
+  std::map<std::string, std::uint16_t> label_ids_;
+};
+
+/// Cheap copyable handle held by instrumented components. A default-
+/// constructed Tracer is disabled and records nothing.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(TraceBuffer* buffer, const SimTime* clock)
+      : buffer_(buffer), clock_(clock) {}
+
+  bool enabled() const { return buffer_ != nullptr; }
+  TraceBuffer* buffer() const { return buffer_; }
+
+  void Rpc(EventType type, HostId host, std::uint32_t port, HostId peer_host,
+           std::uint32_t peer_port, std::uint32_t xid, std::uint32_t prog,
+           std::uint32_t proc, const std::string& label) const;
+  void NetDrop(HostId src, HostId dst, std::size_t wire_size) const;
+  void Cache(EventType type, HostId host, std::uint64_t fsid, std::uint64_t ino,
+             std::uint64_t offset, const std::string& label) const;
+  void Deleg(EventType type, HostId host, std::uint64_t fsid, std::uint64_t ino,
+             std::uint32_t deleg_type, HostId peer_host, std::uint32_t flags,
+             std::uint64_t wanted_offset) const;
+  void Inv(EventType type, HostId host, std::uint64_t fsid, std::uint64_t ino,
+           std::uint64_t timestamp, std::uint32_t count, HostId peer_host) const;
+  void Node(EventType type, HostId host) const;
+
+ private:
+  Event Stamp(EventType type, HostId host, std::uint32_t port) const;
+
+  TraceBuffer* buffer_ = nullptr;
+  const SimTime* clock_ = nullptr;
+};
+
+}  // namespace gvfs::trace

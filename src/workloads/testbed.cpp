@@ -20,6 +20,16 @@ Testbed::Testbed(TestbedConfig config)
   nfsd_ = std::make_unique<nfs3::Nfs3Server>(sched_, fs_, *nfsd_node_);
 }
 
+trace::TraceBuffer& Testbed::EnableTracing(std::size_t capacity) {
+  if (trace_buffer_ == nullptr) {
+    trace_buffer_ = std::make_unique<trace::TraceBuffer>(capacity);
+  }
+  const trace::Tracer tracer(trace_buffer_.get(), sched_.NowPtr());
+  network_.SetTracer(tracer);
+  domain_.SetTracer(tracer);  // applies to existing and future nodes
+  return *trace_buffer_;
+}
+
 int Testbed::AddWanClient() {
   const int index = ClientCount();
   HostId host = network_.AddHost("c" + std::to_string(index));

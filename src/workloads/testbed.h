@@ -22,6 +22,7 @@
 #include "nfs3/server.h"
 #include "rpc/rpc.h"
 #include "sim/scheduler.h"
+#include "trace/trace.h"
 
 namespace gvfs::workloads {
 
@@ -91,6 +92,14 @@ class Testbed {
   /// Runs the simulation until the event queue drains.
   void Run() { sched_.Run(); }
 
+  /// Attaches a trace buffer to every layer (network, all RPC nodes, present
+  /// and future): subsequent protocol actions are recorded as structured
+  /// events. Call before driving the workload; idempotent.
+  trace::TraceBuffer& EnableTracing(std::size_t capacity = 1 << 20);
+
+  /// The attached buffer, or nullptr when tracing was never enabled.
+  trace::TraceBuffer* trace_buffer() { return trace_buffer_.get(); }
+
  private:
   TestbedConfig config_;
   sim::Scheduler sched_;
@@ -113,6 +122,7 @@ class Testbed {
   std::deque<std::unique_ptr<rpc::StatsMap>> stats_;
   std::deque<GvfsSession> sessions_;
   std::map<const kclient::KernelClient*, rpc::StatsMap*> mount_stats_;
+  std::unique_ptr<trace::TraceBuffer> trace_buffer_;
 };
 
 }  // namespace gvfs::workloads

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "test_util.h"
+#include "trace_oracle.h"
 #include "workloads/testbed.h"
 
 namespace gvfs::workloads {
@@ -48,7 +49,12 @@ class FailureTest : public ::testing::Test {
   FailureTest() {
     bed_.AddWanClient();
     bed_.AddWanClient();
+    bed_.EnableTracing();
   }
+
+  // Every failure scenario doubles as a protocol-invariant check over its
+  // full event history (trace_oracle.h).
+  void TearDown() override { testutil::ExpectTraceClean(bed_); }
 
   sim::Task<void> Advance(Duration d) { co_await sim::Sleep(bed_.sched(), d); }
 

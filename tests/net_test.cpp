@@ -103,6 +103,54 @@ TEST_F(NetworkTest, NoLinkDropsSilently) {
   EXPECT_EQ(received, 0);
 }
 
+TEST_F(NetworkTest, MissingLinkAccountsDrops) {
+  // Drops over a never-connected pair are still visible in StatsFor, but
+  // nothing was carried, so packets/bytes stay zero.
+  HostId c = network_.AddHost("c");
+  network_.SetReceiver(c, [](Packet) {});
+  network_.Send(MakePacket(a_, c, 100));
+  network_.Send(MakePacket(a_, c, 100));
+  sched_.Run();
+  const LinkStats stats = network_.StatsFor(a_, c);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  // The reverse direction saw nothing.
+  EXPECT_EQ(network_.StatsFor(c, a_).dropped, 0u);
+}
+
+TEST_F(NetworkTest, OneWayPartitionAccountsOnlyThatDirection) {
+  network_.SetReceiver(a_, [](Packet) {});
+  network_.SetReceiver(b_, [](Packet) {});
+  network_.SetOneWayUp(b_, a_, false);  // replies dropped, requests flow
+  network_.Send(MakePacket(a_, b_, 100));
+  network_.Send(MakePacket(b_, a_, 100));
+  network_.Send(MakePacket(b_, a_, 100));
+  sched_.Run();
+  EXPECT_EQ(network_.StatsFor(a_, b_).dropped, 0u);
+  EXPECT_EQ(network_.StatsFor(a_, b_).packets, 1u);
+  EXPECT_EQ(network_.StatsFor(b_, a_).dropped, 2u);
+  EXPECT_EQ(network_.StatsFor(b_, a_).packets, 0u);
+}
+
+TEST_F(NetworkTest, DropsEmitTraceEvents) {
+  trace::TraceBuffer buffer(64);
+  network_.SetTracer(trace::Tracer(&buffer, sched_.NowPtr()));
+  network_.SetReceiver(b_, [](Packet) {});
+
+  network_.SetLinkUp(a_, b_, false);
+  network_.Send(MakePacket(a_, b_, 100));   // downed link
+  HostId c = network_.AddHost("c");
+  network_.Send(MakePacket(a_, c, 250));    // missing link
+  sched_.Run();
+
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.at(0).type, trace::EventType::kNetDrop);
+  EXPECT_EQ(buffer.at(0).u.net.dst_host, b_);
+  EXPECT_EQ(buffer.at(1).u.net.dst_host, c);
+  EXPECT_EQ(buffer.at(1).u.net.wire_size, 250u);
+}
+
 TEST_F(NetworkTest, StatsTrackPacketsAndBytes) {
   network_.SetReceiver(b_, [](Packet) {});
   network_.Send(MakePacket(a_, b_, 300));

@@ -6,6 +6,7 @@
 #include "rpc/rpc.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
+#include "trace/trace.h"
 #include "xdr/xdr.h"
 
 namespace gvfs::rpc {
@@ -281,6 +282,80 @@ TEST_F(RpcTest, ConcurrentCallsMatchRepliesByXid) {
   EXPECT_EQ(r1.body, (Bytes{1}));
   EXPECT_EQ(r2.body, (Bytes{9}));
   EXPECT_LT(r2.finished_at, r1.finished_at);  // out-of-order completion
+}
+
+TEST_F(RpcTest, RetransmitsMatchTraceAndLinkDropAccounting) {
+  trace::TraceBuffer buffer(1 << 10);
+  domain_.SetTracer(trace::Tracer(&buffer, sched_.NowPtr()));
+
+  // Requests dropped until t=1.5 s: the attempt at t=0 and the retransmit at
+  // t=1 s are lost; the retransmit at t=2 s gets through.
+  network_.SetLinkUp(client_host_, server_host_, false);
+  sched_.At(Milliseconds(1500),
+            [&] { network_.SetLinkUp(client_host_, server_host_, true); });
+
+  CallResult result;
+  CallOptions opts = Opts("ECHO");
+  opts.timeout = Seconds(1);
+  opts.max_retries = 5;
+  sim::Spawn(DoCall(client_, ServerAddr(), kProcEcho, Bytes{5}, std::move(opts),
+                    &sched_, &result));
+  sched_.Run();
+  ASSERT_TRUE(result.ok);
+
+  std::uint64_t sends = 0, retransmits = 0, replies = 0, timeouts = 0;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    switch (buffer.at(i).type) {
+      case trace::EventType::kRpcSend: ++sends; break;
+      case trace::EventType::kRpcRetransmit: ++retransmits; break;
+      case trace::EventType::kRpcReply: ++replies; break;
+      case trace::EventType::kRpcTimeout: ++timeouts; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(sends, 1u);
+  EXPECT_EQ(retransmits, 2u);
+  EXPECT_EQ(replies, 1u);
+  EXPECT_EQ(timeouts, 0u);
+
+  // Accounting identity: every attempt the tracer saw either died on the
+  // partitioned link or was carried by it.
+  const net::LinkStats to_server = network_.StatsFor(client_host_, server_host_);
+  EXPECT_EQ(to_server.dropped, 2u);
+  EXPECT_EQ(to_server.dropped + to_server.packets, sends + retransmits);
+  EXPECT_EQ(network_.StatsFor(server_host_, client_host_).dropped, 0u);
+}
+
+TEST(StatsMapHistogram, PercentilesFromLogBuckets) {
+  StatsMap stats;
+  // 90 fast calls (1 ms) and 10 slow outliers (1 s).
+  for (int i = 0; i < 90; ++i) {
+    stats.BeginCall();
+    stats.EndCall("GETATTR", Milliseconds(1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    stats.BeginCall();
+    stats.EndCall("GETATTR", Seconds(1));
+  }
+  // p50 lands in the [512 us, 1024 us) bucket and reports its upper bound;
+  // tail percentiles land in the outlier bucket, clamped to the true max.
+  EXPECT_EQ(stats.LatencyP50("GETATTR"), Microseconds(1024));
+  EXPECT_EQ(stats.LatencyP95("GETATTR"), Seconds(1));
+  EXPECT_EQ(stats.LatencyP99("GETATTR"), Seconds(1));
+  EXPECT_EQ(stats.LatencyMax("GETATTR"), Seconds(1));
+  EXPECT_EQ(stats.LatencyAvg("GETATTR"),
+            (90 * Milliseconds(1) + 10 * Seconds(1)) / 100);
+  EXPECT_EQ(stats.LatencyPercentile("UNKNOWN", 50), 0);
+}
+
+TEST(StatsMapHistogram, SingleValuePercentilesClampToMax) {
+  StatsMap stats;
+  stats.BeginCall();
+  stats.EndCall("READ", Milliseconds(10));
+  // 10 ms sits in the [8192 us, 16384 us) bucket; clamping to max keeps the
+  // report exact for a single sample.
+  EXPECT_EQ(stats.LatencyP50("READ"), Milliseconds(10));
+  EXPECT_EQ(stats.LatencyP99("READ"), Milliseconds(10));
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+// Trace-checker test oracle: enable tracing on a Testbed in the fixture
+// constructor, call ExpectTraceClean from TearDown, and every scenario in
+// the suite is checked against the protocol invariants (checker.h) over its
+// whole event history — not just its end state.
+//
+// Kept separate from test_util.h so suites below the workloads layer can
+// keep using that header without linking the testbed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "gvfs/proto.h"
+#include "trace/checker.h"
+#include "workloads/testbed.h"
+
+namespace gvfs::testutil {
+
+/// Replays the testbed's trace buffer through the invariant checker and
+/// fails the current test on any violation. No-op when tracing was never
+/// enabled on this testbed.
+inline void ExpectTraceClean(workloads::Testbed& bed) {
+  trace::TraceBuffer* buffer = bed.trace_buffer();
+  if (buffer == nullptr) return;
+  // A wrapped ring would hide the events the checker pairs against; the
+  // oracle only vouches for complete histories.
+  EXPECT_EQ(buffer->dropped(), 0u)
+      << "trace buffer wrapped; raise EnableTracing() capacity";
+  const auto violations =
+      trace::TraceChecker(proxy::NfsTraceCheckerConfig()).Check(*buffer);
+  EXPECT_TRUE(violations.empty()) << trace::FormatViolations(violations);
+}
+
+}  // namespace gvfs::testutil
