@@ -1,22 +1,30 @@
 // Shared helpers for the figure-reproduction harnesses: table printing, a
-// driver that runs a workload coroutine to completion on a testbed, a
-// minimal JSON emitter for machine-readable BENCH_*.json artifacts, and
-// tiny argv flag parsing (--json-out / --trace-out style).
+// driver that runs a workload coroutine to completion on a testbed, JSON
+// artifact assembly for machine-readable BENCH_*.json files (emitter lives
+// in common/json_writer.h), metrics artifact writing, and tiny argv flag
+// parsing (--json-out / --trace-out / --metrics-out style).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/types.h"
+#include "metrics/export.h"
+#include "metrics/sampler.h"
 #include "rpc/stats.h"
 #include "sim/scheduler.h"
 #include "sim/task.h"
 
 namespace gvfs::bench {
+
+using gvfs::JsonObject;
+using gvfs::JsonQuote;
+using gvfs::WriteTextFile;
 
 template <typename T>
 sim::Task<void> CaptureInto(sim::Task<T> task, std::optional<T>* out) {
@@ -87,77 +95,6 @@ inline void PrintRpcStats(const std::string& name, const rpc::StatsMap& stats) {
 // JSON artifacts
 // ---------------------------------------------------------------------------
 
-inline std::string JsonQuote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-/// Build-a-string JSON object; values nest by passing another JsonObject (or
-/// a vector of them) as the value. Key order is insertion order.
-class JsonObject {
- public:
-  JsonObject& Add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", value);
-    return AddRaw(key, buf);
-  }
-  JsonObject& Add(const std::string& key, std::uint64_t value) {
-    return AddRaw(key, std::to_string(value));
-  }
-  JsonObject& Add(const std::string& key, int value) {
-    return AddRaw(key, std::to_string(value));
-  }
-  JsonObject& Add(const std::string& key, bool value) {
-    return AddRaw(key, value ? "true" : "false");
-  }
-  JsonObject& Add(const std::string& key, const char* value) {
-    return AddRaw(key, JsonQuote(value));
-  }
-  JsonObject& Add(const std::string& key, const std::string& value) {
-    return AddRaw(key, JsonQuote(value));
-  }
-  JsonObject& Add(const std::string& key, const JsonObject& value) {
-    return AddRaw(key, value.Dump());
-  }
-  JsonObject& Add(const std::string& key, const std::vector<JsonObject>& value) {
-    std::string arr = "[";
-    for (std::size_t i = 0; i < value.size(); ++i) {
-      if (i > 0) arr += ",";
-      arr += value[i].Dump();
-    }
-    arr += "]";
-    return AddRaw(key, arr);
-  }
-
-  std::string Dump() const { return "{" + body_ + "}"; }
-
- private:
-  JsonObject& AddRaw(const std::string& key, const std::string& rendered) {
-    if (!body_.empty()) body_ += ",";
-    body_ += JsonQuote(key) + ":" + rendered;
-    return *this;
-  }
-
-  std::string body_;
-};
-
 /// Per-procedure RPC stats as a JSON object (the machine-readable twin of
 /// PrintRpcStats; latencies in milliseconds).
 inline JsonObject RpcStatsJson(const rpc::StatsMap& stats) {
@@ -182,16 +119,38 @@ inline JsonObject RpcStatsJson(const rpc::StatsMap& stats) {
   return out;
 }
 
-/// Writes `content` to `path`; complains on stderr (and returns false) when
-/// the file cannot be created.
-inline bool WriteTextFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return false;
+// ---------------------------------------------------------------------------
+// Metrics artifacts
+// ---------------------------------------------------------------------------
+
+/// Writes a sampled time series plus a final Prometheus snapshot under a
+/// common path prefix: <prefix>.<label>.csv / .json / .prom. Returns false
+/// if any file could not be written.
+inline bool WriteMetricsArtifacts(const std::string& prefix,
+                                  const std::string& label,
+                                  const metrics::Registry& registry,
+                                  const metrics::TimeSeries& series) {
+  const std::string base = label.empty() ? prefix : prefix + "." + label;
+  bool ok = WriteTextFile(base + ".csv", metrics::TimeSeriesCsv(series));
+  ok = WriteTextFile(base + ".json", metrics::TimeSeriesJson(series)) && ok;
+  ok = WriteTextFile(base + ".prom", metrics::PrometheusText(registry)) && ok;
+  if (ok) {
+    std::printf("metrics written: %s.{csv,json,prom} (%zu samples)\n",
+                base.c_str(), series.size());
   }
-  out << content;
-  return true;
+  return ok;
+}
+
+/// Stops the sampler, takes one final snapshot (so the series always covers
+/// the run's end state), and writes the artifacts. No-op when metrics were
+/// never enabled on the testbed.
+inline void FinishMetrics(const std::string& prefix, const std::string& label,
+                          metrics::Registry* registry,
+                          metrics::Sampler* sampler) {
+  if (registry == nullptr || sampler == nullptr) return;
+  sampler->Stop();
+  sampler->SampleNow();
+  WriteMetricsArtifacts(prefix, label, *registry, sampler->series());
 }
 
 // ---------------------------------------------------------------------------
@@ -216,6 +175,15 @@ inline bool HasFlag(int argc, char** argv, const std::string& flag) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+/// Sampler period from --metrics-period-ms; defaults to 1 s of sim time.
+inline Duration MetricsPeriod(int argc, char** argv) {
+  if (auto v = FlagValue(argc, argv, "--metrics-period-ms")) {
+    const long ms = std::atol(v->c_str());
+    return Milliseconds(ms > 0 ? ms : 1000);
+  }
+  return Milliseconds(1000);
 }
 
 }  // namespace gvfs::bench

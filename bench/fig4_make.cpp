@@ -48,6 +48,11 @@ struct Result {
   rpc::StatsMap rpcs;
 };
 
+/// --metrics-out wiring: when set, each WAN GVFS run samples the observatory
+/// and writes <prefix>.<setup>.wan.{csv,json,prom}.
+std::optional<std::string> g_metrics_prefix;
+Duration g_metrics_period = Milliseconds(1000);
+
 Result RunOne(Setup setup, bool wan) {
   TestbedConfig net_config;
   if (!wan) {
@@ -79,6 +84,8 @@ Result RunOne(Setup setup, bool wan) {
       session_config.wb_window = 8;
       session_config.read_ahead = 8;
     }
+    const bool metrics = g_metrics_prefix.has_value() && wan;
+    if (metrics) bed.EnableMetrics(g_metrics_period);
     auto& session = bed.CreateSession(session_config, {0});
     auto report =
         Drive(bed.sched(), RunMake(bed.sched(), session.mount(0), make_config));
@@ -87,6 +94,10 @@ Result RunOne(Setup setup, bool wan) {
     result.runtime_seconds = report.RuntimeSeconds();
     result.rpcs = *session.stats;
     Drive(bed.sched(), session.Shutdown());
+    if (metrics) {
+      FinishMetrics(*g_metrics_prefix, std::string(SetupName(setup)) + ".wan",
+                    bed.metrics_registry(), bed.metrics_sampler());
+    }
   }
   return result;
 }
@@ -154,6 +165,9 @@ void Main(const std::optional<std::string>& json_out) {
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
+  gvfs::bench::g_metrics_prefix =
+      gvfs::bench::FlagValue(argc, argv, "--metrics-out");
+  gvfs::bench::g_metrics_period = gvfs::bench::MetricsPeriod(argc, argv);
   gvfs::bench::Main(gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

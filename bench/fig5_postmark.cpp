@@ -98,19 +98,21 @@ std::vector<std::string> HostNames(workloads::Testbed& bed) {
   return names;
 }
 
-sim::Task<void> ConflictingStat(kclient::KernelClient& mount) {
+sim::Task<void> ConflictingStat(kclient::KernelClient& mount,
+                                const char* path = "/shared.dat") {
   // A cold Stat from a second client forces the proxy server to recall the
   // write delegation the first client acquired on the shared file — that
   // recall is the CALLBACK span the trace exists to show.
-  auto attr = co_await mount.Stat("/shared.dat");
+  auto attr = co_await mount.Stat(path);
   (void)attr;
 }
 
-sim::Task<void> WriteShared(kclient::KernelClient& mount) {
+sim::Task<void> WriteShared(kclient::KernelClient& mount,
+                            const char* path = "/shared.dat") {
   kclient::OpenFlags flags;
   flags.write = true;
   flags.create = true;
-  auto fd = co_await mount.Open("/shared.dat", flags);
+  auto fd = co_await mount.Open(path, flags);
   if (!fd.has_value()) co_return;
   Bytes data(32 * 1024, 0x5a);
   auto written = co_await mount.Write(*fd, 0, data);
@@ -206,6 +208,124 @@ int RunTraced(const std::string& trace_out, const char* trace_dump) {
   return violations == 0 ? 0 : 1;
 }
 
+sim::Task<void> StatLoop(sim::Scheduler& sched, kclient::KernelClient& mount,
+                         const char* path, int rounds, Duration gap) {
+  for (int i = 0; i < rounds; ++i) {
+    auto attr = co_await mount.Stat(path);
+    (void)attr;
+    co_await sim::Sleep(sched, gap);
+  }
+}
+
+sim::Task<void> WriteLoop(sim::Scheduler& sched, kclient::KernelClient& mount,
+                          const char* path, int rounds, Duration gap) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await WriteShared(mount, path);
+    co_await sim::Sleep(sched, gap);
+  }
+}
+
+/// Staleness workload for the polling session: client 1 rewrites a shared
+/// file every few seconds while client 0 stats it continuously. Between a
+/// write landing at the server and client 0's next GETINV, client 0 serves
+/// stale cached attributes — exactly the window the staleness histogram
+/// must bound by poll period + round trips.
+sim::Task<void> PollingStalenessWorkload(sim::Scheduler& sched,
+                                         workloads::GvfsSession& session) {
+  // Prime: the writer creates the file; the reader caches its attributes.
+  co_await WriteShared(session.mount(1));
+  co_await ConflictingStat(session.mount(0));
+  sim::WaitGroup tasks(sched);
+  tasks.Spawn(WriteLoop(sched, session.mount(1), "/shared.dat", 8, Seconds(7)));
+  tasks.Spawn(
+      StatLoop(sched, session.mount(0), "/shared.dat", 600, Milliseconds(100)));
+  co_await tasks.Wait();
+}
+
+/// Metrics mode (--metrics-out): one two-client testbed carrying a polling
+/// session (staleness-bound check) and a delegation session (postmark +
+/// forced recall for the hold-time and recall-write-back histograms), with
+/// the registry sampled on the sim clock and exported as CSV/JSON/Prometheus.
+int RunMetrics(const std::string& prefix, Duration period) {
+  const Duration poll_period = Seconds(5);
+  TestbedConfig net_config;  // paper 40 ms WAN
+  Testbed bed(net_config);
+  bed.AddWanClient();
+  bed.AddWanClient();
+  metrics::Registry& registry = bed.EnableMetrics(period);
+
+  kclient::MountOptions noac;
+  noac.noac = true;  // every Stat reaches the proxy, so cached serves are counted
+
+  // Session 0: invalidation polling, fixed period (no back-off) so the
+  // staleness bound below is exact.
+  proxy::SessionConfig poll_config;
+  poll_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+  poll_config.poll_period = poll_period;
+  poll_config.poll_max_period = poll_period;
+  auto& polling = bed.CreateSession(poll_config, {0, 1}, noac);
+
+  // Session 1: delegation/callback with write-back; postmark drives grants
+  // and the write/stat conflict forces a recall.
+  proxy::SessionConfig deleg_config;
+  deleg_config.model = proxy::ConsistencyModel::kDelegationCallback;
+  deleg_config.read_ahead = 8;
+  deleg_config.wb_window = 8;
+  deleg_config.cache_mode = proxy::CacheMode::kWriteBack;
+  auto& deleg = bed.CreateSession(deleg_config, {0, 1}, noac);
+
+  PostmarkConfig small;
+  small.files = 30;
+  small.transactions = 40;
+  small.subdirectories = 5;
+  small.max_size = 64 * 1024;
+
+  Drive(bed.sched(), PollingStalenessWorkload(bed.sched(), polling));
+  Drive(bed.sched(), RunPostmark(bed.sched(), deleg.mount(0), small));
+  Drive(bed.sched(), WriteShared(deleg.mount(0), "/deleg_shared.dat"));
+  Drive(bed.sched(), ConflictingStat(deleg.mount(1), "/deleg_shared.dat"));
+  Drive(bed.sched(), deleg.Shutdown());
+  Drive(bed.sched(), polling.Shutdown());
+  bed.metrics_sampler()->Stop();
+  bed.metrics_sampler()->SampleNow();  // final state, post-shutdown
+
+  int failures = 0;
+  if (!WriteMetricsArtifacts(prefix, "", registry,
+                             bed.metrics_sampler()->series())) {
+    ++failures;
+  }
+
+  const auto& staleness = registry.GetHistogram("s0.staleness_us").hist();
+  // Bound: a cached read can miss a write for at most one polling period
+  // plus the GETINV round trip plus the write's own propagation (§4.2).
+  const double p99_us = static_cast<double>(staleness.Percentile(99));
+  const Duration rtt = 2 * net_config.wan.one_way_latency;
+  const double bound_us =
+      static_cast<double>((poll_period + 2 * rtt) / kMicrosecond);
+  std::printf("staleness (polling session): %llu cached reads, p99 %.0f us, "
+              "bound %.0f us (poll %0.1f s + 2 RTT)\n",
+              static_cast<unsigned long long>(staleness.count()), p99_us,
+              bound_us, ToSeconds(poll_period));
+  if (staleness.count() == 0) {
+    std::fprintf(stderr, "FAIL: staleness histogram is empty\n");
+    ++failures;
+  }
+  if (p99_us > bound_us) {
+    std::fprintf(stderr, "FAIL: staleness p99 exceeds the polling bound\n");
+    ++failures;
+  }
+  const auto& hold = registry.GetHistogram("s1.deleg_hold_time_us").hist();
+  std::printf("delegation hold time (delegation session): %llu ended, "
+              "p50 %llu us\n",
+              static_cast<unsigned long long>(hold.count()),
+              static_cast<unsigned long long>(hold.Percentile(50)));
+  if (hold.count() == 0) {
+    std::fprintf(stderr, "FAIL: no delegation hold times recorded\n");
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 void Main(const std::optional<std::string>& json_out) {
   PrintHeader("Figure 5: PostMark transaction-phase runtime (seconds) vs RTT");
   std::printf("%-10s %10s %10s %10s\n", "RTT (ms)", "NFS", "GVFS1", "GVFS2");
@@ -265,6 +385,10 @@ int main(int argc, char** argv) {
     return gvfs::bench::RunTraced(
         trace_out.value_or("BENCH_fig5_trace.json"),
         trace_dump.has_value() ? trace_dump->c_str() : nullptr);
+  }
+  if (const auto metrics_out = FlagValue(argc, argv, "--metrics-out")) {
+    return gvfs::bench::RunMetrics(*metrics_out,
+                                   gvfs::bench::MetricsPeriod(argc, argv));
   }
   gvfs::bench::Main(FlagValue(argc, argv, "--json-out"));
   return 0;

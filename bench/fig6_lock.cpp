@@ -55,7 +55,13 @@ struct Result {
   bool rpcs_comparable = true;
 };
 
-Result RunOne(Setup setup, Duration poll_period = Seconds(30)) {
+/// --metrics-out wiring: the headline GVFS runs (not the sweep) sample the
+/// observatory and write <prefix>.<setup>.{csv,json,prom}.
+std::optional<std::string> g_metrics_prefix;
+Duration g_metrics_period = Milliseconds(1000);
+
+Result RunOne(Setup setup, Duration poll_period = Seconds(30),
+              const char* metrics_label = nullptr) {
   Testbed bed;
   for (int i = 0; i < kClients; ++i) bed.AddWanClient();
 
@@ -95,12 +101,19 @@ Result RunOne(Setup setup, Duration poll_period = Seconds(30)) {
       kernel_options.noac = true;
     }
     session_config.cache_mode = proxy::CacheMode::kReadOnly;
+    const bool metrics =
+        g_metrics_prefix.has_value() && metrics_label != nullptr;
+    if (metrics) bed.EnableMetrics(g_metrics_period);
     std::vector<int> indices;
     for (int i = 0; i < kClients; ++i) indices.push_back(i);
     auto& session = bed.CreateSession(session_config, indices, kernel_options);
     for (auto* mount : session.mounts) mounts.push_back(mount);
     result.report = Drive(bed.sched(), RunLockBench(bed.sched(), mounts, config));
     result.rpcs = *session.stats;
+    if (metrics) {
+      FinishMetrics(*g_metrics_prefix, metrics_label, bed.metrics_registry(),
+                    bed.metrics_sampler());
+    }
   }
   return result;
 }
@@ -145,11 +158,11 @@ void Main(bool sweep_period, const std::optional<std::string>& json_out) {
 
   Result nfs_inv = RunOne(Setup::kNfsInv);
   PrintResult(Setup::kNfsInv, nfs_inv);
-  Result gvfs_inv = RunOne(Setup::kGvfsInv);
+  Result gvfs_inv = RunOne(Setup::kGvfsInv, Seconds(30), "GVFS-inv");
   PrintResult(Setup::kGvfsInv, gvfs_inv);
   Result nfs_noac = RunOne(Setup::kNfsNoac);
   PrintResult(Setup::kNfsNoac, nfs_noac);
-  Result gvfs_cb = RunOne(Setup::kGvfsCb);
+  Result gvfs_cb = RunOne(Setup::kGvfsCb, Seconds(30), "GVFS-cb");
   PrintResult(Setup::kGvfsCb, gvfs_cb);
   Result afs = RunOne(Setup::kAfs);
   PrintResult(Setup::kAfs, afs);
@@ -201,6 +214,9 @@ void Main(bool sweep_period, const std::optional<std::string>& json_out) {
 
 int main(int argc, char** argv) {
   const bool sweep = gvfs::bench::HasFlag(argc, argv, "--sweep-period");
+  gvfs::bench::g_metrics_prefix =
+      gvfs::bench::FlagValue(argc, argv, "--metrics-out");
+  gvfs::bench::g_metrics_period = gvfs::bench::MetricsPeriod(argc, argv);
   gvfs::bench::Main(sweep, gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

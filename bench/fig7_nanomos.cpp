@@ -32,7 +32,13 @@ struct Outcome {
   double getinv_per_client = 0;
 };
 
-Outcome RunOne(bool gvfs, UpdateKind kind) {
+/// --metrics-out wiring: GVFS runs with a real update sample the observatory
+/// and write <prefix>.<case>.{csv,json,prom}.
+std::optional<std::string> g_metrics_prefix;
+Duration g_metrics_period = Milliseconds(1000);
+
+Outcome RunOne(bool gvfs, UpdateKind kind,
+               const char* metrics_label = nullptr) {
   Testbed bed;
   for (int i = 0; i < kComputeClients; ++i) bed.AddWanClient();
   const int admin = bed.AddLanClient();
@@ -51,6 +57,9 @@ Outcome RunOne(bool gvfs, UpdateKind kind) {
     // Middleware tailoring: the repository session sizes its invalidation
     // buffers for package-scale updates (>14K files).
     session_config.inv_buffer_capacity = 20000;
+    const bool metrics =
+        g_metrics_prefix.has_value() && metrics_label != nullptr;
+    if (metrics) bed.EnableMetrics(g_metrics_period);
     std::vector<int> indices;
     for (int i = 0; i <= kComputeClients; ++i) indices.push_back(i);
     auto& session = bed.CreateSession(session_config, indices);
@@ -61,6 +70,10 @@ Outcome RunOne(bool gvfs, UpdateKind kind) {
                                 kind, config));
     outcome.getinv_per_client =
         static_cast<double>(session.proxy(0).stats().polls - polls_before);
+    if (metrics) {
+      FinishMetrics(*g_metrics_prefix, metrics_label, bed.metrics_registry(),
+                    bed.metrics_sampler());
+    }
   } else {
     for (int i = 0; i < kComputeClients; ++i) {
       mounts.push_back(&bed.NativeMount(i));
@@ -73,10 +86,10 @@ Outcome RunOne(bool gvfs, UpdateKind kind) {
 }
 
 JsonObject PrintCase(const char* title, UpdateKind kind,
-                     double baseline_getinv) {
+                     double baseline_getinv, const char* metrics_label) {
   PrintHeader(title);
   Outcome nfs = RunOne(/*gvfs=*/false, kind);
-  Outcome gvfs = RunOne(/*gvfs=*/true, kind);
+  Outcome gvfs = RunOne(/*gvfs=*/true, kind, metrics_label);
 
   std::printf("%-12s", "iteration");
   for (std::size_t i = 0; i < nfs.report.iteration_seconds.size(); ++i) {
@@ -120,10 +133,10 @@ void Main(const std::optional<std::string>& json_out) {
   std::vector<JsonObject> cases;
   cases.push_back(
       PrintCase("Figure 7(a): NanoMOS, whole-MATLAB update between runs 4 and 5",
-                UpdateKind::kMatlab, baseline.getinv_per_client));
+                UpdateKind::kMatlab, baseline.getinv_per_client, "matlab"));
   cases.push_back(
       PrintCase("Figure 7(b): NanoMOS, MPITB-only update between runs 4 and 5",
-                UpdateKind::kMpitb, baseline.getinv_per_client));
+                UpdateKind::kMpitb, baseline.getinv_per_client, "mpitb"));
   std::printf(
       "\nPaper shape: NFS pays the same consistency-check volume every run\n"
       "(and after any update); GVFS batches invalidations in GETINV replies\n"
@@ -143,6 +156,9 @@ void Main(const std::optional<std::string>& json_out) {
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
+  gvfs::bench::g_metrics_prefix =
+      gvfs::bench::FlagValue(argc, argv, "--metrics-out");
+  gvfs::bench::g_metrics_period = gvfs::bench::MetricsPeriod(argc, argv);
   gvfs::bench::Main(gvfs::bench::FlagValue(argc, argv, "--json-out"));
   return 0;
 }

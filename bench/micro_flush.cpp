@@ -38,6 +38,12 @@ struct Point {
   std::uint64_t peak_in_flight = 0;
 };
 
+/// --metrics-out wiring: the detailed window=8 run samples the observatory
+/// (write-back queue depth draining through the flush) and writes
+/// <prefix>.w8.{csv,json,prom}.
+std::optional<std::string> g_metrics_prefix;
+Duration g_metrics_period = Milliseconds(1000);
+
 Point RunOne(std::size_t window, bool print_stats) {
   TestbedConfig net_config;
   net_config.wan.one_way_latency = SecondsF(kRttMs / 2.0 / 1000.0);
@@ -52,6 +58,8 @@ Point RunOne(std::size_t window, bool print_stats) {
   config.cache_mode = proxy::CacheMode::kWriteBack;
   config.wb_flush_period = 0;  // flush only when we say so
   config.wb_window = window;
+  const bool metrics = g_metrics_prefix.has_value() && print_stats;
+  if (metrics) bed.EnableMetrics(g_metrics_period);
   auto& session = bed.CreateSession(config, {0});
 
   // Dirty a 64-block file entirely inside the write-back cache.
@@ -74,6 +82,10 @@ Point RunOne(std::size_t window, bool print_stats) {
   point.peak_in_flight = session.stats->PeakInFlight();
   if (print_stats) PrintRpcStats("flush window=" + std::to_string(window), *session.stats);
   Drive(bed.sched(), session.Shutdown());
+  if (metrics) {
+    FinishMetrics(*g_metrics_prefix, "w" + std::to_string(window),
+                  bed.metrics_registry(), bed.metrics_sampler());
+  }
   return point;
 }
 
@@ -152,6 +164,9 @@ int Main(bool check, const std::optional<std::string>& json_out) {
 
 int main(int argc, char** argv) {
   const bool check = gvfs::bench::HasFlag(argc, argv, "--check");
+  gvfs::bench::g_metrics_prefix =
+      gvfs::bench::FlagValue(argc, argv, "--metrics-out");
+  gvfs::bench::g_metrics_period = gvfs::bench::MetricsPeriod(argc, argv);
   return gvfs::bench::Main(check,
                            gvfs::bench::FlagValue(argc, argv, "--json-out"));
 }

@@ -1,0 +1,88 @@
+#include "common/json_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gvfs {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return AddRaw(key, buf);
+}
+
+JsonObject& JsonObject::Add(const std::string& key, std::uint64_t value) {
+  return AddRaw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, int value) {
+  return AddRaw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, bool value) {
+  return AddRaw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const char* value) {
+  return AddRaw(key, JsonQuote(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const std::string& value) {
+  return AddRaw(key, JsonQuote(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const JsonObject& value) {
+  return AddRaw(key, value.Dump());
+}
+
+JsonObject& JsonObject::Add(const std::string& key,
+                            const std::vector<JsonObject>& value) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (i > 0) arr += ",";
+    arr += value[i].Dump();
+  }
+  arr += "]";
+  return AddRaw(key, arr);
+}
+
+JsonObject& JsonObject::AddRaw(const std::string& key,
+                               const std::string& rendered) {
+  if (!body_.empty()) body_ += ",";
+  body_ += JsonQuote(key) + ":" + rendered;
+  return *this;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace gvfs

@@ -1,0 +1,41 @@
+// Minimal build-a-string JSON emitter shared by the bench harnesses
+// (BENCH_*.json artifacts) and the metrics exporters (time-series files).
+// Extracted from bench/bench_util.h so library code below the bench layer
+// can emit JSON without duplicating the quoting/formatting rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gvfs {
+
+/// Escapes and double-quotes `s` as a JSON string literal.
+std::string JsonQuote(const std::string& s);
+
+/// Build-a-string JSON object; values nest by passing another JsonObject (or
+/// a vector of them) as the value. Key order is insertion order.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, double value);
+  JsonObject& Add(const std::string& key, std::uint64_t value);
+  JsonObject& Add(const std::string& key, int value);
+  JsonObject& Add(const std::string& key, bool value);
+  JsonObject& Add(const std::string& key, const char* value);
+  JsonObject& Add(const std::string& key, const std::string& value);
+  JsonObject& Add(const std::string& key, const JsonObject& value);
+  JsonObject& Add(const std::string& key, const std::vector<JsonObject>& value);
+  /// Inserts `rendered` verbatim (caller guarantees it is valid JSON).
+  JsonObject& AddRaw(const std::string& key, const std::string& rendered);
+
+  std::string Dump() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Writes `content` to `path`; complains on stderr (and returns false) when
+/// the file cannot be created.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace gvfs

@@ -163,6 +163,16 @@ std::size_t DiskCache::DirtyBlockCount(const nfs3::Fh& fh) const {
   return count;
 }
 
+std::size_t DiskCache::TotalDirtyBlocks() const {
+  std::size_t count = 0;
+  for (const auto& [fh, file] : files_) {
+    for (const auto& [index, block] : file.blocks) {
+      if (block.dirty) ++count;
+    }
+  }
+  return count;
+}
+
 std::vector<nfs3::Fh> DiskCache::FilesWithDirtyData() const {
   std::vector<nfs3::Fh> out;
   for (const auto& [fh, file] : files_) {

@@ -96,6 +96,8 @@ class DiskCache {
   /// Byte offsets (block-aligned) of this file's dirty blocks, in order.
   std::vector<std::uint64_t> DirtyOffsets(const nfs3::Fh& fh) const;
   std::size_t DirtyBlockCount(const nfs3::Fh& fh) const;
+  /// Dirty blocks across every cached file (write-back queue depth).
+  std::size_t TotalDirtyBlocks() const;
   /// All files that currently hold at least one dirty block.
   std::vector<nfs3::Fh> FilesWithDirtyData() const;
 

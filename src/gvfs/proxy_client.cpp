@@ -28,10 +28,11 @@ ProxyClient::ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node,
       cache_(config_.block_size),
       poll_period_(config_.poll_period) {
   auto bind = [this, &node](nfs3::Proc proc,
-                            sim::Task<Bytes> (ProxyClient::*method)(Bytes)) {
+                            sim::Task<Bytes> (ProxyClient::*method)(
+                                rpc::CallContext, Bytes)) {
     node.RegisterHandler(nfs3::kProgram, proc,
-                         [this, method](rpc::CallContext, Bytes args) {
-                           return (this->*method)(std::move(args));
+                         [this, method](rpc::CallContext ctx, Bytes args) {
+                           return (this->*method)(ctx, std::move(args));
                          });
   };
   bind(nfs3::kGetAttr, &ProxyClient::HandleGetAttr);
@@ -48,12 +49,14 @@ ProxyClient::ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node,
   bind(nfs3::kLink, &ProxyClient::HandleLink);
   bind(nfs3::kSetAttr, &ProxyClient::HandleSetAttr);
   node.RegisterHandler(nfs3::kProgram, nfs3::kReadDir,
-                       [this](rpc::CallContext, Bytes args) {
-                         return HandlePassthrough(nfs3::kReadDir, std::move(args));
+                       [this](rpc::CallContext ctx, Bytes args) {
+                         return HandlePassthrough(nfs3::kReadDir, ctx,
+                                                  std::move(args));
                        });
   node.RegisterHandler(nfs3::kProgram, nfs3::kFsStat,
-                       [this](rpc::CallContext, Bytes args) {
-                         return HandlePassthrough(nfs3::kFsStat, std::move(args));
+                       [this](rpc::CallContext ctx, Bytes args) {
+                         return HandlePassthrough(nfs3::kFsStat, ctx,
+                                                  std::move(args));
                        });
   node.RegisterHandler(kGvfsProgram, kCallback,
                        [this](rpc::CallContext ctx, Bytes args) {
@@ -124,16 +127,70 @@ void ProxyClient::Absorb(const Fh& fh, const nfs3::PostOpAttr& attr, bool own_wr
 }
 
 // ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+void ProxyClient::RecordCachedRead(const Fh& fh) {
+  if (staleness_ == nullptr) return;
+  const DiskCache::AttrEntry* entry = cache_.ValidAttr(fh);
+  if (entry == nullptr) return;
+  staleness_->OnCachedRead(fh.fsid, fh.ino, node_.address().host,
+                           entry->fetched_at, sched_.Now());
+}
+
+void ProxyClient::AttachMetrics(metrics::Registry& registry,
+                                const std::string& prefix,
+                                metrics::StalenessProbe* probe) {
+  staleness_ = probe;
+  registry.AddProbe(prefix + "cache_hit_ratio", [this] {
+    const double total =
+        static_cast<double>(stats_.served_locally + stats_.forwarded);
+    return total > 0 ? static_cast<double>(stats_.served_locally) / total : 0.0;
+  });
+  registry.AddProbe(prefix + "served_locally", [this] {
+    return static_cast<double>(stats_.served_locally);
+  });
+  registry.AddProbe(prefix + "forwarded", [this] {
+    return static_cast<double>(stats_.forwarded);
+  });
+  registry.AddProbe(prefix + "cache_bytes", [this] {
+    return static_cast<double>(cache_.CachedBytes());
+  });
+  registry.AddProbe(prefix + "cache_attrs", [this] {
+    return static_cast<double>(cache_.AttrCount());
+  });
+  registry.AddProbe(prefix + "wb_queue_depth", [this] {
+    return static_cast<double>(cache_.TotalDirtyBlocks());
+  });
+  registry.AddProbe(prefix + "polls",
+                    [this] { return static_cast<double>(stats_.polls); });
+  registry.AddProbe(prefix + "invalidations_applied", [this] {
+    return static_cast<double>(stats_.invalidations_applied);
+  });
+  registry.AddProbe(prefix + "force_invalidations", [this] {
+    return static_cast<double>(stats_.force_invalidations);
+  });
+  registry.AddProbe(prefix + "callbacks_received", [this] {
+    return static_cast<double>(stats_.callbacks_received);
+  });
+  registry.AddProbe(prefix + "blocks_flushed", [this] {
+    return static_cast<double>(stats_.blocks_flushed);
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Upstream forwarding
 // ---------------------------------------------------------------------------
 
 sim::Task<std::optional<Bytes>> ProxyClient::Upstream(std::uint32_t proc, Bytes args,
                                                       std::optional<Fh> granted_fh,
-                                                      std::string label) {
+                                                      std::string label,
+                                                      trace::SpanRef parent) {
   ++stats_.forwarded;
   rpc::CallOptions opts;
   opts.label = std::move(label);
   opts.max_retries = 100;  // hard-mount semantics: requests are simply retried
+  opts.parent = parent;
   auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc,
                                    std::move(args), std::move(opts));
   if (!reply) co_return std::nullopt;
@@ -160,7 +217,7 @@ Bytes Fault() {
 // Kernel-facing handlers
 // ---------------------------------------------------------------------------
 
-sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleGetAttr(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::GetAttrArgs>(args);
   if (!parsed) co_return Fault<nfs3::GetAttrRes>();
   const Fh fh = parsed->object;
@@ -169,6 +226,7 @@ sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
     ++stats_.served_locally;
     node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
                          fh.fsid, fh.ino, trace::kNoOffset, "GETATTR");
+    RecordCachedRead(fh);
     // Snapshot before the disk-access sleep: a concurrent callback may
     // invalidate the entry while we wait (the reply is already "in flight").
     nfs3::GetAttrRes res;
@@ -181,7 +239,8 @@ sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
   // kernel (noac kernels size their appends from it): drain the pipeline.
   co_await DrainAsyncWrites(fh);
 
-  auto body = co_await Upstream(nfs3::kGetAttr, std::move(args), fh, "GETATTR");
+  auto body = co_await Upstream(nfs3::kGetAttr, std::move(args), fh, "GETATTR",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::GetAttrRes>();
   auto res = nfs3::Parse<nfs3::GetAttrRes>(*body);
   if (res && res->status == Status::kOk) {
@@ -192,7 +251,7 @@ sim::Task<Bytes> ProxyClient::HandleGetAttr(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<bool> ProxyClient::RefreshDirListing(Fh dir) {
+sim::Task<bool> ProxyClient::RefreshDirListing(Fh dir, trace::SpanRef parent) {
   const DiskCache::AttrEntry* dir_attr = cache_.ValidAttr(dir);
   if (dir_attr == nullptr) co_return false;
   const SimTime expected_mtime = dir_attr->attr.mtime;
@@ -205,7 +264,8 @@ sim::Task<bool> ProxyClient::RefreshDirListing(Fh dir) {
     args.dir = dir;
     args.cookie = cookie;
     args.max_entries = 256;
-    auto body = co_await Upstream(nfs3::kReadDir, Serialize(args), dir, "READDIR");
+    auto body = co_await Upstream(nfs3::kReadDir, Serialize(args), dir,
+                                  "READDIR", parent);
     if (!body) co_return false;
     auto res = nfs3::Parse<nfs3::ReadDirRes>(*body);
     if (!res || res->status != Status::kOk) co_return false;
@@ -235,7 +295,7 @@ sim::Task<bool> ProxyClient::RefreshDirListing(Fh dir) {
   co_return true;
 }
 
-sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleLookup(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::LookupArgs>(args);
   if (!parsed) co_return Fault<nfs3::LookupRes>();
   const Fh dir = parsed->dir;
@@ -249,7 +309,7 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
         cache_.HasLookupEntries(dir)) {
       // The directory changed and its old name entries are stale: rebuild
       // them all with one paginated READDIR instead of per-name LOOKUPs.
-      if (co_await RefreshDirListing(dir) && AttrServable(dir)) {
+      if (co_await RefreshDirListing(dir, ctx.span) && AttrServable(dir)) {
         child = cache_.ValidLookup(dir, name);
         if (child == nullptr) {
           // Complete listing seen: the name definitively does not exist.
@@ -264,6 +324,7 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
         ++stats_.served_locally;
         node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
                              dir.fsid, dir.ino, trace::kNoOffset, "LOOKUP");
+        RecordCachedRead(dir);
         nfs3::LookupRes res;
         res.status = Status::kNoEnt;
         res.dir_attr = cache_.ValidAttr(dir)->attr;
@@ -277,6 +338,7 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
         node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
                              child->fsid, child->ino, trace::kNoOffset,
                              "LOOKUP");
+        RecordCachedRead(*child);
         nfs3::LookupRes res;
         res.object = *child;
         res.obj_attr = cache_.ValidAttr(*child)->attr;
@@ -287,7 +349,8 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
     }
   }
 
-  auto body = co_await Upstream(nfs3::kLookup, std::move(args), dir, "LOOKUP");
+  auto body = co_await Upstream(nfs3::kLookup, std::move(args), dir, "LOOKUP",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::LookupRes>();
   auto res = nfs3::Parse<nfs3::LookupRes>(*body);
   if (res) {
@@ -302,7 +365,7 @@ sim::Task<Bytes> ProxyClient::HandleLookup(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleAccess(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleAccess(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::AccessArgs>(args);
   if (!parsed) co_return Fault<nfs3::AccessRes>();
   const Fh fh = parsed->object;
@@ -310,20 +373,22 @@ sim::Task<Bytes> ProxyClient::HandleAccess(Bytes args) {
     ++stats_.served_locally;
     node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
                          fh.fsid, fh.ino, trace::kNoOffset, "ACCESS");
+    RecordCachedRead(fh);
     nfs3::AccessRes res;
     res.attr = cache_.ValidAttr(fh)->attr;
     res.access = parsed->access;
     co_await sim::Sleep(sched_, config_.disk_access_time);
     co_return Serialize(res);
   }
-  auto body = co_await Upstream(nfs3::kAccess, std::move(args), fh, "ACCESS");
+  auto body = co_await Upstream(nfs3::kAccess, std::move(args), fh, "ACCESS",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::AccessRes>();
   auto res = nfs3::Parse<nfs3::AccessRes>(*body);
   if (res && res->status == Status::kOk) Absorb(fh, res->attr, false);
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRead(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::ReadArgs>(args);
   if (!parsed) co_return Fault<nfs3::ReadRes>();
   const Fh fh = parsed->file;
@@ -362,6 +427,7 @@ sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
       ++stats_.served_locally;
       node_.tracer().Cache(trace::EventType::kCacheHit, node_.address().host,
                            fh.fsid, fh.ino, block_start, "READ");
+      RecordCachedRead(fh);
       co_await sim::Sleep(sched_, config_.disk_access_time);
       co_return Serialize(res);
     }
@@ -371,7 +437,8 @@ sim::Task<Bytes> ProxyClient::HandleRead(Bytes args) {
   // any in-flight WRITEs to this file before asking the server for bytes.
   co_await DrainAsyncWrites(fh);
 
-  auto body = co_await Upstream(nfs3::kRead, std::move(args), fh, "READ");
+  auto body = co_await Upstream(nfs3::kRead, std::move(args), fh, "READ",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::ReadRes>();
   auto res = nfs3::Parse<nfs3::ReadRes>(*body);
   if (res && res->status == Status::kOk) {
@@ -448,7 +515,7 @@ sim::Task<void> ProxyClient::Prefetch(Fh fh, std::uint64_t index) {
   prefetch_done_.NotifyAll();
 }
 
-sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleWrite(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::WriteArgs>(args);
   if (!parsed) co_return Fault<nfs3::WriteRes>();
   const Fh fh = parsed->file;
@@ -533,7 +600,8 @@ sim::Task<Bytes> ProxyClient::HandleWrite(Bytes args) {
     co_return Serialize(res);
   }
 
-  auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE");
+  auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::WriteRes>();
   auto res = nfs3::Parse<nfs3::WriteRes>(*body);
   if (res && res->status == Status::kOk) {
@@ -588,7 +656,7 @@ sim::Task<void> ProxyClient::DrainAsyncWrites(Fh fh) {
   }
 }
 
-sim::Task<Bytes> ProxyClient::HandleCommit(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleCommit(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::CommitArgs>(args);
   if (!parsed) co_return Fault<nfs3::CommitRes>();
   const Fh fh = parsed->file;
@@ -618,16 +686,18 @@ sim::Task<Bytes> ProxyClient::HandleCommit(Bytes args) {
     co_return Serialize(res);
   }
 
-  auto body = co_await Upstream(nfs3::kCommit, std::move(args), fh, "COMMIT");
+  auto body = co_await Upstream(nfs3::kCommit, std::move(args), fh, "COMMIT",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::CommitRes>();
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleCreate(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleCreate(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::CreateArgs>(args);
   if (!parsed) co_return Fault<nfs3::CreateRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kCreate, std::move(args), dir, "CREATE");
+  auto body = co_await Upstream(nfs3::kCreate, std::move(args), dir, "CREATE",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::CreateRes>();
   auto res = nfs3::Parse<nfs3::CreateRes>(*body);
   if (res) {
@@ -640,11 +710,12 @@ sim::Task<Bytes> ProxyClient::HandleCreate(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleMkdir(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleMkdir(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::MkdirArgs>(args);
   if (!parsed) co_return Fault<nfs3::MkdirRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kMkdir, std::move(args), dir, "MKDIR");
+  auto body = co_await Upstream(nfs3::kMkdir, std::move(args), dir, "MKDIR",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::MkdirRes>();
   auto res = nfs3::Parse<nfs3::MkdirRes>(*body);
   if (res) {
@@ -657,11 +728,12 @@ sim::Task<Bytes> ProxyClient::HandleMkdir(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRemove(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRemove(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::RemoveArgs>(args);
   if (!parsed) co_return Fault<nfs3::RemoveRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kRemove, std::move(args), dir, "REMOVE");
+  auto body = co_await Upstream(nfs3::kRemove, std::move(args), dir, "REMOVE",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::RemoveRes>();
   auto res = nfs3::Parse<nfs3::RemoveRes>(*body);
   if (res) {
@@ -675,11 +747,12 @@ sim::Task<Bytes> ProxyClient::HandleRemove(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRmdir(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRmdir(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::RmdirArgs>(args);
   if (!parsed) co_return Fault<nfs3::RmdirRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kRmdir, std::move(args), dir, "RMDIR");
+  auto body = co_await Upstream(nfs3::kRmdir, std::move(args), dir, "RMDIR",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::RmdirRes>();
   auto res = nfs3::Parse<nfs3::RmdirRes>(*body);
   if (res) {
@@ -689,11 +762,11 @@ sim::Task<Bytes> ProxyClient::HandleRmdir(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRename(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRename(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::RenameArgs>(args);
   if (!parsed) co_return Fault<nfs3::RenameRes>();
   auto body = co_await Upstream(nfs3::kRename, std::move(args), parsed->from_dir,
-                                "RENAME");
+                                "RENAME", ctx.span);
   if (!body) co_return Fault<nfs3::RenameRes>();
   auto res = nfs3::Parse<nfs3::RenameRes>(*body);
   if (res) {
@@ -708,10 +781,11 @@ sim::Task<Bytes> ProxyClient::HandleRename(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleLink(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleLink(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::LinkArgs>(args);
   if (!parsed) co_return Fault<nfs3::LinkRes>();
-  auto body = co_await Upstream(nfs3::kLink, std::move(args), parsed->dir, "LINK");
+  auto body = co_await Upstream(nfs3::kLink, std::move(args), parsed->dir,
+                                "LINK", ctx.span);
   if (!body) co_return Fault<nfs3::LinkRes>();
   auto res = nfs3::Parse<nfs3::LinkRes>(*body);
   if (res) {
@@ -724,11 +798,12 @@ sim::Task<Bytes> ProxyClient::HandleLink(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleSetAttr(Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleSetAttr(rpc::CallContext ctx, Bytes args) {
   auto parsed = nfs3::Parse<nfs3::SetAttrArgs>(args);
   if (!parsed) co_return Fault<nfs3::SetAttrRes>();
   const Fh fh = parsed->object;
-  auto body = co_await Upstream(nfs3::kSetAttr, std::move(args), fh, "SETATTR");
+  auto body = co_await Upstream(nfs3::kSetAttr, std::move(args), fh, "SETATTR",
+                                ctx.span);
   if (!body) co_return Fault<nfs3::SetAttrRes>();
   auto res = nfs3::Parse<nfs3::SetAttrRes>(*body);
   if (res && res->status == Status::kOk) {
@@ -738,9 +813,11 @@ sim::Task<Bytes> ProxyClient::HandleSetAttr(Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandlePassthrough(std::uint32_t proc, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandlePassthrough(std::uint32_t proc,
+                                                rpc::CallContext ctx,
+                                                Bytes args) {
   auto body = co_await Upstream(proc, std::move(args), std::nullopt,
-                                nfs3::ProcName(proc));
+                                nfs3::ProcName(proc), ctx.span);
   if (!body) co_return Fault<nfs3::GetAttrRes>();
   co_return std::move(*body);
 }
@@ -787,7 +864,7 @@ sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, Bytes args) {
     if (parsed->has_wanted_offset) {
       const std::uint64_t aligned =
           parsed->wanted_offset - parsed->wanted_offset % cache_.block_size();
-      co_await FlushBlock(fh, aligned);
+      co_await FlushBlock(fh, aligned, ctx.span);
     }
     auto dirty = cache_.DirtyOffsets(fh);
     if (config_.dirty_threshold_blocks > 0 &&
@@ -799,7 +876,7 @@ sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, Bytes args) {
       if (entry != nullptr) res.file_size = entry->attr.size;
       sim::Spawn(AsyncFlush(fh));
     } else {
-      co_await FlushFile(fh, /*commit=*/true);
+      co_await FlushFile(fh, /*commit=*/true, ctx.span);
     }
   }
   cache_.InvalidateAttr(fh);
@@ -907,7 +984,8 @@ sim::Task<void> ProxyClient::FlushLoop() {
   }
 }
 
-sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
+sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset,
+                                        trace::SpanRef parent) {
   const std::uint64_t epoch = epoch_;
   const std::uint64_t index = offset / cache_.block_size();
   const DiskCache::Block* block = cache_.FindBlock(fh, index);
@@ -918,7 +996,8 @@ sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset) {
   wargs.offset = offset;
   wargs.stable = nfs3::StableHow::kUnstable;
   wargs.data = block->data;
-  auto body = co_await Upstream(nfs3::kWrite, Serialize(wargs), fh, "WRITE");
+  auto body =
+      co_await Upstream(nfs3::kWrite, Serialize(wargs), fh, "WRITE", parent);
   // Epoch check after the RPC, not just at loop tops: a crash while this
   // WRITE was in flight must not mark the surviving dirty block clean (the
   // recovery re-scan relies on the dirty flags).
@@ -938,7 +1017,8 @@ sim::Mutex& ProxyClient::FlushLockFor(const Fh& fh) {
   return flush_locks_.try_emplace(fh, sched_).first->second;
 }
 
-sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit) {
+sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit,
+                                       trace::SpanRef parent) {
   const std::uint64_t epoch = epoch_;
   // Serialize whole-file flushes: a second flusher (periodic loop, recall,
   // shutdown) waits until the current window fully drains, which both
@@ -957,7 +1037,7 @@ sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit) {
   if (window == 1 || offsets.size() <= 1) {
     for (std::uint64_t offset : offsets) {
       if (epoch != epoch_) break;
-      flushed_any |= co_await FlushBlock(fh, offset);
+      flushed_any |= co_await FlushBlock(fh, offset, parent);
     }
   } else {
     // Sliding window: up to `window` WRITEs in flight; each completion frees
@@ -973,12 +1053,12 @@ sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit) {
         break;  // stop issuing; the joined window below still drains
       }
       in_flight.Spawn([](ProxyClient* self, Fh file, std::uint64_t off,
-                         sim::Semaphore* sem,
+                         trace::SpanRef span, sim::Semaphore* sem,
                          std::shared_ptr<bool> flushed) -> sim::Task<void> {
-        const bool ok = co_await self->FlushBlock(file, off);
+        const bool ok = co_await self->FlushBlock(file, off, span);
         *flushed = *flushed || ok;
         sem->Release();
-      }(this, fh, offset, &slots, any));
+      }(this, fh, offset, parent, &slots, any));
     }
     co_await in_flight.Wait();
     flushed_any = *any;
@@ -987,7 +1067,8 @@ sim::Task<void> ProxyClient::FlushFile(Fh fh, bool commit) {
   if (epoch == epoch_ && flushed_any && commit) {
     nfs3::CommitArgs cargs;
     cargs.file = fh;
-    auto body = co_await Upstream(nfs3::kCommit, Serialize(cargs), fh, "COMMIT");
+    auto body =
+        co_await Upstream(nfs3::kCommit, Serialize(cargs), fh, "COMMIT", parent);
     (void)body;
   }
   lock.Unlock();

@@ -28,6 +28,8 @@
 #include "gvfs/disk_cache.h"
 #include "gvfs/proto.h"
 #include "gvfs/session.h"
+#include "metrics/registry.h"
+#include "metrics/staleness.h"
 #include "nfs3/client.h"
 #include "nfs3/proto.h"
 #include "rpc/rpc.h"
@@ -35,6 +37,7 @@
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "trace/trace.h"
 
 namespace gvfs::proxy {
 
@@ -83,6 +86,13 @@ class ProxyClient {
   DiskCache& cache() { return cache_; }
   bool running() const { return running_; }
 
+  /// Registers this proxy's live telemetry (pull probes over the counters
+  /// above plus cache occupancy / write-back depth) under `prefix`, and
+  /// attaches the per-session staleness probe consulted on every cached
+  /// read-class serve. `probe` may be null (no staleness measurement).
+  void AttachMetrics(metrics::Registry& registry, const std::string& prefix,
+                     metrics::StalenessProbe* probe);
+
   /// Files whose cached dirty data was found conflicted during recovery.
   const std::vector<nfs3::Fh>& corrupted_files() const { return corrupted_; }
 
@@ -93,20 +103,24 @@ class ProxyClient {
   };
 
   // -- kernel-facing NFS handlers --
-  sim::Task<Bytes> HandleGetAttr(Bytes args);
-  sim::Task<Bytes> HandleLookup(Bytes args);
-  sim::Task<Bytes> HandleAccess(Bytes args);
-  sim::Task<Bytes> HandleRead(Bytes args);
-  sim::Task<Bytes> HandleWrite(Bytes args);
-  sim::Task<Bytes> HandleCommit(Bytes args);
-  sim::Task<Bytes> HandleCreate(Bytes args);
-  sim::Task<Bytes> HandleMkdir(Bytes args);
-  sim::Task<Bytes> HandleRemove(Bytes args);
-  sim::Task<Bytes> HandleRmdir(Bytes args);
-  sim::Task<Bytes> HandleRename(Bytes args);
-  sim::Task<Bytes> HandleLink(Bytes args);
-  sim::Task<Bytes> HandleSetAttr(Bytes args);
-  sim::Task<Bytes> HandlePassthrough(std::uint32_t proc, Bytes args);
+  // All take the RPC CallContext so the kernel call's span becomes the
+  // parent of every upstream RPC the handler issues (one causal tree from
+  // kernel client through proxy to server).
+  sim::Task<Bytes> HandleGetAttr(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleLookup(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleAccess(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleRead(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleWrite(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleCommit(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleCreate(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleMkdir(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleRemove(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleRmdir(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleRename(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleLink(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleSetAttr(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandlePassthrough(std::uint32_t proc, rpc::CallContext ctx,
+                                     Bytes args);
 
   // -- server-facing callback handlers --
   sim::Task<Bytes> HandleCallback(rpc::CallContext ctx, Bytes args);
@@ -114,10 +128,15 @@ class ProxyClient {
 
   /// Forwards a raw request upstream; strips and applies any delegation
   /// grant suffix for `granted_fh`. Returns the reply body (suffix removed),
-  /// or nullopt on transport failure.
+  /// or nullopt on transport failure. `parent` chains the upstream call into
+  /// the caller's trace (invalid => the call roots a new trace).
   sim::Task<std::optional<Bytes>> Upstream(std::uint32_t proc, Bytes args,
                                            std::optional<nfs3::Fh> granted_fh,
-                                           std::string label);
+                                           std::string label,
+                                           trace::SpanRef parent = {});
+
+  /// Records a cached read-class serve into the session staleness probe.
+  void RecordCachedRead(const nfs3::Fh& fh);
 
   /// True when the consistency model lets cached attributes answer locally.
   bool AttrServable(const nfs3::Fh& fh) const;
@@ -132,7 +151,7 @@ class ProxyClient {
   /// Rebuilds the name cache of a changed directory with paginated READDIRs
   /// (one or two RPCs instead of one LOOKUP per name). Returns false if the
   /// directory state changed underneath us.
-  sim::Task<bool> RefreshDirListing(nfs3::Fh dir);
+  sim::Task<bool> RefreshDirListing(nfs3::Fh dir, trace::SpanRef parent = {});
 
   // -- read-ahead --
 
@@ -166,13 +185,16 @@ class ProxyClient {
   /// Joins every in-flight async WRITE of `fh` (no-op when none).
   sim::Task<void> DrainAsyncWrites(nfs3::Fh fh);
 
-  /// Writes one dirty block upstream; returns false on failure.
-  sim::Task<bool> FlushBlock(nfs3::Fh fh, std::uint64_t offset);
+  /// Writes one dirty block upstream; returns false on failure. `parent`
+  /// chains the WRITE into a recall's span when flushing under a callback.
+  sim::Task<bool> FlushBlock(nfs3::Fh fh, std::uint64_t offset,
+                             trace::SpanRef parent = {});
   /// Flushes every dirty block of `fh` through a window of up to
   /// `config_.wb_window` WRITEs in flight, then (optionally) one coalesced
   /// COMMIT. Concurrent flushes of the same file serialize on a per-file
   /// lock so per-block write-after-write order is preserved.
-  sim::Task<void> FlushFile(nfs3::Fh fh, bool commit);
+  sim::Task<void> FlushFile(nfs3::Fh fh, bool commit,
+                            trace::SpanRef parent = {});
   /// Asynchronous remainder flush after a block-list callback reply.
   sim::Task<void> AsyncFlush(nfs3::Fh fh);
   /// §4.3.4 per-file recovery probe: GETATTR conflict check, then one-block
@@ -208,6 +230,7 @@ class ProxyClient {
 
   std::vector<nfs3::Fh> corrupted_;
   ProxyClientStats stats_;
+  metrics::StalenessProbe* staleness_ = nullptr;
 };
 
 }  // namespace gvfs::proxy

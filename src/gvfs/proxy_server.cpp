@@ -147,6 +147,10 @@ ProxyServer::OpInfo ProxyServer::Classify(std::uint32_t proc, const Bytes& args)
 
 sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx,
                                         Bytes args) {
+  // The staleness probe stamps new versions with the request's receipt time:
+  // it precedes the upstream mtime, so a client that already read the new
+  // data never appears stale against its own refresh.
+  const SimTime received = sched_.Now();
   co_await WaitGrace();
   RegisterClient(ctx.caller);
 
@@ -162,7 +166,10 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
     nfs3::LookupArgs lookup;
     lookup.dir = dir;
     lookup.name = name;
-    auto res = co_await upstream_.Call<nfs3::LookupRes>(nfs3::kLookup, lookup);
+    rpc::CallOptions lopts;
+    lopts.parent = ctx.span;
+    auto res = co_await upstream_.Call<nfs3::LookupRes>(nfs3::kLookup, lookup,
+                                                        std::move(lopts));
     if (res && res->status == nfs3::Status::kOk) victim_fhs.push_back(res->object);
   }
 
@@ -171,23 +178,28 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
   if (delegation_model && !skip_recalls) {
     // Recall conflicting delegations before the operation proceeds.
     for (const auto& fh : info.writes) {
-      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, info.offset);
+      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, info.offset,
+                               ctx.span);
     }
     for (const auto& fh : victim_fhs) {
-      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, std::nullopt);
+      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, std::nullopt,
+                               ctx.span);
     }
     for (const auto& fh : info.reads) {
-      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/false, std::nullopt);
+      co_await RecallConflicts(fh, ctx.caller, /*write_op=*/false, std::nullopt,
+                               ctx.span);
       if (info.offset.has_value()) {
-        co_await EnsureBlockWrittenBack(fh, ctx.caller, *info.offset);
+        co_await EnsureBlockWrittenBack(fh, ctx.caller, *info.offset, ctx.span);
       }
     }
   }
 
   // Forward the raw request upstream (kernel NFS server over loopback).
   ++stats_.forwarded;
+  rpc::CallOptions fwd_opts;
+  fwd_opts.parent = ctx.span;
   auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc, args,
-                                   rpc::CallOptions{});
+                                   std::move(fwd_opts));
   if (!reply) {
     // Upstream unreachable: surface as a server fault in NFS terms.
     nfs3::GetAttrRes fault;
@@ -213,8 +225,18 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
     xdr::Decoder dec(body);
     auto status = dec.GetU32();
     if (status && *status == 0) {
-      for (const auto& fh : info.writes) RecordInvalidation(fh, ctx.caller);
-      for (const auto& fh : victim_fhs) RecordInvalidation(fh, ctx.caller);
+      for (const auto& fh : info.writes) {
+        RecordInvalidation(fh, ctx.caller);
+        if (staleness_ != nullptr) {
+          staleness_->StampVersion(fh.fsid, fh.ino, received, ctx.caller.host);
+        }
+      }
+      for (const auto& fh : victim_fhs) {
+        RecordInvalidation(fh, ctx.caller);
+        if (staleness_ != nullptr) {
+          staleness_->StampVersion(fh.fsid, fh.ino, received, ctx.caller.host);
+        }
+      }
     }
   }
 
@@ -257,6 +279,7 @@ void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
       tr.Inv(trace::EventType::kInvWrap, host, oldest.fh.fsid, oldest.fh.ino,
              oldest.timestamp,
              static_cast<std::uint32_t>(state.buffer.size()), client.host);
+      ++stats_.inv_wraps;
       state.pending.erase(oldest.fh);
       state.buffer.pop_front();
       state.overflowed = true;  // wrap-around: this client must force-invalidate
@@ -336,6 +359,13 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
 // Delegations (§4.3)
 // ---------------------------------------------------------------------------
 
+void ProxyServer::RecordHoldTime(const Sharer& sharer) {
+  if (deleg_hold_hist_ == nullptr || sharer.granted_at == 0) return;
+  const SimTime held = sched_.Now() - sharer.granted_at;
+  deleg_hold_hist_->Record(
+      static_cast<std::uint64_t>(held > 0 ? held / kMicrosecond : 0));
+}
+
 void ProxyServer::ExpireSharers(const Fh& fh, FileState& state) {
   const SimTime now = sched_.Now();
   for (auto it = state.sharers.begin(); it != state.sharers.end();) {
@@ -348,6 +378,7 @@ void ProxyServer::ExpireSharers(const Fh& fh, FileState& state) {
             trace::EventType::kDelegExpiry, node_.address().host, fh.fsid,
             fh.ino, static_cast<std::uint32_t>(it->second.granted),
             it->first.host, trace::kDelegFlagServerSide, 0);
+        RecordHoldTime(it->second);
       }
       it = state.sharers.erase(it);
     } else {
@@ -358,7 +389,8 @@ void ProxyServer::ExpireSharers(const Fh& fh, FileState& state) {
 
 sim::Task<CallbackRes> ProxyServer::SendCallback(net::Address client, Fh fh,
                                                  CallbackType type,
-                                                 std::optional<std::uint64_t> wanted) {
+                                                 std::optional<std::uint64_t> wanted,
+                                                 trace::SpanRef parent) {
   CallbackArgs args;
   args.file = fh;
   args.type = type;
@@ -371,6 +403,7 @@ sim::Task<CallbackRes> ProxyServer::SendCallback(net::Address client, Fh fh,
   opts.label = "CALLBACK";
   opts.timeout = Seconds(2);
   opts.max_retries = 3;
+  opts.parent = parent;
   auto reply = co_await node_.Call(client, kGvfsProgram, kCallback,
                                    Serialize(args), std::move(opts));
   if (!reply) co_return CallbackRes{};  // client unreachable; treat as revoked
@@ -380,7 +413,8 @@ sim::Task<CallbackRes> ProxyServer::SendCallback(net::Address client, Fh fh,
 
 sim::Task<void> ProxyServer::RecallConflicts(Fh fh, net::Address requester,
                                              bool write_op,
-                                             std::optional<std::uint64_t> offset) {
+                                             std::optional<std::uint64_t> offset,
+                                             trace::SpanRef parent) {
   auto it = files_.find(fh);
   if (it == files_.end()) co_return;
   ExpireSharers(fh, it->second);
@@ -401,14 +435,14 @@ sim::Task<void> ProxyServer::RecallConflicts(Fh fh, net::Address requester,
   ++it->second.recalling;
   if (to_recall.size() == 1) {
     co_await RecallOne(fh, to_recall.front().first, to_recall.front().second,
-                       offset);
+                       offset, parent);
   } else {
     // Multicast: every conflicting sharer is recalled concurrently and the
     // operation proceeds once all of them answered (or timed out), so the
     // wait costs one callback round trip instead of one per sharer.
     sim::WaitGroup in_flight(sched_);
     for (const auto& [addr, granted] : to_recall) {
-      in_flight.Spawn(RecallOne(fh, addr, granted, offset));
+      in_flight.Spawn(RecallOne(fh, addr, granted, offset, parent));
     }
     co_await in_flight.Wait();
   }
@@ -418,7 +452,8 @@ sim::Task<void> ProxyServer::RecallConflicts(Fh fh, net::Address requester,
 
 sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
                                        DelegationType granted,
-                                       std::optional<std::uint64_t> offset) {
+                                       std::optional<std::uint64_t> offset,
+                                       trace::SpanRef parent) {
   const CallbackType type = granted == DelegationType::kWrite
                                 ? CallbackType::kRecallWrite
                                 : CallbackType::kRecallRead;
@@ -433,13 +468,22 @@ sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
       trace::kDelegFlagServerSide |
           (offset.has_value() ? trace::kDelegFlagHasWanted : 0),
       offset.value_or(0));
-  CallbackRes res = co_await SendCallback(addr, fh, type, offset);
+  const SimTime recall_start = sched_.Now();
+  CallbackRes res = co_await SendCallback(addr, fh, type, offset, parent);
+  if (recall_wb_hist_ != nullptr && type == CallbackType::kRecallWrite) {
+    // Recall → reply covers the holder's synchronous write-back (§4.3.2).
+    const SimTime took = sched_.Now() - recall_start;
+    recall_wb_hist_->Record(
+        static_cast<std::uint64_t>(took > 0 ? took / kMicrosecond : 0));
+  }
 
   auto again = files_.find(fh);
   if (again == files_.end()) co_return;
   auto sharer = again->second.sharers.find(addr);
   if (sharer != again->second.sharers.end()) {
+    RecordHoldTime(sharer->second);
     sharer->second.granted = DelegationType::kNone;
+    sharer->second.granted_at = 0;
     node_.tracer().Deleg(trace::EventType::kDelegRelease, node_.address().host,
                          fh.fsid, fh.ino, static_cast<std::uint32_t>(granted),
                          addr.host, trace::kDelegFlagServerSide, 0);
@@ -462,7 +506,8 @@ sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
 }
 
 sim::Task<void> ProxyServer::EnsureBlockWrittenBack(Fh fh, net::Address requester,
-                                                    std::uint64_t offset) {
+                                                    std::uint64_t offset,
+                                                    trace::SpanRef parent) {
   auto it = files_.find(fh);
   if (it == files_.end()) co_return;
   const std::uint64_t block_offset = offset - offset % config_.block_size;
@@ -478,7 +523,7 @@ sim::Task<void> ProxyServer::EnsureBlockWrittenBack(Fh fh, net::Address requeste
                        trace::kDelegFlagServerSide | trace::kDelegFlagHasWanted,
                        block_offset);
   co_await SendCallback(it->second.writeback_owner, fh, CallbackType::kRecallWrite,
-                        block_offset);
+                        block_offset, parent);
   // The owner's WRITE (observed in HandleNfs) retires the pending offset.
 }
 
@@ -531,6 +576,7 @@ void ProxyServer::TouchSharer(const Fh& fh, net::Address client, bool write_op,
                            static_cast<std::uint32_t>(granted), client.host,
                            trace::kDelegFlagServerSide, 0);
     }
+    if (sharer.granted == DelegationType::kNone) sharer.granted_at = sched_.Now();
     sharer.granted = granted;
   }
 }
@@ -591,6 +637,7 @@ sim::Task<void> ProxyServer::RecoverClient(net::Address client) {
     auto& sharer = files_[fh].sharers[client];
     sharer.last_access = sched_.Now();
     sharer.last_write = sched_.Now();
+    if (sharer.granted == DelegationType::kNone) sharer.granted_at = sched_.Now();
     sharer.granted = DelegationType::kWrite;
     node_.tracer().Deleg(trace::EventType::kDelegGrant, node_.address().host,
                          fh.fsid, fh.ino,
@@ -601,6 +648,47 @@ sim::Task<void> ProxyServer::RecoverClient(net::Address client) {
 
 void ProxyServer::RegisterClient(net::Address client) {
   persistent_clients_.insert(client);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+void ProxyServer::AttachMetrics(metrics::Registry& registry,
+                                const std::string& prefix,
+                                metrics::StalenessProbe* probe) {
+  staleness_ = probe;
+  deleg_hold_hist_ = &registry.GetHistogram(prefix + "deleg_hold_time_us");
+  recall_wb_hist_ = &registry.GetHistogram(prefix + "recall_writeback_us");
+  registry.AddProbe(prefix + "inv_buffer_occupancy", [this] {
+    std::size_t occupancy = 0;
+    for (const auto& [client, state] : inv_clients_) {
+      occupancy = std::max(occupancy, state.buffer.size());
+    }
+    return static_cast<double>(occupancy);
+  });
+  registry.AddProbe(prefix + "forwarded",
+                    [this] { return static_cast<double>(stats_.forwarded); });
+  registry.AddProbe(prefix + "getinv_served", [this] {
+    return static_cast<double>(stats_.getinv_served);
+  });
+  registry.AddProbe(prefix + "callbacks_sent", [this] {
+    return static_cast<double>(stats_.callbacks_sent);
+  });
+  registry.AddProbe(prefix + "force_invalidations", [this] {
+    return static_cast<double>(stats_.force_invalidations);
+  });
+  registry.AddProbe(prefix + "inv_wraps",
+                    [this] { return static_cast<double>(stats_.inv_wraps); });
+  registry.AddProbe(prefix + "recalls_read", [this] {
+    return static_cast<double>(stats_.recalls_read);
+  });
+  registry.AddProbe(prefix + "recalls_write", [this] {
+    return static_cast<double>(stats_.recalls_write);
+  });
+  registry.AddProbe(prefix + "invalidations_recorded", [this] {
+    return static_cast<double>(stats_.invalidations_recorded);
+  });
 }
 
 }  // namespace gvfs::proxy

@@ -27,6 +27,8 @@
 
 #include "gvfs/proto.h"
 #include "gvfs/session.h"
+#include "metrics/registry.h"
+#include "metrics/staleness.h"
 #include "nfs3/client.h"
 #include "nfs3/proto.h"
 #include "rpc/rpc.h"
@@ -34,6 +36,7 @@
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "trace/trace.h"
 
 namespace gvfs::proxy {
 
@@ -45,6 +48,9 @@ struct ProxyServerStats {
   std::uint64_t recalls_read = 0;
   std::uint64_t recalls_write = 0;
   std::uint64_t invalidations_recorded = 0;
+  /// Invalidation-buffer wrap-arounds (oldest entry evicted; the affected
+  /// client is forced to whole-cache invalidate on its next poll).
+  std::uint64_t inv_wraps = 0;
 };
 
 class ProxyServer {
@@ -72,6 +78,14 @@ class ProxyServer {
 
   bool InGrace() const { return in_grace_; }
 
+  /// Registers this proxy's live telemetry under `prefix` (counters above,
+  /// invalidation-buffer occupancy, delegation hold-time and recall
+  /// write-back latency histograms) and attaches the session staleness
+  /// probe: every successful mutation stamps the touched files' new version
+  /// with the RPC's receipt time. `probe` may be null.
+  void AttachMetrics(metrics::Registry& registry, const std::string& prefix,
+                     metrics::StalenessProbe* probe);
+
  private:
   struct InvEntry {
     std::uint64_t timestamp;
@@ -90,6 +104,7 @@ class ProxyServer {
     SimTime last_access = 0;
     SimTime last_write = 0;  // 0 = never wrote
     DelegationType granted = DelegationType::kNone;
+    SimTime granted_at = 0;  // when `granted` last left kNone (hold-time base)
   };
 
   struct FileState {
@@ -128,18 +143,24 @@ class ProxyServer {
   void RecordInvalidation(const nfs3::Fh& fh, net::Address writer);
 
   // -- delegation machinery --
+  // `parent` chains the recall CALLBACKs into the span of the NFS request
+  // that forced them (one causal tree from requester through server to the
+  // recalled holder).
   sim::Task<void> RecallConflicts(nfs3::Fh fh, net::Address requester,
-                                  bool write_op, std::optional<std::uint64_t> offset);
+                                  bool write_op, std::optional<std::uint64_t> offset,
+                                  trace::SpanRef parent = {});
   /// One recall callback to one conflicting sharer, plus the post-reply
   /// bookkeeping (grant revocation, §4.3.2 block-list absorption).
   sim::Task<void> RecallOne(nfs3::Fh fh, net::Address addr, DelegationType granted,
-                            std::optional<std::uint64_t> offset);
+                            std::optional<std::uint64_t> offset,
+                            trace::SpanRef parent = {});
   /// One state-recovery callback to one known client (§4.3.4).
   sim::Task<void> RecoverClient(net::Address client);
   /// Write-back monitor: a reader touching a block still pending write-back
   /// forces the owner to submit it promptly.
   sim::Task<void> EnsureBlockWrittenBack(nfs3::Fh fh, net::Address requester,
-                                         std::uint64_t offset);
+                                         std::uint64_t offset,
+                                         trace::SpanRef parent = {});
   DelegationType DecideGrant(const nfs3::Fh& fh, net::Address requester,
                              bool write_op);
   void TouchSharer(const nfs3::Fh& fh, net::Address client, bool write_op,
@@ -147,7 +168,11 @@ class ProxyServer {
   void ExpireSharers(const nfs3::Fh& fh, FileState& state);
   sim::Task<CallbackRes> SendCallback(net::Address client, nfs3::Fh fh,
                                       CallbackType type,
-                                      std::optional<std::uint64_t> wanted);
+                                      std::optional<std::uint64_t> wanted,
+                                      trace::SpanRef parent = {});
+
+  /// Records a delegation's hold time when it ends (recall or expiry).
+  void RecordHoldTime(const Sharer& sharer);
 
   sim::Task<void> WaitGrace();
 
@@ -170,6 +195,9 @@ class ProxyServer {
   sim::Condition grace_over_;
 
   ProxyServerStats stats_;
+  metrics::StalenessProbe* staleness_ = nullptr;
+  metrics::Histogram* deleg_hold_hist_ = nullptr;   // µs
+  metrics::Histogram* recall_wb_hist_ = nullptr;    // recall → reply, µs
 };
 
 }  // namespace gvfs::proxy

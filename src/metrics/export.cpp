@@ -1,0 +1,100 @@
+#include "metrics/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/types.h"
+
+namespace gvfs::metrics {
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string n = Sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string n = Sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + FormatDouble(g.value()) + "\n";
+  }
+  for (const auto& [name, fn] : registry.probes()) {
+    const std::string n = Sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + FormatDouble(fn ? fn() : 0.0) + "\n";
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string n = Sanitize(name);
+    const LogHistogram& lh = h.hist();
+    out += "# TYPE " + n + " summary\n";
+    for (double pct : {50.0, 95.0, 99.0}) {
+      out += n + "{quantile=\"" + FormatDouble(pct / 100.0) + "\"} " +
+             std::to_string(lh.Percentile(pct)) + "\n";
+    }
+    out += n + "_sum " + std::to_string(lh.sum()) + "\n";
+    out += n + "_count " + std::to_string(lh.count()) + "\n";
+  }
+  return out;
+}
+
+std::string TimeSeriesCsv(const TimeSeries& series) {
+  std::set<std::string> columns;
+  for (const Sample& s : series) {
+    for (const auto& [name, _] : s.values) columns.insert(name);
+  }
+  std::string out = "time_s";
+  for (const std::string& col : columns) out += "," + col;
+  out += "\n";
+  for (const Sample& s : series) {
+    std::map<std::string, double> row(s.values.begin(), s.values.end());
+    out += FormatDouble(ToSeconds(s.time));
+    for (const std::string& col : columns) {
+      auto it = row.find(col);
+      out += "," + FormatDouble(it == row.end() ? 0.0 : it->second);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TimeSeriesJson(const TimeSeries& series) {
+  std::vector<JsonObject> samples;
+  samples.reserve(series.size());
+  for (const Sample& s : series) {
+    JsonObject values;
+    for (const auto& [name, v] : s.values) values.Add(name, v);
+    JsonObject sample;
+    sample.Add("time_s", ToSeconds(s.time));
+    sample.Add("values", values);
+    samples.push_back(std::move(sample));
+  }
+  JsonObject doc;
+  doc.Add("samples", samples);
+  return doc.Dump() + "\n";
+}
+
+}  // namespace gvfs::metrics

@@ -1,0 +1,28 @@
+// Exporters for the metrics registry and sampled time series:
+//  - PrometheusText: point-in-time text exposition of a Registry.
+//  - TimeSeriesCsv:  rectangular CSV (one row per sample, union of columns).
+//  - TimeSeriesJson: the same series as a JSON document.
+// All outputs iterate instruments in sorted order, so a deterministic run
+// yields byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "metrics/registry.h"
+#include "metrics/sampler.h"
+
+namespace gvfs::metrics {
+
+/// Prometheus-style text exposition: counters/gauges/probes one line each,
+/// histograms as _count/_sum plus quantile-labeled lines. Instrument names
+/// are sanitized to [a-zA-Z0-9_:] as the format requires.
+std::string PrometheusText(const Registry& registry);
+
+/// CSV with header `time_s,<col>,...` over the union of all columns ever
+/// seen in the series; samples missing a column emit 0.
+std::string TimeSeriesCsv(const TimeSeries& series);
+
+/// JSON: {"samples":[{"time_s":...,"values":{col:val,...}},...]}.
+std::string TimeSeriesJson(const TimeSeries& series);
+
+}  // namespace gvfs::metrics

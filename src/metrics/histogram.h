@@ -1,0 +1,83 @@
+// Log-bucketed histogram over unsigned values: power-of-two buckets, O(1)
+// record, percentile read-out as the bucket's upper bound clamped to the
+// recorded max (so the tail is never under-reported by more than a factor of
+// two). This is the bucketing rpc::StatsMap has always used for RPC
+// latencies, extracted so the metrics registry — and anything else that
+// wants a cheap fixed-size distribution — shares one implementation.
+//
+// Values are raw unsigned integers; the caller picks the unit (the RPC layer
+// and the staleness probe record microseconds).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace gvfs::metrics {
+
+class LogHistogram {
+ public:
+  /// Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds value 0.
+  /// 40 buckets cover ~2^39 units — with microsecond values, ~12 simulated
+  /// days, beyond any plausible latency or staleness.
+  static constexpr std::size_t kBuckets = 40;
+
+  static std::size_t BucketFor(std::uint64_t value) {
+    return std::min<std::size_t>(std::bit_width(value), kBuckets - 1);
+  }
+
+  static std::uint64_t BucketUpperBound(std::size_t bucket) {
+    if (bucket == 0) return 1;
+    return std::uint64_t{1} << bucket;
+  }
+
+  void Record(std::uint64_t value) {
+    ++count_;
+    sum_ += value;
+    max_ = std::max(max_, value);
+    ++hist_[BucketFor(value)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return hist_; }
+
+  /// Upper bound of the bucket holding the pct-th percentile sample, in raw
+  /// units and NOT clamped to the recorded max; 0 when empty. Kept separate
+  /// from Percentile so callers tracking a finer-grained max (the RPC layer
+  /// keeps nanoseconds) can clamp against their own.
+  std::uint64_t PercentileBucketUpperBound(double pct) const {
+    if (count_ == 0) return 0;
+    const auto rank = static_cast<std::uint64_t>(
+        pct / 100.0 * static_cast<double>(count_) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < hist_.size(); ++b) {
+      seen += hist_[b];
+      if (seen >= std::max<std::uint64_t>(rank, 1)) return BucketUpperBound(b);
+    }
+    return max_;
+  }
+
+  /// Percentile estimate: bucket upper bound clamped to the recorded max.
+  std::uint64_t Percentile(double pct) const {
+    if (count_ == 0) return 0;
+    return std::min(max_, PercentileBucketUpperBound(pct));
+  }
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    hist_.fill(0);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kBuckets> hist_{};
+};
+
+}  // namespace gvfs::metrics

@@ -1,0 +1,76 @@
+// Named-instrument registry: counters, gauges, log-bucketed histograms, and
+// pull-style probes (callbacks evaluated at sample time). Instruments are
+// created on first use and live as long as the registry; Get* returns a
+// stable reference (std::map storage — node-based, so references survive
+// later insertions), which lets instrumented code hold the pointer instead
+// of paying a map lookup per event.
+//
+// Iteration order over each instrument family is lexicographic (std::map),
+// which makes every exporter's output deterministic for a given run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "metrics/histogram.h"
+
+namespace gvfs::metrics {
+
+class Counter {
+ public:
+  void Inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void Record(std::uint64_t value) { hist_.Record(value); }
+  const LogHistogram& hist() const { return hist_; }
+
+ private:
+  LogHistogram hist_;
+};
+
+class Registry {
+ public:
+  Counter& GetCounter(const std::string& name) { return counters_[name]; }
+  Gauge& GetGauge(const std::string& name) { return gauges_[name]; }
+  Histogram& GetHistogram(const std::string& name) { return histograms_[name]; }
+
+  /// Registers a pull-style metric: `fn` is evaluated whenever the registry
+  /// is sampled or exported. Re-registering a name replaces the callback.
+  void AddProbe(const std::string& name, std::function<double()> fn) {
+    probes_[name] = std::move(fn);
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::function<double()>>& probes() const {
+    return probes_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::function<double()>> probes_;
+};
+
+}  // namespace gvfs::metrics

@@ -1,0 +1,44 @@
+#include "metrics/sampler.h"
+
+#include "sim/sync.h"
+
+namespace gvfs::metrics {
+
+void Sampler::Start() {
+  if (running_) return;
+  running_ = true;
+  sim::Spawn(Loop());
+}
+
+sim::Task<void> Sampler::Loop() {
+  while (running_) {
+    SampleNow();
+    co_await sim::Sleep(sched_, period_);
+  }
+}
+
+void Sampler::SampleNow() {
+  Sample s;
+  s.time = sched_.Now();
+  for (const auto& [name, c] : registry_.counters()) {
+    s.values.emplace_back(name, static_cast<double>(c.value()));
+  }
+  for (const auto& [name, g] : registry_.gauges()) {
+    s.values.emplace_back(name, g.value());
+  }
+  for (const auto& [name, fn] : registry_.probes()) {
+    s.values.emplace_back(name, fn ? fn() : 0.0);
+  }
+  for (const auto& [name, h] : registry_.histograms()) {
+    const LogHistogram& lh = h.hist();
+    s.values.emplace_back(name + ".count", static_cast<double>(lh.count()));
+    s.values.emplace_back(name + ".sum", static_cast<double>(lh.sum()));
+    s.values.emplace_back(name + ".max", static_cast<double>(lh.max()));
+    s.values.emplace_back(name + ".p50", static_cast<double>(lh.Percentile(50)));
+    s.values.emplace_back(name + ".p95", static_cast<double>(lh.Percentile(95)));
+    s.values.emplace_back(name + ".p99", static_cast<double>(lh.Percentile(99)));
+  }
+  series_.push_back(std::move(s));
+}
+
+}  // namespace gvfs::metrics

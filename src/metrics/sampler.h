@@ -1,0 +1,58 @@
+// Sim-clock sampler: snapshots a Registry into an in-memory time series on a
+// fixed period. The sampling loop is an ordinary simulated coroutine, so
+// samples interleave deterministically with protocol activity and two
+// identical seeded runs produce byte-identical series.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/registry.h"
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace gvfs::metrics {
+
+/// One snapshot: every instrument flattened to (column, value) pairs.
+/// Histograms expand to .count/.sum/.max/.p50/.p95/.p99 columns.
+struct Sample {
+  SimTime time = 0;
+  std::vector<std::pair<std::string, double>> values;
+
+  Sample() = default;
+};
+
+using TimeSeries = std::vector<Sample>;
+
+class Sampler {
+ public:
+  Sampler(sim::Scheduler& sched, Registry& registry, Duration period)
+      : sched_(sched), registry_(registry), period_(period) {}
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Takes an immediate sample, then one every `period` until Stop().
+  void Start();
+  /// Stops the periodic loop (already-collected samples are kept). A final
+  /// snapshot can still be taken explicitly with SampleNow().
+  void Stop() { running_ = false; }
+
+  /// Appends one snapshot of the registry at the current sim time.
+  void SampleNow();
+
+  const TimeSeries& series() const { return series_; }
+  Duration period() const { return period_; }
+
+ private:
+  sim::Task<void> Loop();
+
+  sim::Scheduler& sched_;
+  Registry& registry_;
+  Duration period_;
+  bool running_ = false;
+  TimeSeries series_;
+};
+
+}  // namespace gvfs::metrics

@@ -1,0 +1,40 @@
+#include "metrics/staleness.h"
+
+namespace gvfs::metrics {
+
+void StalenessProbe::StampVersion(std::uint64_t fsid, std::uint64_t ino,
+                                  SimTime birth, std::uint32_t writer_host) {
+  auto& history = stamps_[{fsid, ino}];
+  // Receipt times arrive monotonically (single simulated server), so the
+  // history stays sorted by construction; cap it to bound memory on
+  // write-heavy runs — a reader can only be stale relative to recent writes.
+  history.push_back(Stamp{birth, writer_host});
+  constexpr std::size_t kMaxHistory = 1024;
+  if (history.size() > kMaxHistory) {
+    history.erase(history.begin(),
+                  history.begin() + (history.size() - kMaxHistory));
+  }
+}
+
+void StalenessProbe::OnCachedRead(std::uint64_t fsid, std::uint64_t ino,
+                                  std::uint32_t reader_host,
+                                  SimTime fetched_at, SimTime now) {
+  if (!hist_) return;
+  std::uint64_t staleness_us = 0;
+  auto it = stamps_.find({fsid, ino});
+  if (it != stamps_.end()) {
+    for (const Stamp& s : it->second) {
+      // Oldest missed foreign version: born after the reader's refresh,
+      // written by someone else. History is sorted, so the first hit wins.
+      if (s.birth > fetched_at && s.writer_host != reader_host) {
+        const SimTime age = now - s.birth;
+        staleness_us = age > 0 ? static_cast<std::uint64_t>(age) / kMicrosecond
+                               : 0;
+        break;
+      }
+    }
+  }
+  hist_->Record(staleness_us);
+}
+
+}  // namespace gvfs::metrics

@@ -1,0 +1,61 @@
+// Staleness probe: measures how old a client's cached view of a file is,
+// per read, in wall (sim) time.
+//
+// The proxy server stamps every successful mutation with the sim time the
+// mutating RPC was *received* (StampVersion). Every client read served from
+// cache reports when the cached entry was last fetched from the server
+// (OnCachedRead); the probe finds the oldest stamped version the reader has
+// *missed* — a version born after the reader's fetch, written by a different
+// client — and records `now − birth` into the attached histogram. Reads of
+// fresh data record 0, so the histogram is a true distribution over all
+// cached reads, not just the stale ones.
+//
+// Comparing against the fetch time (not the cached mtime) makes the probe
+// robust to mutations that do not advance the observable mtime (e.g. a
+// CREATE that finds the file already present still re-stamps the directory):
+// once the reader refreshes, every version born before the refresh counts as
+// seen. Stamping with the receipt time keeps it conservative: a version the
+// reader's refresh raced past is treated as seen, never double-counted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/registry.h"
+
+namespace gvfs::metrics {
+
+class StalenessProbe {
+ public:
+  /// Histogram receiving per-read staleness in microseconds; may be null
+  /// (probe still tracks versions, records nothing).
+  void SetHistogram(Histogram* hist) { hist_ = hist; }
+
+  /// Server side: a mutation of (fsid, ino) by `writer_host` succeeded; the
+  /// new version was born at `birth` (RPC receipt time).
+  void StampVersion(std::uint64_t fsid, std::uint64_t ino, SimTime birth,
+                    std::uint32_t writer_host);
+
+  /// Client side: a read of (fsid, ino) on `reader_host` was served from
+  /// cache; the cached entry was last refreshed from the server at
+  /// `fetched_at`. Records the age of the oldest missed foreign version
+  /// (0 when the view is fresh).
+  void OnCachedRead(std::uint64_t fsid, std::uint64_t ino,
+                    std::uint32_t reader_host, SimTime fetched_at,
+                    SimTime now);
+
+ private:
+  struct Stamp {
+    SimTime birth;
+    std::uint32_t writer_host;
+  };
+
+  Histogram* hist_ = nullptr;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Stamp>>
+      stamps_;
+};
+
+}  // namespace gvfs::metrics

@@ -58,12 +58,18 @@ void RpcNode::SetDown(bool down) {
 
 void RpcNode::SendCall(net::Address dst, std::uint32_t xid, std::uint32_t prog,
                        std::uint32_t proc, const Bytes& args,
-                       const std::string& label) {
+                       const std::string& label, std::uint64_t trace_id,
+                       std::uint64_t span_id, std::uint64_t parent_span_id) {
   xdr::Encoder enc;
   enc.PutU32(xid);
   enc.PutU32(kMsgCall);
   enc.PutU32(prog);
   enc.PutU32(proc);
+  // Causal-span header (Dapper-style): lets the receiving handler extend
+  // the caller's trace across the node boundary.
+  enc.PutU64(trace_id);
+  enc.PutU64(span_id);
+  enc.PutU64(parent_span_id);
   enc.PutOpaque(args);
 
   net::Packet packet;
@@ -104,6 +110,15 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
   auto slot = std::make_shared<sim::OneShot<Reply>>(sched_);
   pending_[xid] = slot;
 
+  // Span identity: (host, port, xid) is unique per call in a run, so it
+  // doubles as the span id. A call without a parent roots a new trace.
+  const std::uint64_t span_id = (static_cast<std::uint64_t>(address_.host) << 48) |
+                                (static_cast<std::uint64_t>(address_.port) << 32) |
+                                xid;
+  const std::uint64_t trace_id =
+      opts.parent.valid() ? opts.parent.trace_id : span_id;
+  const std::uint64_t parent_span_id = opts.parent.span_id;
+
   // The gauge/latency instrumentation mirrors Count()'s WAN-only rule.
   const bool tracked = stats_ != nullptr && dst.host != address_.host;
   const SimTime started = sched_.Now();
@@ -114,8 +129,9 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
     tracer_.Rpc(attempt == 0 ? trace::EventType::kRpcSend
                              : trace::EventType::kRpcRetransmit,
                 address_.host, address_.port, dst.host, dst.port, xid, prog,
-                proc, opts.label);
-    SendCall(dst, xid, prog, proc, args, opts.label);
+                proc, opts.label, trace_id, span_id, parent_span_id);
+    SendCall(dst, xid, prog, proc, args, opts.label, trace_id, span_id,
+             parent_span_id);
     reply = co_await slot->WaitUntil(sched_.Now() + opts.timeout);
     if (reply.has_value()) break;
     if (down_) break;  // crashed while waiting
@@ -126,7 +142,7 @@ sim::Task<Expected<Bytes, RpcError>> RpcNode::Call(net::Address dst,
   tracer_.Rpc(reply.has_value() ? trace::EventType::kRpcReply
                                 : trace::EventType::kRpcTimeout,
               address_.host, address_.port, dst.host, dst.port, xid, prog,
-              proc, opts.label);
+              proc, opts.label, trace_id, span_id, parent_span_id);
   if (tracked) stats_->EndCall(opts.label, sched_.Now() - started);
 
   if (!reply.has_value()) co_return Unexpected(RpcError::kTimedOut);
@@ -166,6 +182,10 @@ void RpcNode::OnPacket(net::Packet packet) {
   auto prog = dec.GetU32();
   auto proc = dec.GetU32();
   if (!prog || !proc) return;
+  auto trace_id = dec.GetU64();
+  auto span_id = dec.GetU64();
+  auto parent_span_id = dec.GetU64();
+  if (!trace_id || !span_id || !parent_span_id) return;
 
   const DrcKey key{packet.src.host, packet.src.port, *xid};
   auto drc_it = drc_.find(key);
@@ -194,8 +214,11 @@ void RpcNode::OnPacket(net::Packet packet) {
   }
   DrcInsert(key);
   tracer_.Rpc(trace::EventType::kRpcExec, address_.host, address_.port,
-              packet.src.host, packet.src.port, *xid, *prog, *proc, "");
-  CallContext ctx{packet.src, *xid};
+              packet.src.host, packet.src.port, *xid, *prog, *proc, "",
+              *trace_id, *span_id, *parent_span_id);
+  // The handler executes inside the caller's span (shared-span model); any
+  // RPCs it issues become children by passing ctx.span as their parent.
+  CallContext ctx{packet.src, *xid, trace::SpanRef{*trace_id, *span_id}};
   sim::Spawn(RunHandler(handler_it->second, ctx, std::move(*args), key));
 }
 
@@ -203,6 +226,11 @@ sim::Task<void> RpcNode::RunHandler(Handler handler, CallContext ctx, Bytes args
                                     DrcKey key) {
   Bytes body = co_await handler(ctx, std::move(args));
   if (down_) co_return;  // crashed while serving; no reply
+  // Closes the server-side execution interval opened by kRpcExec, so the
+  // exporter can render the handler as a duration slice.
+  tracer_.Rpc(trace::EventType::kRpcHandlerDone, address_.host, address_.port,
+              ctx.caller.host, ctx.caller.port, ctx.xid, 0, 0, "",
+              ctx.span.trace_id, ctx.span.span_id, 0);
   auto it = drc_.find(key);
   if (it != drc_.end()) {
     it->second.completed = true;

@@ -54,12 +54,18 @@ struct CallOptions {
   std::string label;
   Duration timeout = Milliseconds(1100);  // NFS-over-UDP default retrans time
   int max_retries = 5;
+  /// Causal parent: when valid, the new call becomes a child span in the
+  /// parent's trace; otherwise the call starts a fresh trace (root span).
+  trace::SpanRef parent{};
 };
 
 /// Context handed to server handlers.
 struct CallContext {
   net::Address caller;
   std::uint32_t xid = 0;
+  /// The call's span, decoded from the wire header. Handlers pass it as
+  /// CallOptions::parent on nested RPCs to extend the causal tree.
+  trace::SpanRef span{};
 };
 
 /// Handlers return the XDR-encoded reply body; protocol-level errors (e.g.
@@ -124,7 +130,9 @@ class RpcNode {
   using DrcKey = std::tuple<HostId, std::uint32_t, std::uint32_t>;  // host, port, xid
 
   void SendCall(net::Address dst, std::uint32_t xid, std::uint32_t prog,
-                std::uint32_t proc, const Bytes& args, const std::string& label);
+                std::uint32_t proc, const Bytes& args, const std::string& label,
+                std::uint64_t trace_id, std::uint64_t span_id,
+                std::uint64_t parent_span_id);
   void SendReply(net::Address dst, std::uint32_t xid, AcceptStat stat,
                  const Bytes& body);
   sim::Task<void> RunHandler(Handler handler, CallContext ctx, Bytes args,

@@ -11,13 +11,12 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
 
 #include "common/types.h"
+#include "metrics/histogram.h"
 
 namespace gvfs::rpc {
 
@@ -39,10 +38,10 @@ class StatsMap {
   void EndCall(const std::string& label, Duration latency) {
     if (in_flight_ > 0) --in_flight_;
     Latency& lat = latency_[label];
-    ++lat.count;
     lat.sum += latency;
     lat.max = std::max(lat.max, latency);
-    ++lat.hist[BucketFor(latency)];
+    lat.hist.Record(
+        static_cast<std::uint64_t>(latency > 0 ? latency / kMicrosecond : 0));
   }
 
   std::uint64_t Calls(const std::string& label) const {
@@ -83,29 +82,22 @@ class StatsMap {
   /// Mean completion latency, or 0 when no call finished under this label.
   Duration LatencyAvg(const std::string& label) const {
     auto it = latency_.find(label);
-    if (it == latency_.end() || it->second.count == 0) return 0;
-    return it->second.sum / static_cast<Duration>(it->second.count);
+    if (it == latency_.end() || it->second.hist.count() == 0) return 0;
+    return it->second.sum / static_cast<Duration>(it->second.hist.count());
   }
 
   /// Latency percentile from the log-bucketed histogram (power-of-two
-  /// microsecond buckets), or 0 when no call finished under this label. The
-  /// value returned is the bucket's upper bound, clamped to the recorded
-  /// max, so the tail is never under-reported by more than one bucket (a
-  /// factor of two at microsecond resolution).
+  /// microsecond buckets, metrics::LogHistogram), or 0 when no call finished
+  /// under this label. The value returned is the bucket's upper bound,
+  /// clamped to the nanosecond-resolution max we track here, so the tail is
+  /// never under-reported by more than one bucket (a factor of two at
+  /// microsecond resolution).
   Duration LatencyPercentile(const std::string& label, double pct) const {
     auto it = latency_.find(label);
-    if (it == latency_.end() || it->second.count == 0) return 0;
+    if (it == latency_.end() || it->second.hist.count() == 0) return 0;
     const Latency& lat = it->second;
-    const auto rank = static_cast<std::uint64_t>(
-        pct / 100.0 * static_cast<double>(lat.count) + 0.5);
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < lat.hist.size(); ++b) {
-      seen += lat.hist[b];
-      if (seen >= std::max<std::uint64_t>(rank, 1)) {
-        return std::min(lat.max, BucketUpperBound(b));
-      }
-    }
-    return lat.max;
+    const auto upper_us = lat.hist.PercentileBucketUpperBound(pct);
+    return std::min(lat.max, static_cast<Duration>(upper_us) * kMicrosecond);
   }
 
   Duration LatencyP50(const std::string& label) const {
@@ -129,28 +121,13 @@ class StatsMap {
   }
 
  private:
-  /// Histogram buckets are powers of two in microseconds: bucket b holds
-  /// latencies in [2^(b-1), 2^b) us, bucket 0 holds sub-microsecond calls.
-  /// 40 buckets cover ~12 simulated days — beyond any plausible RPC.
-  static constexpr std::size_t kHistBuckets = 40;
-
-  static std::size_t BucketFor(Duration latency) {
-    const auto us = static_cast<std::uint64_t>(
-        latency > 0 ? latency / kMicrosecond : 0);
-    const std::size_t b = std::bit_width(us);  // 0 for us == 0
-    return std::min(b, kHistBuckets - 1);
-  }
-
-  static Duration BucketUpperBound(std::size_t bucket) {
-    if (bucket == 0) return kMicrosecond;
-    return static_cast<Duration>(1ull << bucket) * kMicrosecond;
-  }
-
+  /// Latency distribution: the shared log-bucketed histogram records
+  /// truncated microseconds (bucket b holds [2^(b-1), 2^b) us); sum and max
+  /// stay at nanosecond resolution for exact averages and tail clamping.
   struct Latency {
-    std::uint64_t count = 0;
+    metrics::LogHistogram hist;
     Duration sum = 0;
     Duration max = 0;
-    std::array<std::uint64_t, kHistBuckets> hist{};
   };
 
   std::map<std::string, std::uint64_t> calls_;

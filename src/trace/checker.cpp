@@ -7,6 +7,8 @@
 #include <map>
 #include <tuple>
 
+#include "common/logging.h"
+
 namespace gvfs::trace {
 namespace {
 
@@ -51,6 +53,15 @@ TraceChecker::TraceChecker(CheckerConfig config) : config_(std::move(config)) {}
 std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
   std::vector<Violation> out;
   char msg[256];
+  warnings_.clear();
+  if (buffer.dropped() > 0) {
+    std::snprintf(msg, sizeof(msg),
+                  "trace buffer overflowed; %llu oldest events dropped — "
+                  "invariants checked over a truncated run",
+                  static_cast<unsigned long long>(buffer.dropped()));
+    warnings_.emplace_back(msg);
+    GVFS_WARN("checker: %s", msg);
+  }
   auto report = [&](std::size_t idx, SimTime t, InvariantKind kind) {
     out.push_back(Violation{idx, t, kind, msg});
   };

@@ -70,8 +70,14 @@ class TraceChecker {
   /// Replays the buffer and returns every violation found, in event order.
   std::vector<Violation> Check(const TraceBuffer& buffer);
 
+  /// Caveats about the last Check() call — currently one entry when the
+  /// buffer overflowed and the replay saw only a truncated suffix of the
+  /// run (invariants may be vacuously satisfied). Also logged via GVFS_WARN.
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
  private:
   CheckerConfig config_;
+  std::vector<std::string> warnings_;
 };
 
 /// Renders violations one per line (for test failure messages).

@@ -112,7 +112,7 @@ std::string PayloadArgs(const TraceBuffer& buf, const Event& ev) {
 
 void ChromeTraceWriter::Add(const TraceBuffer& buffer,
                             const ChromeTraceOptions& options) {
-  char line[512];
+  char line[640];
 
   // Track which (pid, tid) pairs appear so we can emit name metadata.
   std::set<HostId> hosts_seen;
@@ -125,27 +125,124 @@ void ChromeTraceWriter::Add(const TraceBuffer& buffer,
   };
   std::map<std::tuple<HostId, std::uint32_t, std::uint32_t>, OpenSpan> open;
 
+  // Open server handler executions (kRpcExec .. kRpcHandlerDone), keyed by
+  // (server host, server port, caller host, caller port, xid).
+  struct OpenExec {
+    SimTime start = 0;
+    Event exec;  // the kRpcExec event
+  };
+  std::map<std::tuple<HostId, std::uint32_t, HostId, std::uint32_t,
+                      std::uint32_t>,
+           OpenExec>
+      execs;
+
+  // Procedure labels by caller identity, so server-side slices (whose
+  // events carry no label) can be named after the call they serve.
+  std::map<std::tuple<HostId, std::uint32_t, std::uint32_t>, std::string>
+      call_labels;
+
   auto pid_of = [&](HostId host) { return options.pid_offset + host; };
 
-  auto emit_span = [&](const OpenSpan& span, SimTime end, bool timed_out) {
-    const auto& rpc = span.send.u.rpc;
+  // Flow-event binding id: the span id, salted with the pid offset so calls
+  // from separately-merged buffers never share an arrow.
+  auto flow_id = [&](std::uint64_t span_id) {
+    return span_id ^ (static_cast<std::uint64_t>(options.pid_offset) << 52);
+  };
+
+  auto span_name = [&](const RpcPayload& rpc) {
     std::string name = buffer.LabelName(rpc.label);
     if (name.empty()) {
       char tmp[48];
       std::snprintf(tmp, sizeof(tmp), "proc %u/%u", rpc.prog, rpc.proc);
       name = tmp;
     }
+    return name;
+  };
+
+  auto emit_span = [&](const OpenSpan& span, SimTime end, bool timed_out) {
+    const auto& rpc = span.send.u.rpc;
+    std::string name = span_name(rpc);
+    // Flow start: binds to this client-side slice (same pid/tid/ts), with
+    // the matching finish bound to the server handler slice — Perfetto
+    // renders the cross-process arrow.
+    if (rpc.span_id != 0) {
+      std::snprintf(line, sizeof(line),
+                    "{\"name\":\"%s\",\"cat\":\"rpc_flow\",\"ph\":\"s\","
+                    "\"id\":%" PRIu64 ",\"ts\":%.3f,\"pid\":%u,\"tid\":%u}",
+                    JsonEscape(name).c_str(), flow_id(rpc.span_id),
+                    ToMicros(span.start), pid_of(span.send.host),
+                    span.send.port);
+      events_.push_back(line);
+    }
     if (timed_out) name += " (timeout)";
     std::snprintf(
         line, sizeof(line),
         "{\"name\":\"%s\",\"cat\":\"rpc\",\"ph\":\"X\",\"ts\":%.3f,"
         "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":{\"xid\":%u,"
-        "\"prog\":%u,\"proc\":%u,\"peer_host\":%u,\"retransmits\":%u}}",
+        "\"prog\":%u,\"proc\":%u,\"peer_host\":%u,\"retransmits\":%u,"
+        "\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+        ",\"parent_span_id\":%" PRIu64 "}}",
         JsonEscape(name).c_str(), ToMicros(span.start),
         ToMicros(end - span.start), pid_of(span.send.host), span.send.port,
-        rpc.xid, rpc.prog, rpc.proc, rpc.peer_host, span.retransmits);
+        rpc.xid, rpc.prog, rpc.proc, rpc.peer_host, span.retransmits,
+        rpc.trace_id, rpc.span_id, rpc.parent_span_id);
     events_.push_back(line);
   };
+
+  auto emit_exec = [&](const OpenExec& exec, SimTime end) {
+    const auto& rpc = exec.exec.u.rpc;
+    // Name the handler after the caller's procedure label when the matching
+    // send is in the buffer; otherwise fall back to prog/proc.
+    std::string name;
+    auto lbl = call_labels.find({rpc.peer_host, rpc.peer_port, rpc.xid});
+    if (lbl != call_labels.end() && !lbl->second.empty()) {
+      name = lbl->second;
+    } else {
+      char tmp[48];
+      std::snprintf(tmp, sizeof(tmp), "proc %u/%u", rpc.prog, rpc.proc);
+      name = tmp;
+    }
+    std::snprintf(
+        line, sizeof(line),
+        "{\"name\":\"%s\",\"cat\":\"rpc_handler\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":{\"xid\":%u,"
+        "\"caller_host\":%u,\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+        ",\"parent_span_id\":%" PRIu64 "}}",
+        JsonEscape(name).c_str(), ToMicros(exec.start),
+        ToMicros(end - exec.start), pid_of(exec.exec.host), exec.exec.port,
+        rpc.xid, rpc.peer_host, rpc.trace_id, rpc.span_id,
+        rpc.parent_span_id);
+    events_.push_back(line);
+    // Flow finish (bp:"e" = bind to enclosing slice): lands on the handler
+    // slice just emitted.
+    if (rpc.span_id != 0) {
+      std::snprintf(line, sizeof(line),
+                    "{\"name\":\"%s\",\"cat\":\"rpc_flow\",\"ph\":\"f\","
+                    "\"bp\":\"e\",\"id\":%" PRIu64
+                    ",\"ts\":%.3f,\"pid\":%u,\"tid\":%u}",
+                    JsonEscape(name).c_str(), flow_id(rpc.span_id),
+                    ToMicros(exec.start), pid_of(exec.exec.host),
+                    exec.exec.port);
+      events_.push_back(line);
+    }
+  };
+
+  // A truncated ring means every derived view below describes a partial
+  // run: say so loudly in the log and inside the trace itself.
+  if (buffer.dropped() > 0) {
+    GVFS_WARN("trace: ring buffer overflowed; %llu oldest events were "
+              "dropped — exported trace covers a truncated run",
+              static_cast<unsigned long long>(buffer.dropped()));
+    const SimTime first = buffer.size() > 0 ? buffer.at(0).time : 0;
+    const HostId first_host = buffer.size() > 0 ? buffer.at(0).host : 0;
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"TRACE_TRUNCATED\",\"cat\":\"warning\","
+                  "\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":%u,\"tid\":0,"
+                  "\"args\":{\"dropped_events\":%" PRIu64 "}}",
+                  ToMicros(first), pid_of(first_host), buffer.dropped());
+    events_.push_back(line);
+    hosts_seen.insert(first_host);
+  }
 
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     const Event& ev = buffer.at(i);
@@ -156,6 +253,8 @@ void ChromeTraceWriter::Add(const TraceBuffer& buffer,
         span.start = ev.time;
         span.send = ev;
         open[{ev.host, ev.port, ev.u.rpc.xid}] = span;
+        call_labels[{ev.host, ev.port, ev.u.rpc.xid}] =
+            buffer.LabelName(ev.u.rpc.label);
         continue;
       }
       case EventType::kRpcRetransmit: {
@@ -171,6 +270,22 @@ void ChromeTraceWriter::Add(const TraceBuffer& buffer,
         open.erase(it);
         continue;
       }
+      case EventType::kRpcExec: {
+        OpenExec exec;
+        exec.start = ev.time;
+        exec.exec = ev;
+        execs[{ev.host, ev.port, ev.u.rpc.peer_host, ev.u.rpc.peer_port,
+               ev.u.rpc.xid}] = exec;
+        continue;
+      }
+      case EventType::kRpcHandlerDone: {
+        auto it = execs.find({ev.host, ev.port, ev.u.rpc.peer_host,
+                              ev.u.rpc.peer_port, ev.u.rpc.xid});
+        if (it == execs.end()) continue;
+        emit_exec(it->second, ev.time);
+        execs.erase(it);
+        continue;
+      }
       default:
         break;
     }
@@ -184,9 +299,12 @@ void ChromeTraceWriter::Add(const TraceBuffer& buffer,
   }
 
   // Calls still in flight when the trace ended: render them as zero-length
-  // spans so the send is not silently lost.
+  // spans so the send is not silently lost. Same for handlers still running.
   for (const auto& [key, span] : open) {
     emit_span(span, span.start, false);
+  }
+  for (const auto& [key, exec] : execs) {
+    emit_exec(exec, exec.start);
   }
 
   for (HostId host : hosts_seen) {
@@ -222,6 +340,16 @@ bool ChromeTraceWriter::WriteTo(const std::string& path) const {
 void WriteTimeline(const TraceBuffer& buffer, std::ostream& out,
                    const std::vector<std::string>& host_names) {
   char line[384];
+  if (buffer.dropped() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "WARNING: trace buffer overflowed; %" PRIu64
+                  " oldest events dropped — timeline below is truncated\n",
+                  buffer.dropped());
+    out << line;
+    GVFS_WARN("trace: ring buffer overflowed; %llu oldest events were "
+              "dropped — timeline covers a truncated run",
+              static_cast<unsigned long long>(buffer.dropped()));
+  }
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     const Event& ev = buffer.at(i);
     std::snprintf(line, sizeof(line), "[%12.6f] %-8s %-15s",
@@ -234,6 +362,7 @@ void WriteTimeline(const TraceBuffer& buffer, std::ostream& out,
       case EventType::kRpcReply:
       case EventType::kRpcTimeout:
       case EventType::kRpcExec:
+      case EventType::kRpcHandlerDone:
       case EventType::kRpcDrcHit: {
         const auto& r = ev.u.rpc;
         std::snprintf(line, sizeof(line), " %s xid=%u peer=%s:%u",

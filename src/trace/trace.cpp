@@ -16,6 +16,8 @@ const char* EventTypeName(EventType type) {
       return "RPC_TIMEOUT";
     case EventType::kRpcExec:
       return "RPC_EXEC";
+    case EventType::kRpcHandlerDone:
+      return "RPC_HANDLER_DONE";
     case EventType::kRpcDrcHit:
       return "RPC_DRC_HIT";
     case EventType::kNetDrop:
@@ -109,11 +111,13 @@ Event Tracer::Stamp(EventType type, HostId host, std::uint32_t port) const {
 void Tracer::Rpc(EventType type, HostId host, std::uint32_t port,
                  HostId peer_host, std::uint32_t peer_port, std::uint32_t xid,
                  std::uint32_t prog, std::uint32_t proc,
-                 const std::string& label) const {
+                 const std::string& label, std::uint64_t trace_id,
+                 std::uint64_t span_id, std::uint64_t parent_span_id) const {
   if (buffer_ == nullptr) return;
   Event ev = Stamp(type, host, port);
   ev.u.rpc = RpcPayload{peer_host, peer_port, xid, prog, proc,
-                        buffer_->InternLabel(label)};
+                        buffer_->InternLabel(label), trace_id, span_id,
+                        parent_span_id};
   buffer_->Push(ev);
 }
 

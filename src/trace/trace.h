@@ -34,8 +34,9 @@ enum class EventType : std::uint8_t {
   kRpcRetransmit,  // timeout-driven retransmission of the same xid
   kRpcReply,       // caller matched a reply to a pending call
   kRpcTimeout,     // caller gave up after all retransmissions
-  kRpcExec,        // server began executing a handler (post-DRC)
-  kRpcDrcHit,      // server resent a cached reply instead of re-executing
+  kRpcExec,         // server began executing a handler (post-DRC)
+  kRpcHandlerDone,  // server handler produced its reply body
+  kRpcDrcHit,       // server resent a cached reply instead of re-executing
   // Network layer (net::Network).
   kNetDrop,  // packet dropped on a downed or missing link
   // Proxy disk cache (gvfs::proxy::ProxyClient).
@@ -68,6 +69,19 @@ constexpr std::uint32_t kDelegFlagWantedDirty = 4;  // wanted block was dirty
 /// Sentinel for cache events without a byte offset (attribute-level ops).
 constexpr std::uint64_t kNoOffset = ~0ull;
 
+/// Causal-span identity carried in RPC call headers (Dapper-style). A call's
+/// span covers its full client-observed lifetime; the handler executes inside
+/// the caller's span, and any RPCs the handler issues become child spans via
+/// CallOptions::parent. trace_id names the whole tree (the root call's
+/// span_id). Trivially copyable on purpose: it is passed by value into
+/// coroutines.
+struct SpanRef {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return span_id != 0; }
+};
+
 struct RpcPayload {
   std::uint32_t peer_host = 0;  // other endpoint of the call
   std::uint32_t peer_port = 0;
@@ -75,6 +89,9 @@ struct RpcPayload {
   std::uint32_t prog = 0;
   std::uint32_t proc = 0;
   std::uint16_t label = 0;  // interned procedure label
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 struct NetPayload {
@@ -168,7 +185,9 @@ class Tracer {
 
   void Rpc(EventType type, HostId host, std::uint32_t port, HostId peer_host,
            std::uint32_t peer_port, std::uint32_t xid, std::uint32_t prog,
-           std::uint32_t proc, const std::string& label) const;
+           std::uint32_t proc, const std::string& label,
+           std::uint64_t trace_id = 0, std::uint64_t span_id = 0,
+           std::uint64_t parent_span_id = 0) const;
   void NetDrop(HostId src, HostId dst, std::size_t wire_size) const;
   void Cache(EventType type, HostId host, std::uint64_t fsid, std::uint64_t ino,
              std::uint64_t offset, const std::string& label) const;

@@ -20,6 +20,16 @@ Testbed::Testbed(TestbedConfig config)
   nfsd_ = std::make_unique<nfs3::Nfs3Server>(sched_, fs_, *nfsd_node_);
 }
 
+metrics::Registry& Testbed::EnableMetrics(Duration period) {
+  if (metrics_registry_ == nullptr) {
+    metrics_registry_ = std::make_unique<metrics::Registry>();
+    metrics_sampler_ = std::make_unique<metrics::Sampler>(
+        sched_, *metrics_registry_, period);
+    metrics_sampler_->Start();
+  }
+  return *metrics_registry_;
+}
+
 trace::TraceBuffer& Testbed::EnableTracing(std::size_t capacity) {
   if (trace_buffer_ == nullptr) {
     trace_buffer_ = std::make_unique<trace::TraceBuffer>(capacity);
@@ -79,6 +89,22 @@ GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
       sched_, server_node, nfsd_node_->address(), config));
   session.server = proxy_servers_.back().get();
 
+  // Observatory wiring: per-session staleness probe (server stamps versions,
+  // proxy clients report cached reads into one shared histogram) plus each
+  // proxy's telemetry under a session-scoped prefix.
+  metrics::StalenessProbe* probe = nullptr;
+  const std::string session_tag = "s" + std::to_string(sessions_.size() - 1);
+  if (metrics_registry_ != nullptr) {
+    staleness_probes_.emplace_back();
+    probe = &staleness_probes_.back();
+    probe->SetHistogram(
+        &metrics_registry_->GetHistogram(session_tag + ".staleness_us"));
+    session.server->AttachMetrics(*metrics_registry_, session_tag + ".", probe);
+    metrics_registry_->AddProbe(session_tag + ".rpc_in_flight", [stats] {
+      return static_cast<double>(stats->InFlight());
+    });
+  }
+
   for (int index : clients) {
     HostId host = client_hosts_.at(index);
     // Proxy client: serves the local kernel client, calls the proxy server
@@ -89,6 +115,11 @@ GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
     proxy_clients_.push_back(std::make_unique<proxy::ProxyClient>(
         sched_, proxy_node, server_node.address(), config));
     proxy::ProxyClient* proxy = proxy_clients_.back().get();
+    if (metrics_registry_ != nullptr) {
+      proxy->AttachMetrics(
+          *metrics_registry_,
+          session_tag + ".c" + std::to_string(host) + ".", probe);
+    }
     proxy->Start();
     session.proxies.push_back(proxy);
 

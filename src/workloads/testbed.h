@@ -18,6 +18,9 @@
 #include "gvfs/session.h"
 #include "kclient/kernel_client.h"
 #include "memfs/memfs.h"
+#include "metrics/registry.h"
+#include "metrics/sampler.h"
+#include "metrics/staleness.h"
 #include "net/network.h"
 #include "nfs3/server.h"
 #include "rpc/rpc.h"
@@ -100,6 +103,18 @@ class Testbed {
   /// The attached buffer, or nullptr when tracing was never enabled.
   trace::TraceBuffer* trace_buffer() { return trace_buffer_.get(); }
 
+  /// Turns on the consistency observatory: a metrics registry plus a
+  /// sim-clock sampler snapshotting it every `period`. Sessions created
+  /// after this call register their proxies' telemetry (prefixed
+  /// `s<N>.`/`s<N>.c<host>.`) and a per-session staleness probe whose
+  /// histogram is `s<N>.staleness_us`. Call before CreateSession; idempotent
+  /// (the period of the first call wins).
+  metrics::Registry& EnableMetrics(Duration period = Seconds(1));
+
+  /// The registry/sampler, or nullptr when metrics were never enabled.
+  metrics::Registry* metrics_registry() { return metrics_registry_.get(); }
+  metrics::Sampler* metrics_sampler() { return metrics_sampler_.get(); }
+
  private:
   TestbedConfig config_;
   sim::Scheduler sched_;
@@ -123,6 +138,10 @@ class Testbed {
   std::deque<GvfsSession> sessions_;
   std::map<const kclient::KernelClient*, rpc::StatsMap*> mount_stats_;
   std::unique_ptr<trace::TraceBuffer> trace_buffer_;
+  std::unique_ptr<metrics::Registry> metrics_registry_;
+  std::unique_ptr<metrics::Sampler> metrics_sampler_;
+  /// Per-session staleness probes (stable addresses; indexed by session).
+  std::deque<metrics::StalenessProbe> staleness_probes_;
 };
 
 }  // namespace gvfs::workloads

@@ -348,6 +348,29 @@ TEST(StatsMapHistogram, PercentilesFromLogBuckets) {
   EXPECT_EQ(stats.LatencyPercentile("UNKNOWN", 50), 0);
 }
 
+TEST(StatsMapHistogram, ExactBucketEdges) {
+  StatsMap stats;
+  // Sub-microsecond latencies truncate to 0 and land in the zero bucket; the
+  // clamp against the nanosecond max keeps the report exact.
+  stats.BeginCall();
+  stats.EndCall("NULL", Duration{500});
+  EXPECT_EQ(stats.LatencyP50("NULL"), Duration{500});
+
+  // A latency exactly on a power-of-two edge opens the next bucket: 1024 us
+  // is the first value of [1024 us, 2048 us), so with 99 samples just below
+  // the edge and one exactly on it, p50 reports the lower bucket's upper
+  // bound — exactly the edge — and p99 clamps the higher bucket to the max.
+  for (int i = 0; i < 99; ++i) {
+    stats.BeginCall();
+    stats.EndCall("EDGE", Microseconds(1023));
+  }
+  stats.BeginCall();
+  stats.EndCall("EDGE", Microseconds(1024));
+  EXPECT_EQ(stats.LatencyP50("EDGE"), Microseconds(1024));
+  EXPECT_EQ(stats.LatencyP99("EDGE"), Microseconds(1024));
+  EXPECT_EQ(stats.LatencyMax("EDGE"), Microseconds(1024));
+}
+
 TEST(StatsMapHistogram, SingleValuePercentilesClampToMax) {
   StatsMap stats;
   stats.BeginCall();
