@@ -500,6 +500,7 @@ sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
       nfs3::SetAttrArgs extend;
       extend.object = fh;
       extend.size = res.file_size;
+      // gvfs-lint: allow(discarded-expected): best-effort size hint; the authoritative bytes arrive via write-back and a failure here only delays attribute freshness
       (void)co_await upstream_.Call<nfs3::SetAttrRes>(nfs3::kSetAttr, extend);
     }
   }

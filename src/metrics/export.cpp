@@ -67,14 +67,18 @@ std::string TimeSeriesCsv(const TimeSeries& series) {
     for (const auto& [name, _] : s.values) columns.insert(name);
   }
   std::string out = "time_s";
-  for (const std::string& col : columns) out += "," + col;
+  for (const std::string& col : columns) {
+    out += ',';
+    out += col;
+  }
   out += "\n";
   for (const Sample& s : series) {
     std::map<std::string, double> row(s.values.begin(), s.values.end());
     out += FormatDouble(ToSeconds(s.time));
     for (const std::string& col : columns) {
       auto it = row.find(col);
-      out += "," + FormatDouble(it == row.end() ? 0.0 : it->second);
+      out += ',';
+      out += FormatDouble(it == row.end() ? 0.0 : it->second);
     }
     out += "\n";
   }

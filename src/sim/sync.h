@@ -79,8 +79,8 @@ class OneShot {
           s->sched->At(deadline, [sp, gen] {
             if (sp->generation != gen || !sp->waiter) return;
             sp->timed_out = true;
-            auto h = std::exchange(sp->waiter, {});
-            h.resume();
+            auto waiter = std::exchange(sp->waiter, {});
+            waiter.resume();
           });
         }
       }

@@ -81,6 +81,7 @@ class [[nodiscard]] Task {
     }
     T await_resume() {
       auto& p = handle.promise();
+      // gvfs-lint: allow(throw-in-protocol): the one sanctioned rethrow — propagates a child task's stored exception across the coroutine boundary instead of losing it
       if (p.exception) std::rethrow_exception(p.exception);
       assert(p.value.has_value());
       return std::move(*p.value);
@@ -138,6 +139,7 @@ class [[nodiscard]] Task<void> {
     }
     void await_resume() {
       if (handle.promise().exception) {
+        // gvfs-lint: allow(throw-in-protocol): same sanctioned rethrow as Task<T>, for the void specialization
         std::rethrow_exception(handle.promise().exception);
       }
     }

@@ -42,7 +42,9 @@ trace::TraceBuffer& Testbed::EnableTracing(std::size_t capacity) {
 
 int Testbed::AddWanClient() {
   const int index = ClientCount();
-  HostId host = network_.AddHost("c" + std::to_string(index));
+  std::string client_name = "c";
+  client_name += std::to_string(index);
+  HostId host = network_.AddHost(client_name);
   network_.Connect(host, server_host_, config_.wan);
   client_hosts_.push_back(host);
   return index;
@@ -93,7 +95,8 @@ GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
   // proxy clients report cached reads into one shared histogram) plus each
   // proxy's telemetry under a session-scoped prefix.
   metrics::StalenessProbe* probe = nullptr;
-  const std::string session_tag = "s" + std::to_string(sessions_.size() - 1);
+  std::string session_tag = "s";
+  session_tag += std::to_string(sessions_.size() - 1);
   if (metrics_registry_ != nullptr) {
     staleness_probes_.emplace_back();
     probe = &staleness_probes_.back();

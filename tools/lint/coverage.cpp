@@ -1,0 +1,440 @@
+// Cross-file protocol-coverage rules: structural proofs over the proc
+// dispatch, the consistency machinery, and the trace-event tables. Where the
+// TraceChecker observes at runtime that invalidations happened, these rules
+// prove at lint time that the code paths which produce them exist:
+//
+//   proc-coverage        every nfs3::Proc is registered in ProxyServer's
+//                        kProcs table and classified in Classify(); every
+//                        GvfsProc has a RegisterHandler call in src/gvfs/.
+//   stats-name-coverage  every proc has a ProcName / GvfsProcName case, so
+//                        per-proc RPC stats and trace labels never collapse
+//                        into "UNKNOWN".
+//   inv-coverage         every proc the NFS protocol defines as mutating is
+//                        classified mutating, and the mutating path appends
+//                        to the invalidation buffers (RecordInvalidation ->
+//                        push_back).
+//   trace-coverage       the append is traced (kInvAppend), and every
+//                        trace::EventType has an EventTypeName entry.
+//
+// All parsing is over the lexer's token stream; the helpers below understand
+// just enough C++ structure (enum bodies, function bodies, case labels) to
+// anchor the checks. A rule whose anchor files are absent from the scanned
+// tree passes silently, so gvfs-lint stays usable on partial trees and on
+// the test fixtures.
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string_view>
+
+#include "lint.h"
+
+namespace gvfs::lint {
+
+namespace {
+
+bool Is(const Token& t, std::string_view text) { return t.text == text; }
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// Looks a file up by rel_path suffix (so fixture trees can live anywhere
+/// under the scan root).
+const FileUnit* FindUnit(const Tree& tree, std::string_view suffix) {
+  for (const auto& [rel, unit] : tree) {
+    if (rel.size() >= suffix.size() &&
+        rel.compare(rel.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return &unit;
+    }
+  }
+  return nullptr;
+}
+
+/// Half-open token range [begin, end) into a file's token stream.
+struct Span {
+  const std::vector<Token>* toks = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int line = 0;  // line of the anchor (enum name / function name)
+
+  bool ok() const { return toks != nullptr; }
+};
+
+/// Enumerator names of `enum [class] <name> [: type] { ... }`.
+std::vector<std::string> EnumValues(const Lexed& lex, std::string_view name,
+                                    int* line_out) {
+  const auto& toks = lex.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "enum")) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() &&
+        (IsIdent(toks[j], "class") || IsIdent(toks[j], "struct"))) {
+      ++j;
+    }
+    if (j >= toks.size() || !IsIdent(toks[j], name)) continue;
+    if (line_out != nullptr) *line_out = toks[j].line;
+    while (j < toks.size() && !Is(toks[j], "{")) {
+      if (Is(toks[j], ";")) break;  // forward declaration
+      ++j;
+    }
+    if (j >= toks.size() || !Is(toks[j], "{")) continue;
+    std::vector<std::string> values;
+    ++j;
+    while (j < toks.size() && !Is(toks[j], "}")) {
+      if (toks[j].kind == TokKind::kIdent) {
+        values.push_back(toks[j].text);
+        // Skip the initializer (if any) up to the comma or closing brace.
+        int depth = 0;
+        while (j < toks.size()) {
+          if (Is(toks[j], "(") || Is(toks[j], "{")) ++depth;
+          if (Is(toks[j], ")") || (depth > 0 && Is(toks[j], "}"))) --depth;
+          if (depth == 0 && (Is(toks[j], ",") || Is(toks[j], "}"))) break;
+          ++j;
+        }
+        if (j < toks.size() && Is(toks[j], "}")) break;
+      }
+      ++j;
+    }
+    return values;
+  }
+  return {};
+}
+
+/// Body of the first *definition* of `name` (a call or declaration — name,
+/// parens, then `;` — is skipped; a definition reaches `{`).
+Span FunctionBody(const Lexed& lex, std::string_view name) {
+  const auto& toks = lex.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], name) || !Is(toks[i + 1], "(")) continue;
+    // Match the parameter list.
+    std::size_t j = i + 1;
+    int parens = 0;
+    for (; j < toks.size(); ++j) {
+      if (Is(toks[j], "(")) ++parens;
+      if (Is(toks[j], ")") && --parens == 0) break;
+    }
+    if (j >= toks.size()) return {};
+    // Scan to the body, bailing at `;` (declaration / call statement).
+    ++j;
+    bool is_definition = false;
+    for (; j < toks.size(); ++j) {
+      if (Is(toks[j], ";") || Is(toks[j], ",") || Is(toks[j], ")")) break;
+      if (Is(toks[j], "{")) {
+        is_definition = true;
+        break;
+      }
+    }
+    if (!is_definition) continue;
+    Span body;
+    body.toks = &toks;
+    body.begin = j + 1;
+    body.line = toks[i].line;
+    int braces = 1;
+    for (++j; j < toks.size(); ++j) {
+      if (Is(toks[j], "{")) ++braces;
+      if (Is(toks[j], "}") && --braces == 0) break;
+    }
+    body.end = j;
+    return body;
+  }
+  return {};
+}
+
+bool SpanContains(const Span& span, std::string_view ident) {
+  if (!span.ok()) return false;
+  for (std::size_t i = span.begin; i < span.end; ++i) {
+    if (IsIdent((*span.toks)[i], ident)) return true;
+  }
+  return false;
+}
+
+/// Case-label groups of every switch inside `body`: each group maps the
+/// labels of consecutive `case X:` lines to the statement tokens that follow
+/// (up to the next case/default), so fallthrough groups share one block.
+struct CaseGroup {
+  std::vector<std::string> labels;
+  Span block;
+};
+
+std::vector<CaseGroup> CaseGroups(const Span& body) {
+  std::vector<CaseGroup> groups;
+  if (!body.ok()) return groups;
+  const auto& toks = *body.toks;
+  std::size_t i = body.begin;
+  while (i < body.end) {
+    if (!IsIdent(toks[i], "case")) {
+      ++i;
+      continue;
+    }
+    CaseGroup group;
+    // Collect consecutive `case <qualified-name> :` labels.
+    while (i < body.end && IsIdent(toks[i], "case")) {
+      std::string label;
+      ++i;
+      while (i < body.end && !Is(toks[i], ":")) {
+        if (toks[i].kind == TokKind::kIdent) label = toks[i].text;
+        ++i;
+      }
+      if (i < body.end) ++i;  // ':'
+      if (!label.empty()) group.labels.push_back(label);
+    }
+    // The group's block runs to the next case/default at any depth (good
+    // enough for the dispatch switches this rule anchors on).
+    group.block.toks = body.toks;
+    group.block.begin = i;
+    while (i < body.end && !IsIdent(toks[i], "case") &&
+           !IsIdent(toks[i], "default")) {
+      ++i;
+    }
+    group.block.end = i;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+const CaseGroup* GroupFor(const std::vector<CaseGroup>& groups,
+                          std::string_view label) {
+  for (const CaseGroup& g : groups) {
+    if (std::find(g.labels.begin(), g.labels.end(), label) != g.labels.end()) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+/// Identifiers of an initializer list `name[] = { ... }` (the kProcs table).
+std::vector<std::string> ArrayInitIdents(const Lexed& lex,
+                                         std::string_view name, int* line_out) {
+  const auto& toks = lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], name)) continue;
+    std::size_t j = i;
+    while (j < toks.size() && !Is(toks[j], "{")) {
+      if (Is(toks[j], ";")) break;
+      ++j;
+    }
+    if (j >= toks.size() || !Is(toks[j], "{")) continue;
+    if (line_out != nullptr) *line_out = toks[i].line;
+    std::vector<std::string> idents;
+    int depth = 1;
+    for (++j; j < toks.size() && depth > 0; ++j) {
+      if (Is(toks[j], "{")) ++depth;
+      if (Is(toks[j], "}")) --depth;
+      if (toks[j].kind == TokKind::kIdent) idents.push_back(toks[j].text);
+    }
+    return idents;
+  }
+  return {};
+}
+
+void Add(std::vector<Finding>& out, const char* rule, const FileUnit& unit,
+         int line, std::string message) {
+  out.push_back({rule, unit.rel_path, line, std::move(message)});
+}
+
+bool Contains(const std::vector<std::string>& haystack, const std::string& v) {
+  return std::find(haystack.begin(), haystack.end(), v) != haystack.end();
+}
+
+/// The NFSv3 procedures that mutate server state. This is protocol
+/// knowledge, not repo convention: RFC 1813 defines these as the
+/// state-changing subset, so the linter may hardcode it and demand that the
+/// proxy treats each one as mutating.
+constexpr std::array<std::string_view, 8> kMutatingProcs = {
+    "kSetAttr", "kWrite", "kCreate", "kMkdir",
+    "kRemove",  "kRmdir", "kRename", "kLink"};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// proc-coverage
+// ---------------------------------------------------------------------------
+
+void CheckProcCoverage(const Tree& tree, std::vector<Finding>& out) {
+  const FileUnit* nfs_proto = FindUnit(tree, "src/nfs3/proto.h");
+  const FileUnit* server = FindUnit(tree, "src/gvfs/proxy_server.cpp");
+  if (nfs_proto != nullptr && server != nullptr) {
+    int enum_line = 0;
+    std::vector<std::string> procs =
+        EnumValues(nfs_proto->lex, "Proc", &enum_line);
+
+    int table_line = 0;
+    std::vector<std::string> registered =
+        ArrayInitIdents(server->lex, "kProcs", &table_line);
+    Span classify = FunctionBody(server->lex, "Classify");
+    std::vector<CaseGroup> cases = CaseGroups(classify);
+
+    for (const std::string& proc : procs) {
+      if (proc == "kNull") continue;  // NULL is a ping; the proxy never sees it
+      if (registered.empty() || !Contains(registered, proc)) {
+        Add(out, "proc-coverage", *server, table_line,
+            "NFS proc '" + proc + "' is missing from the kProcs handler "
+            "registration table; calls to it bypass the proxy");
+      }
+      if (classify.ok() && GroupFor(cases, proc) == nullptr) {
+        Add(out, "proc-coverage", *server, classify.line,
+            "NFS proc '" + proc + "' has no case in Classify(); it is "
+            "forwarded with no consistency handling");
+      }
+    }
+    if (!classify.ok()) {
+      Add(out, "proc-coverage", *server, 1,
+          "Classify() definition not found; request classification is the "
+          "anchor for all consistency handling");
+    }
+  }
+
+  // Every GVFS proc must have a RegisterHandler somewhere under src/gvfs/
+  // (server side registers GETINV; the client side registers CALLBACK and
+  // RECOVERY).
+  const FileUnit* gvfs_proto = FindUnit(tree, "src/gvfs/proto.h");
+  if (gvfs_proto == nullptr) return;
+  int gvfs_enum_line = 0;
+  std::vector<std::string> gvfs_procs =
+      EnumValues(gvfs_proto->lex, "GvfsProc", &gvfs_enum_line);
+  if (gvfs_procs.empty()) return;
+
+  std::set<std::string> handler_args;
+  for (const auto& [rel, unit] : tree) {
+    if (rel.find("src/gvfs/") == std::string::npos) continue;
+    const auto& toks = unit.lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!IsIdent(toks[i], "RegisterHandler") || !Is(toks[i + 1], "(")) {
+        continue;
+      }
+      int depth = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (Is(toks[j], "(")) ++depth;
+        if (Is(toks[j], ")") && --depth == 0) break;
+        if (toks[j].kind == TokKind::kIdent) handler_args.insert(toks[j].text);
+      }
+    }
+  }
+  for (const std::string& proc : gvfs_procs) {
+    if (handler_args.count(proc) == 0) {
+      Add(out, "proc-coverage", *gvfs_proto, gvfs_enum_line,
+          "GVFS proc '" + proc + "' has no RegisterHandler call under "
+          "src/gvfs/; calls to it time out");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stats-name-coverage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CheckNameTable(const Tree& tree, const char* rule,
+                    std::string_view enum_file, std::string_view enum_name,
+                    std::string_view impl_file, std::string_view func,
+                    std::vector<Finding>& out) {
+  const FileUnit* decl = FindUnit(tree, enum_file);
+  const FileUnit* impl = FindUnit(tree, impl_file);
+  if (decl == nullptr || impl == nullptr) return;
+  int enum_line = 0;
+  std::vector<std::string> values =
+      EnumValues(decl->lex, enum_name, &enum_line);
+  if (values.empty()) return;
+  Span body = FunctionBody(impl->lex, func);
+  if (!body.ok()) {
+    Add(out, rule, *impl, 1,
+        std::string(func) + "() definition not found; per-proc stats and "
+        "trace labels need it");
+    return;
+  }
+  std::vector<CaseGroup> cases = CaseGroups(body);
+  for (const std::string& value : values) {
+    if (GroupFor(cases, value) == nullptr) {
+      Add(out, rule, *impl, body.line,
+          "'" + value + "' has no case in " + std::string(func) +
+          "(); its stats/trace label degrades to the unknown bucket");
+    }
+  }
+}
+
+}  // namespace
+
+void CheckStatsNameCoverage(const Tree& tree, std::vector<Finding>& out) {
+  CheckNameTable(tree, "stats-name-coverage", "src/nfs3/proto.h", "Proc",
+                 "src/nfs3/proto.cpp", "ProcName", out);
+  CheckNameTable(tree, "stats-name-coverage", "src/gvfs/proto.h", "GvfsProc",
+                 "src/gvfs/proto.cpp", "GvfsProcName", out);
+}
+
+// ---------------------------------------------------------------------------
+// inv-coverage
+// ---------------------------------------------------------------------------
+
+void CheckInvCoverage(const Tree& tree, std::vector<Finding>& out) {
+  const FileUnit* nfs_proto = FindUnit(tree, "src/nfs3/proto.h");
+  const FileUnit* server = FindUnit(tree, "src/gvfs/proxy_server.cpp");
+  if (nfs_proto == nullptr || server == nullptr) return;
+
+  std::vector<std::string> procs = EnumValues(nfs_proto->lex, "Proc", nullptr);
+  Span classify = FunctionBody(server->lex, "Classify");
+  std::vector<CaseGroup> cases = CaseGroups(classify);
+
+  // Each protocol-defined mutating proc must be classified mutating — that
+  // flag is the sole gate to RecordInvalidation and the staleness stamps.
+  for (std::string_view proc : kMutatingProcs) {
+    const std::string name(proc);
+    if (!Contains(procs, name)) continue;  // partial tree / fixture subset
+    const CaseGroup* group = GroupFor(cases, name);
+    if (group == nullptr) continue;  // proc-coverage already reports this
+    if (!SpanContains(group->block, "mutating")) {
+      Add(out, "inv-coverage", *server, classify.line,
+          "mutating NFS proc '" + name + "' is not marked mutating in "
+          "Classify(); its invalidation-buffer append and staleness stamp "
+          "are skipped");
+    }
+  }
+
+  // The mutating path itself: HandleNfs must gate on the flag and call
+  // RecordInvalidation; RecordInvalidation must actually append.
+  Span handle = FunctionBody(server->lex, "HandleNfs");
+  if (handle.ok()) {
+    if (!SpanContains(handle, "RecordInvalidation")) {
+      Add(out, "inv-coverage", *server, handle.line,
+          "HandleNfs() never calls RecordInvalidation; mutating procs leave "
+          "no invalidation-buffer entries");
+    }
+  }
+  Span record = FunctionBody(server->lex, "RecordInvalidation");
+  if (record.ok()) {
+    if (!SpanContains(record, "push_back")) {
+      Add(out, "inv-coverage", *server, record.line,
+          "RecordInvalidation() never appends to a client invalidation "
+          "buffer; polling clients stop seeing peer writes");
+    }
+  } else {
+    Add(out, "inv-coverage", *server, 1,
+        "RecordInvalidation() definition not found; the invalidation-polling "
+        "model has no producer");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// trace-coverage
+// ---------------------------------------------------------------------------
+
+void CheckTraceCoverage(const Tree& tree, std::vector<Finding>& out) {
+  // The invalidation append must be observable in traces: the TraceChecker's
+  // invariants (and the staleness analysis) are blind to unrecorded appends.
+  const FileUnit* server = FindUnit(tree, "src/gvfs/proxy_server.cpp");
+  if (server != nullptr) {
+    Span record = FunctionBody(server->lex, "RecordInvalidation");
+    if (record.ok() && !SpanContains(record, "kInvAppend")) {
+      Add(out, "trace-coverage", *server, record.line,
+          "RecordInvalidation() does not emit a kInvAppend trace event; the "
+          "TraceChecker cannot see these appends");
+    }
+  }
+
+  // Every trace::EventType must have an EventTypeName case, or exporters
+  // render events that cannot be told apart.
+  CheckNameTable(tree, "trace-coverage", "src/trace/trace.h", "EventType",
+                 "src/trace/trace.cpp", "EventTypeName", out);
+}
+
+}  // namespace gvfs::lint

@@ -1,0 +1,242 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace gvfs::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Encoding prefixes that turn a following quote into a literal rather than
+/// an identifier-adjacent string: R"(raw)", u8"...", L'\0', etc.
+bool IsRawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Lexed Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        Directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        StringLiteral();
+        continue;
+      }
+      if (c == '\'') {
+        CharLiteral();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        Number();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Identifier();
+        continue;
+      }
+      Punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void LineComment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    out_.comments.push_back({start, std::move(text)});
+  }
+
+  void BlockComment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    out_.comments.push_back({start, std::move(text)});
+  }
+
+  /// `#include <...>` / `#include "..."` lines are recorded and consumed
+  /// whole. Every other directive just drops the `#`; the rest of the line is
+  /// tokenized normally so rules still see identifiers in macro bodies.
+  void Directive() {
+    const std::size_t hash = pos_++;
+    std::size_t p = pos_;
+    while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+    std::size_t word_end = p;
+    while (word_end < src_.size() && IsIdentChar(src_[word_end])) ++word_end;
+    if (src_.substr(p, word_end - p) != "include") {
+      (void)hash;
+      at_line_start_ = false;
+      return;
+    }
+    p = word_end;
+    while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+    if (p < src_.size() && (src_[p] == '<' || src_[p] == '"')) {
+      const bool angled = src_[p] == '<';
+      const char close = angled ? '>' : '"';
+      std::string header;
+      ++p;
+      while (p < src_.size() && src_[p] != close && src_[p] != '\n') {
+        header += src_[p++];
+      }
+      out_.includes.push_back({line_, std::move(header), angled});
+    }
+    // Skip the remainder of the directive line.
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    at_line_start_ = false;
+  }
+
+  void StringLiteral() {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts honest
+      ++pos_;
+      if (c == '"') return;
+    }
+  }
+
+  void RawStringLiteral() {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void CharLiteral() {
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') return;  // stray quote, not a literal; resync
+      ++pos_;
+      if (c == '\'') return;
+    }
+  }
+
+  void Number() {
+    std::string text;
+    // pp-number: digits, idents, separators, exponent signs, dots.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (IsIdentChar(c) || c == '\'' || c == '.') {
+        text += c;
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text += c;
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back({TokKind::kNumber, std::move(text), line_});
+  }
+
+  void Identifier() {
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) text += src_[pos_++];
+    if (pos_ < src_.size() && src_[pos_] == '"' && IsRawStringPrefix(text)) {
+      RawStringLiteral();
+      return;  // the prefix is part of the literal, not an identifier
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      CharLiteral();
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      StringLiteral();
+      return;
+    }
+    out_.tokens.push_back({TokKind::kIdent, std::move(text), line_});
+  }
+
+  void Punct() {
+    if (src_[pos_] == ':' && Peek(1) == ':') {
+      out_.tokens.push_back({TokKind::kPunct, "::", line_});
+      pos_ += 2;
+      return;
+    }
+    out_.tokens.push_back({TokKind::kPunct, std::string(1, src_[pos_]), line_});
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  Lexed out_;
+};
+
+}  // namespace
+
+Lexed Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace gvfs::lint

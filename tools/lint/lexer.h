@@ -1,0 +1,55 @@
+// A small comment- and string-aware C++ lexer for gvfs-lint.
+//
+// The analyzer's rules match identifier tokens and token sequences, never raw
+// text, so a banned name inside a doc comment, a string literal (including raw
+// strings), or as a substring of a longer identifier (`ObserveMtime` vs
+// `time`) can never fire a rule. Comments are kept on the side: inline
+// suppressions (`// gvfs-lint: allow(wall-clock): why it is safe here`) are
+// parsed from them.
+//
+// This is deliberately not a preprocessor: macro bodies are tokenized like
+// ordinary code (so a banned call hidden in a #define still fires), and
+// #include directives are recorded separately for the include rules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gvfs::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. digit separators, suffixes)
+  kPunct,   // punctuation; "::" is a single token, all others one char
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;      // first line of the comment
+  std::string text;  // body without the // or /* */ markers
+};
+
+struct IncludeDirective {
+  int line = 0;
+  std::string header;  // path between the delimiters
+  bool angled = false; // <...> vs "..."
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes `source`. Never fails: malformed input (unterminated literals,
+/// stray bytes) degrades to skipping, which at worst loses findings in the
+/// garbage region rather than producing false ones.
+Lexed Lex(std::string_view source);
+
+}  // namespace gvfs::lint

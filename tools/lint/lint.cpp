@@ -1,0 +1,283 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gvfs::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+std::vector<Suppression> ParseSuppressions(const Lexed& lex) {
+  std::vector<Suppression> out;
+  for (const Comment& comment : lex.comments) {
+    const std::size_t marker = comment.text.find("gvfs-lint:");
+    if (marker == std::string::npos) continue;
+    // Only the full marker-plus-allow form is an annotation; prose that
+    // merely mentions the tool name is not.
+    std::string_view after = std::string_view(comment.text).substr(marker + 10);
+    while (!after.empty() && (after.front() == ' ' || after.front() == '\t')) {
+      after.remove_prefix(1);
+    }
+    if (after.rfind("allow(", 0) != 0) continue;
+    Suppression s;
+    s.line = comment.line;
+    // A trailing annotation covers the code on its own line; an annotation
+    // alone on its line covers the line below it.
+    bool code_on_line = false;
+    for (const Token& t : lex.tokens) {
+      if (t.line == comment.line) {
+        code_on_line = true;
+        break;
+      }
+      if (t.line > comment.line) break;
+    }
+    s.covered_line = code_on_line ? comment.line : comment.line + 1;
+    std::string_view rest = std::string_view(comment.text).substr(marker + 10);
+    const std::size_t open = rest.find("allow(");
+    if (open != std::string::npos) {
+      rest.remove_prefix(open + 6);
+      const std::size_t close = rest.find(')');
+      if (close != std::string::npos) {
+        std::string_view list = rest.substr(0, close);
+        while (!list.empty()) {
+          const std::size_t comma = list.find(',');
+          s.rules.push_back(Trim(list.substr(0, comma)));
+          if (comma == std::string::npos) break;
+          list.remove_prefix(comma + 1);
+        }
+        rest.remove_prefix(close + 1);
+        const std::size_t colon = rest.find(':');
+        if (colon != std::string::npos) s.reason = Trim(rest.substr(colon + 1));
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+FileUnit MakeUnit(std::string rel_path, std::string_view source) {
+  FileUnit unit;
+  unit.rel_path = std::move(rel_path);
+  unit.disk_path = unit.rel_path;
+  unit.lex = Lex(source);
+  unit.suppressions = ParseSuppressions(unit.lex);
+  return unit;
+}
+
+// ---------------------------------------------------------------------------
+// Core
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> LintTree(const Tree& tree) {
+  std::vector<Finding> all;
+  for (const RuleInfo& rule : AllRules()) {
+    if (rule.check_file != nullptr) {
+      for (const auto& [rel, unit] : tree) {
+        if (rule.applies != nullptr && !rule.applies(rel)) continue;
+        rule.check_file(unit, all);
+      }
+    } else if (rule.check_tree != nullptr) {
+      rule.check_tree(tree, all);
+    }
+  }
+
+  // Drop findings covered by a reasoned suppression on the same or the
+  // preceding line. bad-suppression findings are never droppable: a
+  // suppression cannot vouch for itself.
+  std::vector<Finding> kept;
+  for (Finding& finding : all) {
+    bool suppressed = false;
+    if (finding.rule != "bad-suppression") {
+      auto it = tree.find(finding.file);
+      if (it != tree.end()) {
+        for (const Suppression& s : it->second.suppressions) {
+          if (s.reason.empty()) continue;
+          if (finding.line != s.covered_line) continue;
+          if (std::find(s.rules.begin(), s.rules.end(), finding.rule) !=
+              s.rules.end()) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(finding));
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem walk
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Build litter and fixture dirs are never linted: in-source builds drop
+/// CMakeFiles/ and objects next to the code, and testdata/ holds snippets
+/// that fire rules on purpose.
+bool IsSkippedDir(const std::string& name) {
+  return name == "CMakeFiles" || name == "Testing" || name == "testdata" ||
+         name == ".git" || name == "_deps" ||
+         name.rfind("build", 0) == 0 || name.rfind("cmake-build", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<Finding> LintRoot(const std::string& root, const LintOptions& opts,
+                              std::string* error) {
+  std::error_code ec;
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path, ec)) {
+    if (error != nullptr) *error = "not a directory: " + root;
+    return {};
+  }
+
+  Tree tree;
+  for (const std::string& dir : opts.dirs) {
+    const fs::path base = root_path / dir;
+    if (!fs::is_directory(base, ec)) continue;
+    fs::recursive_directory_iterator it(base, ec);
+    const fs::recursive_directory_iterator end;
+    while (it != end) {
+      const fs::path& path = it->path();
+      if (it->is_directory(ec) && IsSkippedDir(path.filename().string())) {
+        it.disable_recursion_pending();
+        it.increment(ec);
+        continue;
+      }
+      if (it->is_regular_file(ec) && IsSourceFile(path)) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (in.bad()) {
+          if (error != nullptr) *error = "read failed: " + path.string();
+          return {};
+        }
+        FileUnit unit = MakeUnit(
+            path.lexically_relative(root_path).generic_string(), buf.str());
+        unit.disk_path = path.generic_string();
+        tree.emplace(unit.rel_path, std::move(unit));
+      }
+      it.increment(ec);
+      if (ec) {
+        if (error != nullptr) *error = "walk failed: " + ec.message();
+        return {};
+      }
+    }
+  }
+  return LintTree(tree);
+}
+
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ',';
+    out << "{\"rule\":\"" << JsonEscape(f.rule) << "\",\"file\":\""
+        << JsonEscape(f.file) << "\",\"line\":" << f.line << ",\"message\":\""
+        << JsonEscape(f.message) << "\"}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string FormatSarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      << "\"name\":\"gvfs-lint\",\"informationUri\":"
+      << "\"https://example.invalid/gvfs-lint\",\"rules\":[";
+  const auto& rules = AllRules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"id\":\"" << JsonEscape(rules[i].id)
+        << "\",\"shortDescription\":{\"text\":\"" << JsonEscape(rules[i].summary)
+        << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ',';
+    out << "{\"ruleId\":\"" << JsonEscape(f.rule)
+        << "\",\"level\":\"error\",\"message\":{\"text\":\""
+        << JsonEscape(f.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{"
+        << "\"uri\":\"" << JsonEscape(f.file)
+        << "\"},\"region\":{\"startLine\":" << (f.line > 0 ? f.line : 1)
+        << "}}}]}";
+  }
+  out << "]}]}\n";
+  return out.str();
+}
+
+}  // namespace gvfs::lint

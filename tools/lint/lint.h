@@ -1,0 +1,125 @@
+// gvfs-lint: a static analyzer for the determinism and protocol-discipline
+// invariants this repo's tests can only observe at runtime.
+//
+// The simulator's load-bearing property is byte-for-byte reproducibility:
+// the FIFO-tie scheduler, the seeded Rng, and ordered containers everywhere
+// an iteration order can leak into exporter output. The protocol's
+// load-bearing property is completeness: every mutating NFS procedure must
+// append to the invalidation buffers and leave a trace event, every
+// procedure needs a handler and a stats name. Both are whole-bug-class
+// guarantees, so they are enforced here, before any test runs:
+//
+//   - per-file token rules (rules.cpp): wall-clock reads, ambient
+//     randomness, nondeterministic containers, pointer-value ordering,
+//     exceptions and discarded Expected values in the coroutine protocol
+//     paths, banned includes, malformed suppressions;
+//   - cross-file coverage rules (coverage.cpp): structural proofs over the
+//     proc dispatch table, the Classify switch, RecordInvalidation, and the
+//     trace-event name table.
+//
+// Findings can be silenced inline, but only with a reason — the annotation
+// names one or more rules, then a colon, then the justification, e.g.:
+//
+//   // gvfs-lint: allow(unordered-container): scratch set, order never escapes
+//
+// A suppression written on its own line covers the next line; one written
+// after code covers its own line. A suppression with no reason, or naming an
+// unknown rule, is itself a finding (bad-suppression) and cannot be
+// silenced.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace gvfs::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // path as reported (repo-relative when possible)
+  int line = 0;
+  std::string message;
+};
+
+/// One parsed inline suppression annotation.
+struct Suppression {
+  int line = 0;          // where the annotation sits (for diagnostics)
+  int covered_line = 0;  // the line whose findings it silences
+  std::vector<std::string> rules;
+  std::string reason;
+};
+
+/// A lexed source file plus its repo-relative path (used for rule scoping).
+struct FileUnit {
+  std::string rel_path;   // forward-slash, relative to the scan root
+  std::string disk_path;  // where the file was read from (for reporting)
+  Lexed lex;
+  std::vector<Suppression> suppressions;
+};
+
+/// The whole scanned tree, keyed by rel_path.
+using Tree = std::map<std::string, FileUnit>;
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;  // one-liner, shown in SARIF rule metadata
+  // Per-file rules: check one unit. Null for cross-file rules.
+  void (*check_file)(const FileUnit&, std::vector<Finding>&);
+  // Cross-file rules: check the tree as a whole. Null for per-file rules.
+  void (*check_tree)(const Tree&, std::vector<Finding>&);
+  // Path predicate for per-file rules; null means "every scanned file".
+  bool (*applies)(const std::string& rel_path);
+};
+
+/// Every registered rule, per-file and cross-file.
+const std::vector<RuleInfo>& AllRules();
+
+/// True if `id` names a registered rule.
+bool IsKnownRule(const std::string& id);
+
+/// Path scopes shared by several rules.
+bool InProtocolDirs(const std::string& rel_path);  // gvfs/rpc/nfs3/sim
+bool InSrc(const std::string& rel_path);
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct LintOptions {
+  // Subdirectories of the root to scan (default: the whole source set).
+  std::vector<std::string> dirs = {"src", "tests", "bench", "examples",
+                                   "tools"};
+};
+
+/// Parses suppression annotations out of a lexed file's comments.
+std::vector<Suppression> ParseSuppressions(const Lexed& lex);
+
+/// Lexes `source` as if it lived at `rel_path` (unit-test entry point).
+FileUnit MakeUnit(std::string rel_path, std::string_view source);
+
+/// Lints an in-memory tree: runs every applicable rule, then drops findings
+/// covered by a reasoned suppression. This is the core the CLI and the tests
+/// share.
+std::vector<Finding> LintTree(const Tree& tree);
+
+/// Walks `root`'s configured dirs (skipping build litter: build*/,
+/// CMakeFiles/, Testing/, testdata/, .git/, _deps/), lexes every
+/// .h/.hpp/.cpp/.cc file, and lints the result.
+std::vector<Finding> LintRoot(const std::string& root, const LintOptions& opts,
+                              std::string* error);
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string FormatText(const std::vector<Finding>& findings);
+std::string FormatJson(const std::vector<Finding>& findings);
+std::string FormatSarif(const std::vector<Finding>& findings);
+
+}  // namespace gvfs::lint

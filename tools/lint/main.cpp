@@ -1,0 +1,119 @@
+// gvfs-lint CLI.
+//
+//   gvfs-lint [--root DIR] [--format text|json|sarif] [--output FILE]
+//             [--list-rules] [dir...]
+//
+// Positional dirs (relative to --root, default: src tests bench examples
+// tools) narrow the scan. Exit 0 when clean, 1 on findings, 2 on usage or
+// I/O errors — so CI can gate on the exit code while uploading the SARIF.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gvfs-lint [--root DIR] [--format text|json|sarif]\n"
+      "                 [--output FILE] [--list-rules] [dir...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using gvfs::lint::AllRules;
+  using gvfs::lint::Finding;
+  using gvfs::lint::LintOptions;
+  using gvfs::lint::LintRoot;
+
+  std::string root = ".";
+  std::string format = "text";
+  std::string output;
+  std::vector<std::string> dirs;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gvfs-lint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return Usage();
+      root = v;
+    } else if (arg == "--format") {
+      const char* v = value("--format");
+      if (v == nullptr) return Usage();
+      format = v;
+    } else if (arg == "--output") {
+      const char* v = value("--output");
+      if (v == nullptr) return Usage();
+      output = v;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "gvfs-lint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "gvfs-lint: unknown format '%s'\n", format.c_str());
+    return Usage();
+  }
+
+  if (list_rules) {
+    for (const auto& rule : AllRules()) {
+      std::printf("%-22s %s\n", rule.id, rule.summary);
+    }
+    return 0;
+  }
+
+  LintOptions opts;
+  if (!dirs.empty()) opts.dirs = dirs;
+
+  std::string error;
+  const std::vector<Finding> findings = LintRoot(root, opts, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "gvfs-lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = gvfs::lint::FormatJson(findings);
+  } else if (format == "sarif") {
+    rendered = gvfs::lint::FormatSarif(findings);
+  } else {
+    rendered = gvfs::lint::FormatText(findings);
+  }
+
+  if (output.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(output, std::ios::binary);
+    out << rendered;
+    if (!out) {
+      std::fprintf(stderr, "gvfs-lint: cannot write %s\n", output.c_str());
+      return 2;
+    }
+    // Keep the human-readable view on stderr when the file gets the
+    // machine-readable one.
+    std::fputs(gvfs::lint::FormatText(findings).c_str(), stderr);
+  }
+
+  std::fprintf(stderr, "gvfs-lint: %zu finding%s\n", findings.size(),
+               findings.size() == 1 ? "" : "s");
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+#include "proto.h"
+
+namespace gvfs {
+
+const char* GvfsProcName(GvfsProc proc) {
+  switch (proc) {
+    case kGetInv: return "GETINV";
+    case kCallback: return "CALLBACK";
+    case kRecovery: return "RECOVERY";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace gvfs

@@ -1,0 +1,16 @@
+// Coverage fixture: the GVFS control-channel procs.
+#pragma once
+
+#include <cstdint>
+
+namespace gvfs {
+
+enum GvfsProc : std::uint32_t {
+  kGetInv = 1,
+  kCallback = 2,
+  kRecovery = 3,
+};
+
+const char* GvfsProcName(GvfsProc proc);
+
+}  // namespace gvfs

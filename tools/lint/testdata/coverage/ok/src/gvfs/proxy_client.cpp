@@ -1,0 +1,21 @@
+// Coverage fixture: the client side registers the server-initiated procs
+// (CALLBACK for delegation breaks, RECOVERY for post-crash re-sync).
+#include "proto.h"
+
+namespace gvfs {
+
+class ProxyClient {
+ public:
+  void Start();
+
+ private:
+  void HandleCallback(int req);
+  void HandleRecovery(int req);
+};
+
+void ProxyClient::Start() {
+  RegisterHandler(kCallback, HandleCallback);
+  RegisterHandler(kRecovery, HandleRecovery);
+}
+
+}  // namespace gvfs

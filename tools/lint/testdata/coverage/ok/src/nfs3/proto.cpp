@@ -1,0 +1,15 @@
+#include "proto.h"
+
+namespace nfs3 {
+
+const char* ProcName(Proc proc) {
+  switch (proc) {
+    case kNull: return "NULL";
+    case kGetAttr: return "GETATTR";
+    case kWrite: return "WRITE";
+    case kRemove: return "REMOVE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace nfs3

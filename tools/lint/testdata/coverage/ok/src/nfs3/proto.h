@@ -1,0 +1,20 @@
+// Coverage fixture: a subset of the NFSv3 proc enum. The cross-file rules
+// intersect their protocol knowledge with the procs actually present, so a
+// mini-tree only needs a representative slice (one read-only proc, two
+// mutating ones).
+#pragma once
+
+#include <cstdint>
+
+namespace nfs3 {
+
+enum Proc : std::uint32_t {
+  kNull = 0,
+  kGetAttr = 1,
+  kWrite = 7,
+  kRemove = 12,
+};
+
+const char* ProcName(Proc proc);
+
+}  // namespace nfs3

@@ -1,0 +1,13 @@
+#include "trace.h"
+
+namespace trace {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kRpcSend: return "RPC_SEND";
+    case EventType::kInvAppend: return "INV_APPEND";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace trace

@@ -1,0 +1,15 @@
+// Coverage fixture: the trace event vocabulary.
+#pragma once
+
+#include <cstdint>
+
+namespace trace {
+
+enum class EventType : std::uint8_t {
+  kRpcSend = 0,
+  kInvAppend = 1,
+};
+
+const char* EventTypeName(EventType type);
+
+}  // namespace trace

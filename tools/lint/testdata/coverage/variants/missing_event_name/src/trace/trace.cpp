@@ -1,0 +1,14 @@
+// Seeded violation: kInvAppend has no EventTypeName case, so exporters
+// cannot tell its events apart. trace-coverage must catch it.
+#include "trace.h"
+
+namespace trace {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kRpcSend: return "RPC_SEND";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace trace

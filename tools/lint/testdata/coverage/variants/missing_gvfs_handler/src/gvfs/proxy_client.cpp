@@ -1,0 +1,19 @@
+// Seeded violation: RECOVERY is never registered, so post-crash re-sync
+// calls would time out. proc-coverage must catch it.
+#include "proto.h"
+
+namespace gvfs {
+
+class ProxyClient {
+ public:
+  void Start();
+
+ private:
+  void HandleCallback(int req);
+};
+
+void ProxyClient::Start() {
+  RegisterHandler(kCallback, HandleCallback);
+}
+
+}  // namespace gvfs

@@ -1,0 +1,99 @@
+// Seeded violation: WRITE is classified but never marked mutating, so its
+// invalidation append is silently skipped. inv-coverage must catch it.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "proto.h"
+
+namespace gvfs {
+
+struct Fh {
+  std::uint64_t ino = 0;
+};
+
+struct InvEntry {
+  std::uint64_t seq = 0;
+  Fh fh;
+};
+
+struct Request {
+  int client = 0;
+  int proc = 0;
+  Fh fh;
+};
+
+struct ProcInfo {
+  bool mutating = false;
+  bool dir_op = false;
+};
+
+struct Tracer {
+  void Inv(int type, int client, const Fh& fh);
+};
+
+struct ClientState {
+  std::vector<InvEntry> buffer;
+};
+
+constexpr int kProcs[] = {
+    nfs3::kGetAttr,
+    nfs3::kWrite,
+    nfs3::kRemove,
+};
+
+class ProxyServer {
+ public:
+  void Start();
+  void HandleNfs(Request& req);
+
+ private:
+  ProcInfo Classify(int proc);
+  void RecordInvalidation(int client, const Fh& fh);
+  void Forward(Request& req);
+  void HandleGetInv(Request& req);
+
+  std::map<int, ClientState> sessions_;
+  std::uint64_t inv_clock_ = 0;
+  Tracer tracer_;
+};
+
+void ProxyServer::Start() {
+  RegisterHandler(kGetInv, HandleGetInv);
+}
+
+ProcInfo ProxyServer::Classify(int proc) {
+  ProcInfo info;
+  switch (proc) {
+    case nfs3::kGetAttr:
+      info.dir_op = false;
+      break;
+    case nfs3::kWrite:
+      info.dir_op = false;
+      break;
+    case nfs3::kRemove:
+      info.mutating = true;
+      info.dir_op = true;
+      break;
+  }
+  return info;
+}
+
+void ProxyServer::HandleNfs(Request& req) {
+  ProcInfo info = Classify(req.proc);
+  if (info.mutating) {
+    RecordInvalidation(req.client, req.fh);
+  }
+  Forward(req);
+}
+
+void ProxyServer::RecordInvalidation(int client, const Fh& fh) {
+  for (auto& [id, state] : sessions_) {
+    if (id == client) continue;
+    state.buffer.push_back(InvEntry{inv_clock_, fh});
+    tracer_.Inv(trace::kInvAppend, id, fh);
+  }
+  ++inv_clock_;
+}
+
+}  // namespace gvfs

@@ -1,0 +1,16 @@
+// Seeded violation: REMOVE has no ProcName case, so its stats and trace
+// labels degrade to the unknown bucket. stats-name-coverage must catch it.
+#include "proto.h"
+
+namespace nfs3 {
+
+const char* ProcName(Proc proc) {
+  switch (proc) {
+    case kNull: return "NULL";
+    case kGetAttr: return "GETATTR";
+    case kWrite: return "WRITE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace nfs3

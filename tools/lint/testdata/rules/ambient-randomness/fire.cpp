@@ -1,0 +1,14 @@
+// Fixture: ambient/unseeded randomness must fire.
+#include <cstdint>
+
+int Dice() { return rand() % 6; }
+
+std::uint64_t Seed() {
+  std::random_device rd;
+  return rd();
+}
+
+std::uint64_t Engine() {
+  std::mt19937 gen;  // default-seeded: different libstdc++, different stream
+  return gen();
+}

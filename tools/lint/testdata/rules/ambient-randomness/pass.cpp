@@ -1,0 +1,11 @@
+// Fixture: the repo's explicit-seed Rng is the sanctioned randomness source.
+#include "common/rng.h"
+
+std::uint64_t Pick(std::uint64_t seed, std::uint64_t bound) {
+  gvfs::Rng rng(seed);
+  return rng.Below(bound);
+}
+
+// rand() and std::random_device in comments are fine, as is the identifier
+// "randomized" below.
+bool randomized_order = false;

@@ -1,0 +1,8 @@
+// Fixture: reasoned suppression of an ambient-randomness finding.
+#include <cstdint>
+
+std::uint64_t Entropy() {
+  // gvfs-lint: allow(ambient-randomness): seeds the CLI's --seed default only
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,8 @@
+// Fixture: malformed suppressions are themselves findings.
+#include <cstdint>
+
+// gvfs-lint: allow(wall-clock)
+int missing_reason = 0;
+
+// gvfs-lint: allow(not-a-real-rule): the rule name is a typo
+int unknown_rule = 0;

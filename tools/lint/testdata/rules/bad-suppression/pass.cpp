@@ -1,0 +1,6 @@
+// Fixture: a well-formed suppression (real rule, real reason) is clean even
+// when it ends up covering nothing.
+#include <cstdint>
+
+// gvfs-lint: allow(wall-clock): defensive annotation retained after refactor
+int plain = 0;

@@ -1,0 +1,7 @@
+// Fixture: headers that exist to provide wall clocks / ambient randomness.
+#include <chrono>
+#include <ctime>
+#include <random>
+#include <sys/time.h>
+
+int x = 0;

@@ -1,0 +1,9 @@
+// Fixture: ordinary includes must not fire; "<random>" in a comment or a
+// string is not a directive.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+const char* Doc() { return "#include <random>"; }

@@ -1,0 +1,5 @@
+// Fixture: reasoned suppression of a banned include.
+// gvfs-lint: allow(banned-include): chrono literals used for config parsing only
+#include <chrono>
+
+int x = 0;

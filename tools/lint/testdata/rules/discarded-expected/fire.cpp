@@ -1,0 +1,11 @@
+// Fixture: (void)-discarding a call result in a protocol path swallows an
+// Expected<> and must fire.
+#include "common/expected.h"
+
+struct Upstream {
+  gvfs::Expected<int, int> SetAttr(int ino, int size);
+};
+
+void Extend(Upstream& upstream, int ino) {
+  (void)upstream.SetAttr(ino, 4096);
+}

@@ -1,0 +1,13 @@
+// Fixture: handling the result — or discarding a plain variable — is fine.
+#include "common/expected.h"
+
+struct Upstream {
+  gvfs::Expected<int, int> SetAttr(int ino, int size);
+};
+
+int Extend(Upstream& upstream, int ino, int unused_arg) {
+  (void)unused_arg;  // a variable discard carries no Expected
+  auto res = upstream.SetAttr(ino, 4096);
+  if (!res) return res.error();
+  return *res;
+}

@@ -1,0 +1,12 @@
+// Fixture: reasoned suppression of a best-effort call whose failure is
+// recovered elsewhere.
+#include "common/expected.h"
+
+struct Upstream {
+  gvfs::Expected<int, int> SetAttr(int ino, int size);
+};
+
+void Extend(Upstream& upstream, int ino) {
+  // gvfs-lint: allow(discarded-expected): best-effort hint; the write-back monitor retries
+  (void)upstream.SetAttr(ino, 4096);
+}

@@ -1,0 +1,10 @@
+// Fixture: ordering/hashing by pointer value varies run to run.
+#include <cstdint>
+
+struct Session;
+
+std::uintptr_t Key(const Session* s) {
+  return reinterpret_cast<std::uintptr_t>(s);
+}
+
+std::size_t HashPtr(Session* s) { return std::hash<Session*>{}(s); }

@@ -1,0 +1,16 @@
+// Fixture: keying on stable ids is deterministic; hashing values is fine,
+// and `a < b` comparisons near "hash" must not be mistaken for templates.
+#include <cstdint>
+#include <string>
+
+struct Session {
+  std::uint64_t id = 0;
+};
+
+std::uint64_t Key(const Session& s) { return s.id; }
+
+std::size_t HashName(const std::string& name) {
+  return std::hash<std::string>{}(name);
+}
+
+bool Less(std::uint64_t hash, std::uint64_t limit) { return hash < limit; }

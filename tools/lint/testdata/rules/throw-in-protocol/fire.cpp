@@ -1,0 +1,6 @@
+// Fixture: exceptions thrown in a protocol path must fire.
+#include <stdexcept>
+
+void Validate(int status) {
+  if (status != 0) throw std::runtime_error("bad status");
+}

@@ -1,0 +1,11 @@
+// Fixture: errors travel as Expected<> values. Mentions of throw in comments
+// and the "nothrow"/"throws_" identifiers must not fire.
+#include "common/expected.h"
+
+// A handler must never throw; it returns Unexpected instead.
+gvfs::Expected<int, int> Validate(int status) {
+  if (status != 0) return gvfs::Unexpected(status);
+  return 1;
+}
+
+bool nothrow_mode = true;

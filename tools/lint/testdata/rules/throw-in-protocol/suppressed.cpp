@@ -1,0 +1,11 @@
+// Fixture: reasoned suppression — the coroutine plumbing itself may rethrow.
+#include <exception>
+
+struct Promise {
+  std::exception_ptr exception;
+
+  void Resume() {
+    // gvfs-lint: allow(throw-in-protocol): promise plumbing resurfaces captured test exceptions
+    if (exception) std::rethrow_exception(exception);
+  }
+};

@@ -1,0 +1,10 @@
+// Fixture: try/catch in a protocol path must fire.
+#include <exception>
+
+int Guarded(int (*f)()) {
+  try {
+    return f();
+  } catch (const std::exception&) {
+    return -1;
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture: Expected<>-style control flow; "try" inside identifiers
+// (retry_count) or comments must not fire.
+#include "common/expected.h"
+
+// Callers try the operation and inspect the result — no catch blocks.
+gvfs::Expected<int, int> Attempt(int retry_count) {
+  if (retry_count > 3) return gvfs::Unexpected(-1);
+  return retry_count;
+}

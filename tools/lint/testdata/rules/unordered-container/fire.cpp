@@ -1,0 +1,7 @@
+// Fixture: hash containers iterate in nondeterministic order and must fire.
+#include <cstdint>
+
+struct Index {
+  std::unordered_map<std::uint64_t, int> by_ino;
+  std::unordered_set<std::uint64_t> dirty;
+};

@@ -1,0 +1,8 @@
+// Fixture: ordered containers are the deterministic default.
+#include <map>
+#include <set>
+
+struct Index {
+  std::map<unsigned long, int> by_ino;
+  std::set<unsigned long> dirty;  // unordered_map only in this comment
+};

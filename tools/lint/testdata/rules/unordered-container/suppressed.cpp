@@ -1,0 +1,7 @@
+// Fixture: reasoned suppression — membership-only use, order never escapes.
+#include <cstdint>
+
+struct Seen {
+  // gvfs-lint: allow(unordered-container): membership checks only; never iterated
+  std::unordered_set<std::uint64_t> xids;
+};

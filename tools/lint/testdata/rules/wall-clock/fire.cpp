@@ -1,0 +1,18 @@
+// Fixture: every statement below reads real time and must fire wall-clock.
+#include <cstdint>
+
+long WallSeconds() { return time(nullptr); }
+
+long WallMicros() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_usec;
+}
+
+long Monotonic() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long System() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

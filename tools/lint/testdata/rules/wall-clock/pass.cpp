@@ -1,0 +1,14 @@
+// Fixture: simulation time, identifiers containing "time", and mentions in
+// comments or strings must not fire wall-clock.
+#include "sim/scheduler.h"
+
+gvfs::SimTime Now(gvfs::sim::Scheduler& sched) { return sched.Now(); }
+
+// gettimeofday() and time(nullptr) in a comment are documentation.
+gvfs::SimTime ObserveMtime(gvfs::SimTime mtime) { return mtime; }
+
+const char* Doc() { return "time(nullptr) in a string is not a call"; }
+
+struct Timer {
+  gvfs::SimTime deadline = 0;  // "deadline" and "mtime" are just names
+};

@@ -1,0 +1,5 @@
+// Fixture: the same wall-clock read, silenced by a reasoned suppression.
+#include <cstdint>
+
+// gvfs-lint: allow(wall-clock): host timestamp is log-file metadata only
+long WallSeconds() { return time(nullptr); }
