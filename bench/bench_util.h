@@ -78,10 +78,11 @@ inline void PrintRpcStats(const std::string& name, const rpc::StatsMap& stats) {
               static_cast<unsigned long long>(stats.TotalCalls()),
               static_cast<double>(stats.TotalBytes()) / 1024.0,
               static_cast<unsigned long long>(stats.PeakInFlight()));
-  for (const auto& [label, calls] : stats.calls()) {
+  for (const auto& label : stats.Labels()) {
     std::printf("  %-10s %8llu calls %10.1f KB  lat avg %8.2f"
                 "  p50 %8.2f  p95 %8.2f  p99 %8.2f  max %8.2f ms\n",
-                label.c_str(), static_cast<unsigned long long>(calls),
+                label.c_str(),
+                static_cast<unsigned long long>(stats.Calls(label)),
                 static_cast<double>(stats.Bytes(label)) / 1024.0,
                 ToSeconds(stats.LatencyAvg(label)) * 1e3,
                 ToSeconds(stats.LatencyP50(label)) * 1e3,
@@ -103,10 +104,10 @@ inline JsonObject RpcStatsJson(const rpc::StatsMap& stats) {
   out.Add("total_bytes", stats.TotalBytes());
   out.Add("peak_in_flight", stats.PeakInFlight());
   std::vector<JsonObject> procs;
-  for (const auto& [label, calls] : stats.calls()) {
+  for (const auto& label : stats.Labels()) {
     JsonObject proc;
     proc.Add("proc", label);
-    proc.Add("calls", calls);
+    proc.Add("calls", stats.Calls(label));
     proc.Add("bytes", stats.Bytes(label));
     proc.Add("lat_avg_ms", ToSeconds(stats.LatencyAvg(label)) * 1e3);
     proc.Add("lat_p50_ms", ToSeconds(stats.LatencyP50(label)) * 1e3);

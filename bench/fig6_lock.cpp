@@ -81,7 +81,9 @@ Result RunOne(Setup setup, Duration poll_period = Seconds(30),
     }
     result.report = Drive(bed.sched(), RunLockBench(bed.sched(), mounts, config));
     for (auto* mount : kmounts) {
-      for (const auto& [label, count] : bed.StatsOf(*mount).calls()) {
+      const rpc::StatsMap& kstats = bed.StatsOf(*mount);
+      for (const auto& label : kstats.Labels()) {
+        const std::uint64_t count = kstats.Calls(label);
         for (std::uint64_t i = 0; i < count; ++i) result.rpcs.Count(label, 0);
       }
     }

@@ -50,6 +50,7 @@ void BM_XdrOpaqueRoundTrip(benchmark::State& state) {
     xdr::Decoder dec(enc.bytes());
     auto out = dec.GetOpaque();
     benchmark::DoNotOptimize(out);
+    if (out) benchmark::DoNotOptimize(out->ptr);
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }

@@ -85,9 +85,9 @@ int main() {
   while (!done && !bed.sched().Idle()) bed.sched().Run(1);
 
   std::printf("\nWAN RPCs used, by procedure:\n");
-  for (const auto& [label, count] : session.stats->calls()) {
+  for (const auto& label : session.stats->Labels()) {
     std::printf("  %-10s %llu\n", label.c_str(),
-                static_cast<unsigned long long>(count));
+                static_cast<unsigned long long>(session.stats->Calls(label)));
   }
   return 0;
 }

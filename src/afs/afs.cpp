@@ -62,9 +62,9 @@ AfsServer::AfsServer(sim::Scheduler& sched, memfs::MemFs& fs, rpc::RpcNode& node
     : sched_(sched), fs_(fs), node_(node) {
   auto bind = [this, &node](AfsProc proc,
                             sim::Task<Bytes> (AfsServer::*method)(rpc::CallContext,
-                                                                  Bytes)) {
+                                                                  rpc::Body)) {
     node.RegisterHandler(kAfsProgram, proc,
-                         [this, method](rpc::CallContext ctx, Bytes args) {
+                         [this, method](rpc::CallContext ctx, rpc::Body args) {
                            return (this->*method)(ctx, std::move(args));
                          });
   };
@@ -113,26 +113,28 @@ sim::Task<void> AfsServer::BreakPromises(std::string path, net::Address mutator)
   }
 }
 
-sim::Task<Bytes> AfsServer::HandleFetchStatus(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleFetchStatus(rpc::CallContext ctx, rpc::Body args) {
   ++stats_.fetches;
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  AddPromise(*path, ctx.caller);  // promise covers negative results too
-  auto ino = fs_.ResolvePath(*path);
+  const std::string p = path->Copy();
+  AddPromise(p, ctx.caller);  // promise covers negative results too
+  auto ino = fs_.ResolvePath(p);
   if (!ino) co_return StatusReply(nfs3::FromFsError(ino.error()));
   auto attr = fs_.GetAttr(*ino);
   if (!attr) co_return StatusReply(nfs3::FromFsError(attr.error()));
   co_return StatusAttrReply(Status::kOk, nfs3::ToFattr(*attr));
 }
 
-sim::Task<Bytes> AfsServer::HandleFetchData(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleFetchData(rpc::CallContext ctx, rpc::Body args) {
   ++stats_.fetches;
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  AddPromise(*path, ctx.caller);
-  auto ino = fs_.ResolvePath(*path);
+  const std::string p = path->Copy();
+  AddPromise(p, ctx.caller);
+  auto ino = fs_.ResolvePath(p);
   if (!ino) co_return StatusReply(nfs3::FromFsError(ino.error()));
   auto attr = fs_.GetAttr(*ino);
   if (!attr) co_return StatusReply(nfs3::FromFsError(attr.error()));
@@ -145,99 +147,107 @@ sim::Task<Bytes> AfsServer::HandleFetchData(rpc::CallContext ctx, Bytes args) {
   co_return enc.Take();
 }
 
-sim::Task<Bytes> AfsServer::HandleStoreData(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleStoreData(rpc::CallContext ctx, rpc::Body args) {
   ++stats_.stores;
   xdr::Decoder dec(args);
   auto path = dec.GetString();
-  auto data = path ? dec.GetOpaque() : Expected<Bytes, xdr::DecodeError>(
-                                           Unexpected(xdr::DecodeError::kTruncated));
+  auto data = path ? dec.GetOpaque()
+                   : Expected<xdr::View, xdr::DecodeError>(
+                         Unexpected(xdr::DecodeError::kTruncated));
   if (!path || !data) co_return StatusReply(Status::kInval);
-  auto ino = fs_.ResolvePath(*path);
+  const std::string p = path->Copy();
+  auto ino = fs_.ResolvePath(p);
   if (!ino) co_return StatusReply(nfs3::FromFsError(ino.error()));
-  co_await BreakPromises(*path, ctx.caller);
+  co_await BreakPromises(p, ctx.caller);
   memfs::SetAttrRequest trunc;
   trunc.size = 0;
   (void)fs_.SetAttr(*ino, trunc);
-  auto written = fs_.Write(*ino, 0, *data);
+  auto written = fs_.Write(*ino, 0, data->Copy());
   if (!written) co_return StatusReply(nfs3::FromFsError(written.error()));
   co_return StatusReply(Status::kOk);
 }
 
-sim::Task<Bytes> AfsServer::HandleCreate(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleCreate(rpc::CallContext ctx, rpc::Body args) {
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  auto parent = Parent(*path);
+  const std::string p = path->Copy();
+  auto parent = Parent(p);
   if (!parent) co_return StatusReply(parent.error());
-  co_await BreakPromises(*path, ctx.caller);
-  co_await BreakPromises(path->substr(0, path->find_last_of('/')), ctx.caller);
+  co_await BreakPromises(p, ctx.caller);
+  co_await BreakPromises(p.substr(0, p.find_last_of('/')), ctx.caller);
   auto created = fs_.Create(parent->first, parent->second, 0644);
   if (!created) co_return StatusReply(nfs3::FromFsError(created.error()));
   co_return StatusReply(Status::kOk);
 }
 
-sim::Task<Bytes> AfsServer::HandleRemove(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleRemove(rpc::CallContext ctx, rpc::Body args) {
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  auto parent = Parent(*path);
+  const std::string p = path->Copy();
+  auto parent = Parent(p);
   if (!parent) co_return StatusReply(parent.error());
-  co_await BreakPromises(*path, ctx.caller);
-  co_await BreakPromises(path->substr(0, path->find_last_of('/')), ctx.caller);
+  co_await BreakPromises(p, ctx.caller);
+  co_await BreakPromises(p.substr(0, p.find_last_of('/')), ctx.caller);
   auto removed = fs_.Remove(parent->first, parent->second);
   if (!removed) co_return StatusReply(nfs3::FromFsError(removed.error()));
   co_return StatusReply(Status::kOk);
 }
 
-sim::Task<Bytes> AfsServer::HandleLink(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleLink(rpc::CallContext ctx, rpc::Body args) {
   xdr::Decoder dec(args);
   auto target = dec.GetString();
   auto newpath = target ? dec.GetString()
-                        : Expected<std::string, xdr::DecodeError>(
+                        : Expected<xdr::StrView, xdr::DecodeError>(
                               Unexpected(xdr::DecodeError::kTruncated));
   if (!target || !newpath) co_return StatusReply(Status::kInval);
-  auto target_ino = fs_.ResolvePath(*target);
+  const std::string np = newpath->Copy();
+  auto target_ino = fs_.ResolvePath(target->Copy());
   if (!target_ino) co_return StatusReply(nfs3::FromFsError(target_ino.error()));
-  auto parent = Parent(*newpath);
+  auto parent = Parent(np);
   if (!parent) co_return StatusReply(parent.error());
-  co_await BreakPromises(*newpath, ctx.caller);
-  co_await BreakPromises(newpath->substr(0, newpath->find_last_of('/')), ctx.caller);
+  co_await BreakPromises(np, ctx.caller);
+  co_await BreakPromises(np.substr(0, np.find_last_of('/')), ctx.caller);
   auto linked = fs_.Link(*target_ino, parent->first, parent->second);
   if (!linked) co_return StatusReply(nfs3::FromFsError(linked.error()));
   co_return StatusReply(Status::kOk);
 }
 
-sim::Task<Bytes> AfsServer::HandleMkdir(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleMkdir(rpc::CallContext ctx, rpc::Body args) {
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  auto parent = Parent(*path);
+  const std::string p = path->Copy();
+  auto parent = Parent(p);
   if (!parent) co_return StatusReply(parent.error());
-  co_await BreakPromises(*path, ctx.caller);
+  co_await BreakPromises(p, ctx.caller);
   auto made = fs_.Mkdir(parent->first, parent->second, 0755);
   if (!made) co_return StatusReply(nfs3::FromFsError(made.error()));
   co_return StatusReply(Status::kOk);
 }
 
-sim::Task<Bytes> AfsServer::HandleRmdir(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleRmdir(rpc::CallContext ctx, rpc::Body args) {
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  auto parent = Parent(*path);
+  const std::string p = path->Copy();
+  auto parent = Parent(p);
   if (!parent) co_return StatusReply(parent.error());
-  co_await BreakPromises(*path, ctx.caller);
+  co_await BreakPromises(p, ctx.caller);
   auto removed = fs_.Rmdir(parent->first, parent->second);
   if (!removed) co_return StatusReply(nfs3::FromFsError(removed.error()));
   co_return StatusReply(Status::kOk);
 }
 
-sim::Task<Bytes> AfsServer::HandleListDir(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> AfsServer::HandleListDir(rpc::CallContext ctx, rpc::Body args) {
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (!path) co_return StatusReply(Status::kInval);
-  AddPromise(*path, ctx.caller);
-  auto ino = path->empty() || *path == "/" ? memfs::FsResult<memfs::InodeId>(fs_.root())
-                                           : fs_.ResolvePath(*path);
+  const std::string p = path->Copy();
+  AddPromise(p, ctx.caller);
+  auto ino = p.empty() || p == "/" ? memfs::FsResult<memfs::InodeId>(fs_.root())
+                                   : fs_.ResolvePath(p);
   if (!ino) co_return StatusReply(nfs3::FromFsError(ino.error()));
   auto entries = fs_.ReadDir(*ino, 0, 100000);
   if (!entries) co_return StatusReply(nfs3::FromFsError(entries.error()));
@@ -255,18 +265,19 @@ sim::Task<Bytes> AfsServer::HandleListDir(rpc::CallContext ctx, Bytes args) {
 AfsClient::AfsClient(sim::Scheduler& sched, rpc::RpcNode& node, net::Address server)
     : sched_(sched), node_(node), server_(server) {
   node.RegisterHandler(kAfsProgram, kCallbackBreak,
-                       [this](rpc::CallContext ctx, Bytes args) {
+                       [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleCallbackBreak(ctx, std::move(args));
                        });
 }
 
-sim::Task<Bytes> AfsClient::HandleCallbackBreak(rpc::CallContext, Bytes args) {
+sim::Task<Bytes> AfsClient::HandleCallbackBreak(rpc::CallContext, rpc::Body args) {
   ++breaks_received_;
   xdr::Decoder dec(args);
   auto path = dec.GetString();
   if (path) {
-    status_cache_.erase(*path);
-    auto file = file_cache_.find(*path);
+    const std::string p = path->Copy();
+    status_cache_.erase(p);
+    auto file = file_cache_.find(p);
     if (file != file_cache_.end()) file->second.valid = false;
   }
   co_return Bytes{};
@@ -339,7 +350,7 @@ sim::Task<VfsResult<Fd>> AfsClient::Open(std::string path, OpenFlags flags) {
       auto attr = nfs3::Fattr::Decode(dec);
       auto data = dec.GetOpaque();
       if (!attr || !data) co_return Unexpected(Status::kIo);
-      file_cache_[path] = CachedFile{std::move(*data), true};
+      file_cache_[path] = CachedFile{data->Copy(), true};
     }
   }
 
@@ -472,7 +483,7 @@ sim::Task<VfsResult<std::vector<std::string>>> AfsClient::ReadDir(
   for (std::uint32_t i = 0; i < *count; ++i) {
     auto name = dec.GetString();
     if (!name) co_return Unexpected(Status::kIo);
-    names.push_back(std::move(*name));
+    names.push_back(name->Copy());
   }
   co_return names;
 }

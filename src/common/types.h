@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ constexpr double ToSeconds(Duration d) {
 
 /// Raw message payload bytes.
 using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only window over message bytes. Decoders hand these out
+/// instead of copies; the owner of the underlying buffer must outlive them.
+using ByteView = std::span<const std::uint8_t>;
 
 /// Identifies a simulated host (machine) in the network topology.
 using HostId = std::uint32_t;

@@ -29,9 +29,9 @@ ProxyClient::ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node,
       poll_period_(config_.poll_period) {
   auto bind = [this, &node](nfs3::Proc proc,
                             sim::Task<Bytes> (ProxyClient::*method)(
-                                rpc::CallContext, Bytes)) {
+                                rpc::CallContext, rpc::Body)) {
     node.RegisterHandler(nfs3::kProgram, proc,
-                         [this, method](rpc::CallContext ctx, Bytes args) {
+                         [this, method](rpc::CallContext ctx, rpc::Body args) {
                            return (this->*method)(ctx, std::move(args));
                          });
   };
@@ -49,21 +49,21 @@ ProxyClient::ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node,
   bind(nfs3::kLink, &ProxyClient::HandleLink);
   bind(nfs3::kSetAttr, &ProxyClient::HandleSetAttr);
   node.RegisterHandler(nfs3::kProgram, nfs3::kReadDir,
-                       [this](rpc::CallContext ctx, Bytes args) {
+                       [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandlePassthrough(nfs3::kReadDir, ctx,
                                                   std::move(args));
                        });
   node.RegisterHandler(nfs3::kProgram, nfs3::kFsStat,
-                       [this](rpc::CallContext ctx, Bytes args) {
+                       [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandlePassthrough(nfs3::kFsStat, ctx,
                                                   std::move(args));
                        });
   node.RegisterHandler(kGvfsProgram, kCallback,
-                       [this](rpc::CallContext ctx, Bytes args) {
+                       [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleCallback(ctx, std::move(args));
                        });
   node.RegisterHandler(kGvfsProgram, kRecovery,
-                       [this](rpc::CallContext ctx, Bytes args) {
+                       [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleRecovery(ctx, std::move(args));
                        });
 }
@@ -194,7 +194,7 @@ sim::Task<std::optional<Bytes>> ProxyClient::Upstream(std::uint32_t proc, Bytes 
   auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc,
                                    std::move(args), std::move(opts));
   if (!reply) co_return std::nullopt;
-  Bytes body = std::move(*reply);
+  Bytes body = reply->ToBytes();
   if (config_.model == ConsistencyModel::kDelegationCallback) {
     GrantSuffix suffix = GrantSuffix::ExtractFrom(body);
     if (granted_fh.has_value()) StoreGrant(*granted_fh, suffix.delegation);
@@ -217,7 +217,7 @@ Bytes Fault() {
 // Kernel-facing handlers
 // ---------------------------------------------------------------------------
 
-sim::Task<Bytes> ProxyClient::HandleGetAttr(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleGetAttr(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::GetAttrArgs>(args);
   if (!parsed) co_return Fault<nfs3::GetAttrRes>();
   const Fh fh = parsed->object;
@@ -239,7 +239,7 @@ sim::Task<Bytes> ProxyClient::HandleGetAttr(rpc::CallContext ctx, Bytes args) {
   // kernel (noac kernels size their appends from it): drain the pipeline.
   co_await DrainAsyncWrites(fh);
 
-  auto body = co_await Upstream(nfs3::kGetAttr, std::move(args), fh, "GETATTR",
+  auto body = co_await Upstream(nfs3::kGetAttr, args.ToBytes(), fh, "GETATTR",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::GetAttrRes>();
   auto res = nfs3::Parse<nfs3::GetAttrRes>(*body);
@@ -295,7 +295,7 @@ sim::Task<bool> ProxyClient::RefreshDirListing(Fh dir, trace::SpanRef parent) {
   co_return true;
 }
 
-sim::Task<Bytes> ProxyClient::HandleLookup(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleLookup(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::LookupArgs>(args);
   if (!parsed) co_return Fault<nfs3::LookupRes>();
   const Fh dir = parsed->dir;
@@ -349,7 +349,7 @@ sim::Task<Bytes> ProxyClient::HandleLookup(rpc::CallContext ctx, Bytes args) {
     }
   }
 
-  auto body = co_await Upstream(nfs3::kLookup, std::move(args), dir, "LOOKUP",
+  auto body = co_await Upstream(nfs3::kLookup, args.ToBytes(), dir, "LOOKUP",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::LookupRes>();
   auto res = nfs3::Parse<nfs3::LookupRes>(*body);
@@ -365,7 +365,7 @@ sim::Task<Bytes> ProxyClient::HandleLookup(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleAccess(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleAccess(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::AccessArgs>(args);
   if (!parsed) co_return Fault<nfs3::AccessRes>();
   const Fh fh = parsed->object;
@@ -380,7 +380,7 @@ sim::Task<Bytes> ProxyClient::HandleAccess(rpc::CallContext ctx, Bytes args) {
     co_await sim::Sleep(sched_, config_.disk_access_time);
     co_return Serialize(res);
   }
-  auto body = co_await Upstream(nfs3::kAccess, std::move(args), fh, "ACCESS",
+  auto body = co_await Upstream(nfs3::kAccess, args.ToBytes(), fh, "ACCESS",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::AccessRes>();
   auto res = nfs3::Parse<nfs3::AccessRes>(*body);
@@ -388,7 +388,7 @@ sim::Task<Bytes> ProxyClient::HandleAccess(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRead(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRead(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::ReadArgs>(args);
   if (!parsed) co_return Fault<nfs3::ReadRes>();
   const Fh fh = parsed->file;
@@ -437,7 +437,7 @@ sim::Task<Bytes> ProxyClient::HandleRead(rpc::CallContext ctx, Bytes args) {
   // any in-flight WRITEs to this file before asking the server for bytes.
   co_await DrainAsyncWrites(fh);
 
-  auto body = co_await Upstream(nfs3::kRead, std::move(args), fh, "READ",
+  auto body = co_await Upstream(nfs3::kRead, args.ToBytes(), fh, "READ",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::ReadRes>();
   auto res = nfs3::Parse<nfs3::ReadRes>(*body);
@@ -515,7 +515,7 @@ sim::Task<void> ProxyClient::Prefetch(Fh fh, std::uint64_t index) {
   prefetch_done_.NotifyAll();
 }
 
-sim::Task<Bytes> ProxyClient::HandleWrite(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleWrite(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::WriteArgs>(args);
   if (!parsed) co_return Fault<nfs3::WriteRes>();
   const Fh fh = parsed->file;
@@ -600,7 +600,7 @@ sim::Task<Bytes> ProxyClient::HandleWrite(rpc::CallContext ctx, Bytes args) {
     co_return Serialize(res);
   }
 
-  auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE",
+  auto body = co_await Upstream(nfs3::kWrite, args.ToBytes(), fh, "WRITE",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::WriteRes>();
   auto res = nfs3::Parse<nfs3::WriteRes>(*body);
@@ -621,11 +621,11 @@ ProxyClient::AsyncWrites& ProxyClient::AsyncWritesFor(const Fh& fh) {
   return async_writes_.try_emplace(fh, sched_).first->second;
 }
 
-sim::Task<void> ProxyClient::ForwardWriteAsync(Fh fh, Bytes args,
+sim::Task<void> ProxyClient::ForwardWriteAsync(Fh fh, rpc::Body args,
                                                std::uint64_t start,
                                                std::uint64_t end) {
   const std::uint64_t epoch = epoch_;
-  auto body = co_await Upstream(nfs3::kWrite, std::move(args), fh, "WRITE");
+  auto body = co_await Upstream(nfs3::kWrite, args.ToBytes(), fh, "WRITE");
   AsyncWrites& aw = AsyncWritesFor(fh);
   for (auto it = aw.ranges.begin(); it != aw.ranges.end(); ++it) {
     if (it->first == start && it->second == end) {
@@ -656,7 +656,7 @@ sim::Task<void> ProxyClient::DrainAsyncWrites(Fh fh) {
   }
 }
 
-sim::Task<Bytes> ProxyClient::HandleCommit(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleCommit(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::CommitArgs>(args);
   if (!parsed) co_return Fault<nfs3::CommitRes>();
   const Fh fh = parsed->file;
@@ -686,17 +686,17 @@ sim::Task<Bytes> ProxyClient::HandleCommit(rpc::CallContext ctx, Bytes args) {
     co_return Serialize(res);
   }
 
-  auto body = co_await Upstream(nfs3::kCommit, std::move(args), fh, "COMMIT",
+  auto body = co_await Upstream(nfs3::kCommit, args.ToBytes(), fh, "COMMIT",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::CommitRes>();
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleCreate(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleCreate(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::CreateArgs>(args);
   if (!parsed) co_return Fault<nfs3::CreateRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kCreate, std::move(args), dir, "CREATE",
+  auto body = co_await Upstream(nfs3::kCreate, args.ToBytes(), dir, "CREATE",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::CreateRes>();
   auto res = nfs3::Parse<nfs3::CreateRes>(*body);
@@ -710,11 +710,11 @@ sim::Task<Bytes> ProxyClient::HandleCreate(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleMkdir(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleMkdir(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::MkdirArgs>(args);
   if (!parsed) co_return Fault<nfs3::MkdirRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kMkdir, std::move(args), dir, "MKDIR",
+  auto body = co_await Upstream(nfs3::kMkdir, args.ToBytes(), dir, "MKDIR",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::MkdirRes>();
   auto res = nfs3::Parse<nfs3::MkdirRes>(*body);
@@ -728,11 +728,11 @@ sim::Task<Bytes> ProxyClient::HandleMkdir(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRemove(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRemove(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::RemoveArgs>(args);
   if (!parsed) co_return Fault<nfs3::RemoveRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kRemove, std::move(args), dir, "REMOVE",
+  auto body = co_await Upstream(nfs3::kRemove, args.ToBytes(), dir, "REMOVE",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::RemoveRes>();
   auto res = nfs3::Parse<nfs3::RemoveRes>(*body);
@@ -747,11 +747,11 @@ sim::Task<Bytes> ProxyClient::HandleRemove(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRmdir(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRmdir(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::RmdirArgs>(args);
   if (!parsed) co_return Fault<nfs3::RmdirRes>();
   const Fh dir = parsed->dir;
-  auto body = co_await Upstream(nfs3::kRmdir, std::move(args), dir, "RMDIR",
+  auto body = co_await Upstream(nfs3::kRmdir, args.ToBytes(), dir, "RMDIR",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::RmdirRes>();
   auto res = nfs3::Parse<nfs3::RmdirRes>(*body);
@@ -762,10 +762,10 @@ sim::Task<Bytes> ProxyClient::HandleRmdir(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRename(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleRename(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::RenameArgs>(args);
   if (!parsed) co_return Fault<nfs3::RenameRes>();
-  auto body = co_await Upstream(nfs3::kRename, std::move(args), parsed->from_dir,
+  auto body = co_await Upstream(nfs3::kRename, args.ToBytes(), parsed->from_dir,
                                 "RENAME", ctx.span);
   if (!body) co_return Fault<nfs3::RenameRes>();
   auto res = nfs3::Parse<nfs3::RenameRes>(*body);
@@ -781,10 +781,10 @@ sim::Task<Bytes> ProxyClient::HandleRename(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleLink(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleLink(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::LinkArgs>(args);
   if (!parsed) co_return Fault<nfs3::LinkRes>();
-  auto body = co_await Upstream(nfs3::kLink, std::move(args), parsed->dir,
+  auto body = co_await Upstream(nfs3::kLink, args.ToBytes(), parsed->dir,
                                 "LINK", ctx.span);
   if (!body) co_return Fault<nfs3::LinkRes>();
   auto res = nfs3::Parse<nfs3::LinkRes>(*body);
@@ -798,11 +798,11 @@ sim::Task<Bytes> ProxyClient::HandleLink(rpc::CallContext ctx, Bytes args) {
   co_return std::move(*body);
 }
 
-sim::Task<Bytes> ProxyClient::HandleSetAttr(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleSetAttr(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::SetAttrArgs>(args);
   if (!parsed) co_return Fault<nfs3::SetAttrRes>();
   const Fh fh = parsed->object;
-  auto body = co_await Upstream(nfs3::kSetAttr, std::move(args), fh, "SETATTR",
+  auto body = co_await Upstream(nfs3::kSetAttr, args.ToBytes(), fh, "SETATTR",
                                 ctx.span);
   if (!body) co_return Fault<nfs3::SetAttrRes>();
   auto res = nfs3::Parse<nfs3::SetAttrRes>(*body);
@@ -815,8 +815,8 @@ sim::Task<Bytes> ProxyClient::HandleSetAttr(rpc::CallContext ctx, Bytes args) {
 
 sim::Task<Bytes> ProxyClient::HandlePassthrough(std::uint32_t proc,
                                                 rpc::CallContext ctx,
-                                                Bytes args) {
-  auto body = co_await Upstream(proc, std::move(args), std::nullopt,
+                                                rpc::Body args) {
+  auto body = co_await Upstream(proc, args.ToBytes(), std::nullopt,
                                 nfs3::ProcName(proc), ctx.span);
   if (!body) co_return Fault<nfs3::GetAttrRes>();
   co_return std::move(*body);
@@ -826,7 +826,7 @@ sim::Task<Bytes> ProxyClient::HandlePassthrough(std::uint32_t proc,
 // Callbacks (server -> client)
 // ---------------------------------------------------------------------------
 
-sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, rpc::Body args) {
   ++stats_.callbacks_received;
   auto parsed = nfs3::Parse<CallbackArgs>(args);
   if (!parsed) co_return Serialize(CallbackRes{});
@@ -889,7 +889,7 @@ sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> ProxyClient::HandleRecovery(rpc::CallContext ctx, Bytes) {
+sim::Task<Bytes> ProxyClient::HandleRecovery(rpc::CallContext ctx, rpc::Body) {
   ++stats_.callbacks_received;
   // Whole-cache callback after a server restart: every cached attribute
   // must be revalidated; write-delegation state is reported back so the

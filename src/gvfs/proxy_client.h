@@ -106,25 +106,25 @@ class ProxyClient {
   // All take the RPC CallContext so the kernel call's span becomes the
   // parent of every upstream RPC the handler issues (one causal tree from
   // kernel client through proxy to server).
-  sim::Task<Bytes> HandleGetAttr(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleLookup(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleAccess(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleRead(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleWrite(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleCommit(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleCreate(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleMkdir(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleRemove(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleRmdir(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleRename(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleLink(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleSetAttr(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleGetAttr(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleLookup(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleAccess(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleRead(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleWrite(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleCommit(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleCreate(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleMkdir(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleRemove(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleRmdir(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleRename(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleLink(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleSetAttr(rpc::CallContext ctx, rpc::Body args);
   sim::Task<Bytes> HandlePassthrough(std::uint32_t proc, rpc::CallContext ctx,
-                                     Bytes args);
+                                     rpc::Body args);
 
   // -- server-facing callback handlers --
-  sim::Task<Bytes> HandleCallback(rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleRecovery(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleCallback(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleRecovery(rpc::CallContext ctx, rpc::Body args);
 
   /// Forwards a raw request upstream; strips and applies any delegation
   /// grant suffix for `granted_fh`. Returns the reply body (suffix removed),
@@ -180,7 +180,7 @@ class ProxyClient {
 
   AsyncWrites& AsyncWritesFor(const nfs3::Fh& fh);
   /// Forwards one unstable WRITE upstream inside the window.
-  sim::Task<void> ForwardWriteAsync(nfs3::Fh fh, Bytes args, std::uint64_t start,
+  sim::Task<void> ForwardWriteAsync(nfs3::Fh fh, rpc::Body args, std::uint64_t start,
                                     std::uint64_t end);
   /// Joins every in-flight async WRITE of `fh` (no-op when none).
   sim::Task<void> DrainAsyncWrites(nfs3::Fh fh);

@@ -26,12 +26,12 @@ ProxyServer::ProxyServer(sim::Scheduler& sched, rpc::RpcNode& node,
   };
   for (std::uint32_t proc : kProcs) {
     node.RegisterHandler(nfs3::kProgram, proc,
-                         [this, proc](rpc::CallContext ctx, Bytes args) {
+                         [this, proc](rpc::CallContext ctx, rpc::Body args) {
                            return HandleNfs(proc, ctx, std::move(args));
                          });
   }
   node.RegisterHandler(kGvfsProgram, kGetInv,
-                       [this](rpc::CallContext ctx, Bytes args) {
+                       [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleGetInv(ctx, std::move(args));
                        });
 }
@@ -40,7 +40,7 @@ ProxyServer::ProxyServer(sim::Scheduler& sched, rpc::RpcNode& node,
 // Request classification
 // ---------------------------------------------------------------------------
 
-ProxyServer::OpInfo ProxyServer::Classify(std::uint32_t proc, const Bytes& args) {
+ProxyServer::OpInfo ProxyServer::Classify(std::uint32_t proc, ByteView args) {
   OpInfo info;
   info.known = true;
   switch (proc) {
@@ -146,7 +146,7 @@ ProxyServer::OpInfo ProxyServer::Classify(std::uint32_t proc, const Bytes& args)
 // ---------------------------------------------------------------------------
 
 sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx,
-                                        Bytes args) {
+                                        rpc::Body args) {
   // The staleness probe stamps new versions with the request's receipt time:
   // it precedes the upstream mtime, so a client that already read the new
   // data never appears stale against its own refresh.
@@ -198,7 +198,7 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
   ++stats_.forwarded;
   rpc::CallOptions fwd_opts;
   fwd_opts.parent = ctx.span;
-  auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc, args,
+  auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc, args.ToBytes(),
                                    std::move(fwd_opts));
   if (!reply) {
     // Upstream unreachable: surface as a server fault in NFS terms.
@@ -206,7 +206,7 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
     fault.status = nfs3::Status::kServerFault;
     co_return Serialize(fault);
   }
-  Bytes body = std::move(*reply);
+  Bytes body = reply->ToBytes();
 
   // A successful WRITE from the write-back owner retires pending blocks.
   if (proc == nfs3::kWrite && info.offset.has_value() && !info.writes.empty()) {
@@ -287,7 +287,7 @@ void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
   }
 }
 
-sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, Bytes args) {
+sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, rpc::Body args) {
   ++stats_.getinv_served;
   RegisterClient(ctx.caller);
   const auto& tr = node_.tracer();

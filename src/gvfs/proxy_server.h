@@ -131,10 +131,10 @@ class ProxyServer {
     std::vector<std::pair<nfs3::Fh, std::string>> victims;
   };
 
-  sim::Task<Bytes> HandleNfs(std::uint32_t proc, rpc::CallContext ctx, Bytes args);
-  sim::Task<Bytes> HandleGetInv(rpc::CallContext ctx, Bytes args);
+  sim::Task<Bytes> HandleNfs(std::uint32_t proc, rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleGetInv(rpc::CallContext ctx, rpc::Body args);
 
-  static OpInfo Classify(std::uint32_t proc, const Bytes& args);
+  static OpInfo Classify(std::uint32_t proc, ByteView args);
 
   /// Registers the caller in the session (persistent list).
   void RegisterClient(net::Address client);

@@ -1,6 +1,6 @@
 #include "net/network.h"
 
-#include <memory>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -12,20 +12,22 @@ void Network::Send(Packet packet) {
 
   if (from == to) {
     // Loopback: fixed small latency, no bandwidth cost. Models the
-    // user-level proxy interception hop.
-    auto shared = std::make_shared<Packet>(std::move(packet));
-    sched_.After(loopback_latency_, [this, shared] { Deliver(std::move(*shared)); });
+    // user-level proxy interception hop. The packet move-captures into the
+    // event, which keeps it inline in the scheduler slot (no allocation).
+    sched_.After(loopback_latency_, [this, p = std::move(packet)]() mutable {
+      Deliver(std::move(p));
+    });
     return;
   }
 
-  auto it = links_.find(DirKey(from, to));
-  if (it == links_.end()) {
+  Link* found = links_.Find(DirKey(from, to));
+  if (found == nullptr) {
     ++no_link_stats_[DirKey(from, to)].dropped;
     tracer_.NetDrop(from, to, packet.wire_size);
     GVFS_WARN("drop: no link %s -> %s", HostName(from).c_str(), HostName(to).c_str());
     return;
   }
-  Link& link = it->second;
+  Link& link = *found;
   if (!link.up) {
     ++link.stats.dropped;
     tracer_.NetDrop(from, to, packet.wire_size);
@@ -46,8 +48,9 @@ void Network::Send(Packet packet) {
   link.busy_until = start + tx_time;
   const SimTime arrival = link.busy_until + link.config.one_way_latency;
 
-  auto shared = std::make_shared<Packet>(std::move(packet));
-  sched_.At(arrival, [this, shared] { Deliver(std::move(*shared)); });
+  sched_.At(arrival, [this, p = std::move(packet)]() mutable {
+    Deliver(std::move(p));
+  });
 }
 
 void Network::Deliver(Packet packet) {

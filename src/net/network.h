@@ -11,6 +11,7 @@
 // measures in LAN.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
@@ -79,17 +81,19 @@ class Network {
 
   /// Partition injection: take both directions of the a<->b link up or down.
   void SetLinkUp(HostId a, HostId b, bool up) {
-    links_.at(DirKey(a, b)).up = up;
-    links_.at(DirKey(b, a)).up = up;
+    LinkAt(a, b).up = up;
+    LinkAt(b, a).up = up;
   }
 
   /// Asymmetric-failure injection: one direction only (e.g. drop replies but
   /// deliver requests, to exercise duplicate-request handling).
   void SetOneWayUp(HostId from, HostId to, bool up) {
-    links_.at(DirKey(from, to)).up = up;
+    LinkAt(from, to).up = up;
   }
 
-  bool LinkUp(HostId a, HostId b) const { return links_.at(DirKey(a, b)).up; }
+  bool LinkUp(HostId a, HostId b) const {
+    return const_cast<Network*>(this)->LinkAt(a, b).up;
+  }
 
   /// Per-call latency of a same-host (kernel client -> local proxy) hop.
   void SetLoopbackLatency(Duration d) { loopback_latency_ = d; }
@@ -100,8 +104,7 @@ class Network {
   void Send(Packet packet);
 
   LinkStats StatsFor(HostId from, HostId to) const {
-    auto it = links_.find(DirKey(from, to));
-    if (it != links_.end()) return it->second.stats;
+    if (const Link* link = links_.Find(DirKey(from, to))) return link->stats;
     // Sends over a never-connected pair still account their drops (packets
     // and bytes stay zero: nothing was ever carried).
     auto nit = no_link_stats_.find(DirKey(from, to));
@@ -128,11 +131,18 @@ class Network {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  Link& LinkAt(HostId from, HostId to) {
+    Link* link = links_.Find(DirKey(from, to));
+    assert(link != nullptr && "no such link");
+    return *link;
+  }
+
   void Deliver(Packet packet);
 
   sim::Scheduler& sched_;
   std::vector<HostState> hosts_;
-  std::map<std::uint64_t, Link> links_;
+  /// Per-packet lookup: open-addressed, keyed by the packed host pair.
+  FlatMap<std::uint64_t, Link> links_;
   /// Drop counters for (from, to) pairs with no link configured.
   std::map<std::uint64_t, LinkStats> no_link_stats_;
   trace::Tracer tracer_;

@@ -347,9 +347,10 @@ Bytes Serialize(const T& msg) {
   return enc.Take();
 }
 
-/// Parses a message; returns nullopt on any decode error.
+/// Parses a message; returns nullopt on any decode error. Accepts any view
+/// of the body bytes (Bytes, rpc::Body, xdr::View) without copying.
 template <typename T>
-std::optional<T> Parse(const Bytes& body) {
+std::optional<T> Parse(ByteView body) {
   xdr::Decoder dec(body);
   auto result = T::Decode(dec);
   if (!result) return std::nullopt;

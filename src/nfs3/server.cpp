@@ -24,12 +24,14 @@ Nfs3Server::Nfs3Server(sim::Scheduler& sched, memfs::MemFs& fs, rpc::RpcNode& no
                        ServerConfig config)
     : sched_(sched), fs_(fs), config_(config) {
   // The lambdas are not coroutines themselves; they forward to member
-  // coroutines whose frames hold `this` plus moved-in args.
+  // coroutines whose frames hold `this` plus moved-in args. The stats handle
+  // is resolved once here, not per request.
   auto bind = [this, &node](Proc proc,
-                            sim::Task<Bytes> (Nfs3Server::*method)(Bytes)) {
+                            sim::Task<Bytes> (Nfs3Server::*method)(rpc::Body)) {
+    const rpc::StatsMap::Handle stat = served_.Intern(ProcName(proc));
     node.RegisterHandler(kProgram, proc,
-                         [this, proc, method](rpc::CallContext, Bytes args) {
-                           served_.Count(ProcName(proc), args.size());
+                         [this, stat, method](rpc::CallContext, rpc::Body args) {
+                           served_.Count(stat, args.size());
                            return (this->*method)(std::move(args));
                          });
   };
@@ -49,15 +51,15 @@ Nfs3Server::Nfs3Server(sim::Scheduler& sched, memfs::MemFs& fs, rpc::RpcNode& no
   bind(kFsStat, &Nfs3Server::HandleFsStat);
   bind(kCommit, &Nfs3Server::HandleCommit);
   node.RegisterHandler(kProgram, kNull,
-                       [](rpc::CallContext, Bytes) -> sim::Task<Bytes> {
+                       [](rpc::CallContext, rpc::Body) -> sim::Task<Bytes> {
                          co_return Bytes{};
                        });
 }
 
-sim::Task<void> Nfs3Server::Service(std::uint64_t blocks) {
-  co_await sim::Sleep(sched_,
-                      config_.service_time +
-                          static_cast<Duration>(blocks) * config_.per_block_time);
+sim::Sleep Nfs3Server::Service(std::uint64_t blocks) {
+  return sim::Sleep(sched_,
+                    config_.service_time +
+                        static_cast<Duration>(blocks) * config_.per_block_time);
 }
 
 PostOpAttr Nfs3Server::AttrOf(memfs::InodeId ino) const {
@@ -66,7 +68,7 @@ PostOpAttr Nfs3Server::AttrOf(memfs::InodeId ino) const {
   return ToFattr(*attr);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleGetAttr(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleGetAttr(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<GetAttrArgs>(args);
   if (!parsed) co_return FailWith<GetAttrRes>(Status::kBadHandle);
@@ -80,7 +82,7 @@ sim::Task<Bytes> Nfs3Server::HandleGetAttr(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleSetAttr(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleSetAttr(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<SetAttrArgs>(args);
   if (!parsed) co_return FailWith<SetAttrRes>(Status::kBadHandle);
@@ -98,7 +100,7 @@ sim::Task<Bytes> Nfs3Server::HandleSetAttr(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleLookup(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleLookup(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<LookupArgs>(args);
   if (!parsed) co_return FailWith<LookupRes>(Status::kBadHandle);
@@ -114,7 +116,7 @@ sim::Task<Bytes> Nfs3Server::HandleLookup(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleAccess(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleAccess(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<AccessArgs>(args);
   if (!parsed) co_return FailWith<AccessRes>(Status::kBadHandle);
@@ -128,7 +130,7 @@ sim::Task<Bytes> Nfs3Server::HandleAccess(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleRead(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleRead(rpc::Body args) {
   auto parsed = Parse<ReadArgs>(args);
   if (!parsed) co_return FailWith<ReadRes>(Status::kBadHandle);
   co_await Service((parsed->count + kBlockSize - 1) / kBlockSize);
@@ -145,7 +147,7 @@ sim::Task<Bytes> Nfs3Server::HandleRead(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleWrite(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleWrite(rpc::Body args) {
   auto parsed = Parse<WriteArgs>(args);
   if (!parsed) co_return FailWith<WriteRes>(Status::kBadHandle);
   co_await Service((parsed->data.size() + kBlockSize - 1) / kBlockSize);
@@ -163,7 +165,7 @@ sim::Task<Bytes> Nfs3Server::HandleWrite(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleCreate(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleCreate(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<CreateArgs>(args);
   if (!parsed) co_return FailWith<CreateRes>(Status::kBadHandle);
@@ -189,7 +191,7 @@ sim::Task<Bytes> Nfs3Server::HandleCreate(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleMkdir(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleMkdir(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<MkdirArgs>(args);
   if (!parsed) co_return FailWith<MkdirRes>(Status::kBadHandle);
@@ -205,7 +207,7 @@ sim::Task<Bytes> Nfs3Server::HandleMkdir(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleRemove(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleRemove(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<RemoveArgs>(args);
   if (!parsed) co_return FailWith<RemoveRes>(Status::kBadHandle);
@@ -216,7 +218,7 @@ sim::Task<Bytes> Nfs3Server::HandleRemove(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleRmdir(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleRmdir(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<RmdirArgs>(args);
   if (!parsed) co_return FailWith<RmdirRes>(Status::kBadHandle);
@@ -227,7 +229,7 @@ sim::Task<Bytes> Nfs3Server::HandleRmdir(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleRename(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleRename(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<RenameArgs>(args);
   if (!parsed) co_return FailWith<RenameRes>(Status::kBadHandle);
@@ -240,7 +242,7 @@ sim::Task<Bytes> Nfs3Server::HandleRename(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleLink(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleLink(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<LinkArgs>(args);
   if (!parsed) co_return FailWith<LinkRes>(Status::kBadHandle);
@@ -252,7 +254,7 @@ sim::Task<Bytes> Nfs3Server::HandleLink(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleReadDir(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleReadDir(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<ReadDirArgs>(args);
   if (!parsed) co_return FailWith<ReadDirRes>(Status::kBadHandle);
@@ -270,7 +272,7 @@ sim::Task<Bytes> Nfs3Server::HandleReadDir(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleFsStat(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleFsStat(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<FsStatArgs>(args);
   if (!parsed) co_return FailWith<FsStatRes>(Status::kBadHandle);
@@ -281,7 +283,7 @@ sim::Task<Bytes> Nfs3Server::HandleFsStat(Bytes args) {
   co_return Serialize(res);
 }
 
-sim::Task<Bytes> Nfs3Server::HandleCommit(Bytes args) {
+sim::Task<Bytes> Nfs3Server::HandleCommit(rpc::Body args) {
   co_await Service();
   auto parsed = Parse<CommitArgs>(args);
   if (!parsed) co_return FailWith<CommitRes>(Status::kBadHandle);

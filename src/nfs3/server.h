@@ -10,6 +10,7 @@
 #include "nfs3/proto.h"
 #include "rpc/rpc.h"
 #include "sim/scheduler.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 
 namespace gvfs::nfs3 {
@@ -42,24 +43,26 @@ class Nfs3Server {
   const rpc::StatsMap& served() const { return served_; }
 
  private:
-  sim::Task<Bytes> HandleGetAttr(Bytes args);
-  sim::Task<Bytes> HandleSetAttr(Bytes args);
-  sim::Task<Bytes> HandleLookup(Bytes args);
-  sim::Task<Bytes> HandleAccess(Bytes args);
-  sim::Task<Bytes> HandleRead(Bytes args);
-  sim::Task<Bytes> HandleWrite(Bytes args);
-  sim::Task<Bytes> HandleCreate(Bytes args);
-  sim::Task<Bytes> HandleMkdir(Bytes args);
-  sim::Task<Bytes> HandleRemove(Bytes args);
-  sim::Task<Bytes> HandleRmdir(Bytes args);
-  sim::Task<Bytes> HandleRename(Bytes args);
-  sim::Task<Bytes> HandleLink(Bytes args);
-  sim::Task<Bytes> HandleReadDir(Bytes args);
-  sim::Task<Bytes> HandleFsStat(Bytes args);
-  sim::Task<Bytes> HandleCommit(Bytes args);
+  sim::Task<Bytes> HandleGetAttr(rpc::Body args);
+  sim::Task<Bytes> HandleSetAttr(rpc::Body args);
+  sim::Task<Bytes> HandleLookup(rpc::Body args);
+  sim::Task<Bytes> HandleAccess(rpc::Body args);
+  sim::Task<Bytes> HandleRead(rpc::Body args);
+  sim::Task<Bytes> HandleWrite(rpc::Body args);
+  sim::Task<Bytes> HandleCreate(rpc::Body args);
+  sim::Task<Bytes> HandleMkdir(rpc::Body args);
+  sim::Task<Bytes> HandleRemove(rpc::Body args);
+  sim::Task<Bytes> HandleRmdir(rpc::Body args);
+  sim::Task<Bytes> HandleRename(rpc::Body args);
+  sim::Task<Bytes> HandleLink(rpc::Body args);
+  sim::Task<Bytes> HandleReadDir(rpc::Body args);
+  sim::Task<Bytes> HandleFsStat(rpc::Body args);
+  sim::Task<Bytes> HandleCommit(rpc::Body args);
 
   /// Charges base service time (plus per-block time for `blocks` blocks).
-  sim::Task<void> Service(std::uint64_t blocks = 0);
+  /// Returns the Sleep awaitable directly — a full coroutine frame per
+  /// request just to forward one sleep would be pure overhead.
+  sim::Sleep Service(std::uint64_t blocks = 0);
 
   PostOpAttr AttrOf(memfs::InodeId ino) const;
 

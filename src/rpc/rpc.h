@@ -6,16 +6,31 @@
 // retransmission (UDP semantics), a bounded duplicate-request cache so
 // retransmitted non-idempotent calls are not re-executed, and per-procedure
 // wire statistics.
+//
+// Hot-path shape (this layer is crossed twice per simulated RPC):
+//   - handler dispatch is a two-level dense table (program scan + proc
+//     index), not a map lookup;
+//   - pending calls and the duplicate-request cache live in open-addressed
+//     FlatMaps;
+//   - received bodies are zero-copy: rpc::Body is a window into the datagram
+//     buffer, which it owns and recycles into the XDR encode arena when
+//     dropped;
+//   - per-procedure stats go through pre-resolved StatsMap handles cached by
+//     (prog, proc).
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/expected.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "rpc/stats.h"
@@ -23,6 +38,7 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "trace/trace.h"
+#include "xdr/xdr.h"
 
 namespace gvfs::rpc {
 
@@ -35,6 +51,63 @@ enum class RpcError {
 };
 
 const char* RpcErrorName(RpcError e);
+
+/// A received RPC message body: a zero-copy window into the datagram that
+/// carried it. Owns the datagram buffer and recycles it into the XDR encode
+/// arena on destruction, closing the buffer lifecycle (Encoder -> packet ->
+/// Body -> arena). Decode through the ByteView conversion; call ToBytes()
+/// for the rare paths that need an owned copy.
+///
+/// NOTE: ctors are user-declared (non-aggregate) on purpose — same GCC 12
+/// by-value coroutine parameter rule as CallOptions below.
+class Body {
+ public:
+  Body() = default;
+  /// Takes ownership of `buffer`; the body is buffer[offset, offset+len).
+  Body(Bytes buffer, std::size_t offset, std::size_t len)
+      : buffer_(std::move(buffer)), offset_(offset), len_(len) {}
+
+  Body(Body&& o) noexcept
+      : buffer_(std::move(o.buffer_)),
+        offset_(std::exchange(o.offset_, 0)),
+        len_(std::exchange(o.len_, 0)) {}
+
+  Body& operator=(Body&& o) noexcept {
+    if (this != &o) {
+      Release();
+      buffer_ = std::move(o.buffer_);
+      offset_ = std::exchange(o.offset_, 0);
+      len_ = std::exchange(o.len_, 0);
+    }
+    return *this;
+  }
+
+  Body(const Body&) = delete;
+  Body& operator=(const Body&) = delete;
+
+  ~Body() { Release(); }
+
+  const std::uint8_t* data() const { return buffer_.data() + offset_; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  ByteView view() const { return ByteView(data(), len_); }
+  operator ByteView() const { return view(); }  // NOLINT: view adaptor
+
+  /// Ownership escape hatch: materializes just the body bytes.
+  Bytes ToBytes() const { return Bytes(data(), data() + len_); }
+
+ private:
+  void Release() {
+    if (buffer_.capacity() != 0) xdr::detail::ArenaRelease(std::move(buffer_));
+    offset_ = 0;
+    len_ = 0;
+  }
+
+  Bytes buffer_;
+  std::size_t offset_ = 0;
+  std::size_t len_ = 0;
+};
 
 /// Per-call knobs. `label` names the procedure in stats output.
 ///
@@ -70,7 +143,8 @@ struct CallContext {
 
 /// Handlers return the XDR-encoded reply body; protocol-level errors (e.g.
 /// NFS3ERR_*) ride inside that body as in real NFS.
-using Handler = std::function<sim::Task<Bytes>(CallContext, Bytes)>;
+// gvfs-lint: allow(hot-path-type): handler erasure happens once at Register time; dispatch stores and calls it without re-wrapping
+using Handler = std::function<sim::Task<Bytes>(CallContext, Body)>;
 
 class RpcNode {
  public:
@@ -86,12 +160,15 @@ class RpcNode {
   void RegisterHandler(std::uint32_t prog, std::uint32_t proc, Handler handler);
 
   /// Issues a call and awaits the matching reply, retransmitting on timeout.
-  sim::Task<Expected<Bytes, RpcError>> Call(net::Address dst, std::uint32_t prog,
-                                            std::uint32_t proc, Bytes args,
-                                            CallOptions opts);
+  sim::Task<Expected<Body, RpcError>> Call(net::Address dst, std::uint32_t prog,
+                                           std::uint32_t proc, Bytes args,
+                                           CallOptions opts);
 
   /// Attaches a per-procedure stats sink (counts outgoing calls). May be null.
-  void SetStatsSink(StatsMap* sink) { stats_ = sink; }
+  void SetStatsSink(StatsMap* sink) {
+    stats_ = sink;
+    stat_handles_.Clear();  // handles belong to the previous sink
+  }
 
   /// Attaches a tracer recording RPC lifecycle events (send, retransmit,
   /// reply, timeout, handler execution, duplicate-cache hits). Components
@@ -117,8 +194,21 @@ class RpcNode {
 
   struct Reply {
     AcceptStat stat;
-    Bytes body;
+    Body body;
   };
+
+  /// Reply slot for one in-flight call. Lives on the Call coroutine's frame
+  /// (which always outlives the wait: the frame erases its pending_ entry
+  /// before dying, and a timeout event is either cancelled on reply delivery
+  /// or has already fired), so no shared-ownership allocation is needed.
+  struct PendingCall {
+    std::optional<Reply> reply;
+    std::coroutine_handle<> waiter;
+    sim::EventId timeout_event;
+    bool timed_out = false;
+  };
+
+  struct ReplyAwaiter;  // defined in rpc.cpp; awaits a PendingCall
 
   // Duplicate-request cache entry. `reply` is empty while in progress.
   struct DrcEntry {
@@ -127,16 +217,48 @@ class RpcNode {
     Bytes reply;
   };
 
-  using DrcKey = std::tuple<HostId, std::uint32_t, std::uint32_t>;  // host, port, xid
+  struct DrcKey {
+    HostId host = kInvalidHost;
+    std::uint32_t port = 0;
+    std::uint32_t xid = 0;
+    friend bool operator==(const DrcKey&, const DrcKey&) = default;
+  };
+
+  // Equality on the full key is exact, so hash quality affects probe length
+  // only — never protocol behavior.
+  struct DrcKeyHash {
+    std::uint64_t operator()(const DrcKey& k) const {
+      return MixHash64((static_cast<std::uint64_t>(k.host) << 32) | k.port) ^
+             MixHash64(k.xid);
+    }
+  };
+
+  /// Handlers for one program: dense by procedure number (procedures are
+  /// small contiguous ints in every protocol we model).
+  struct ProgHandlers {
+    std::uint32_t prog = 0;
+    std::vector<Handler> by_proc;
+  };
+
+  /// Cached stats handle for a (prog, proc): `label` verifies the cache,
+  /// since labels arrive per-call via CallOptions.
+  struct StatHandle {
+    std::string label;
+    StatsMap::Handle handle = 0;
+  };
+
+  Handler* FindHandler(std::uint32_t prog, std::uint32_t proc);
+  StatsMap::Handle StatHandleFor(std::uint32_t prog, std::uint32_t proc,
+                                 const std::string& label);
 
   void SendCall(net::Address dst, std::uint32_t xid, std::uint32_t prog,
-                std::uint32_t proc, const Bytes& args, const std::string& label,
-                std::uint64_t trace_id, std::uint64_t span_id,
-                std::uint64_t parent_span_id);
+                std::uint32_t proc, const Bytes& args, bool tracked,
+                StatsMap::Handle stat_handle, std::uint64_t trace_id,
+                std::uint64_t span_id, std::uint64_t parent_span_id);
   void SendReply(net::Address dst, std::uint32_t xid, AcceptStat stat,
                  const Bytes& body);
-  sim::Task<void> RunHandler(Handler handler, CallContext ctx, Bytes args,
-                             DrcKey key);
+  sim::Task<void> RunHandler(const Handler& handler, CallContext ctx,
+                             Body args, DrcKey key);
   void DrcInsert(const DrcKey& key);
   void DrcTrim();
 
@@ -147,14 +269,15 @@ class RpcNode {
   bool down_ = false;
 
   std::uint32_t next_xid_ = 1;
-  std::map<std::uint64_t, std::shared_ptr<sim::OneShot<Reply>>> pending_;
-  std::map<std::uint64_t, Handler> handlers_;  // (prog << 32) | proc
+  FlatMap<std::uint32_t, PendingCall*> pending_;  // slots live on Call frames
+  std::vector<ProgHandlers> handlers_;  // tiny: one entry per program
 
-  std::map<DrcKey, DrcEntry> drc_;
+  FlatMap<DrcKey, DrcEntry, DrcKeyHash> drc_;
   std::deque<DrcKey> drc_order_;
   static constexpr std::size_t kDrcCapacity = 2048;
 
   StatsMap* stats_ = nullptr;
+  FlatMap<std::uint64_t, StatHandle> stat_handles_;  // key: (prog << 32) | proc
   trace::Tracer tracer_;
 };
 
@@ -177,10 +300,17 @@ class Domain {
   net::Network& network() { return network_; }
 
  private:
+  static std::uint64_t AddressKey(net::Address a) {
+    return (static_cast<std::uint64_t>(a.host) << 32) | a.port;
+  }
+
   sim::Scheduler& sched_;
   net::Network& network_;
-  std::map<net::Address, std::unique_ptr<RpcNode>> nodes_;
-  std::map<HostId, bool> mux_installed_;
+  FlatMap<std::uint64_t, std::unique_ptr<RpcNode>> nodes_;
+  /// Per-host dispatch table: (port, node) pairs, scanned linearly. Hosts
+  /// bind one or two ports, so the scan beats hashing on the per-packet path;
+  /// an empty inner vector doubles as "mux not yet installed".
+  std::vector<std::vector<std::pair<std::uint32_t, RpcNode*>>> ports_by_host_;
   trace::Tracer tracer_;
 };
 

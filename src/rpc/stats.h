@@ -8,12 +8,18 @@
 // flight now / at peak) and per-procedure completion latency (sum + max), so
 // pipelined paths (windowed write-back, read-ahead, callback multicast) are
 // observable in bench output rather than inferred from runtimes.
+//
+// Hot-path shape: labels are interned once into dense Handles (Intern is the
+// only string-keyed lookup, and callers cache its result), and every counter
+// update is an array index. Reset() zeroes counters but keeps the interning
+// table, so cached handles stay valid across measurement windows.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "metrics/histogram.h"
@@ -22,9 +28,27 @@ namespace gvfs::rpc {
 
 class StatsMap {
  public:
+  /// Dense id for an interned procedure label.
+  using Handle = std::uint32_t;
+
+  /// Interns `label`, returning its dense handle (stable for the lifetime of
+  /// the StatsMap, including across Reset()). Cold path: callers on per-call
+  /// paths intern once and reuse the handle.
+  Handle Intern(const std::string& label) {
+    auto [it, inserted] =
+        index_.emplace(label, static_cast<Handle>(entries_.size()));
+    if (inserted) entries_.emplace_back(Entry{label, 0, 0, {}});
+    return it->second;
+  }
+
+  void Count(Handle h, std::size_t wire_bytes) {
+    Entry& e = entries_[h];
+    ++e.calls;
+    e.bytes += wire_bytes;
+  }
+
   void Count(const std::string& label, std::size_t wire_bytes) {
-    ++calls_[label];
-    bytes_[label] += wire_bytes;
+    Count(Intern(label), wire_bytes);
   }
 
   /// A logical call (send through final reply/timeout) entered flight.
@@ -35,34 +59,38 @@ class StatsMap {
 
   /// The matching completion; `latency` spans first send to resolution
   /// (including retransmissions), so it is what the application observed.
-  void EndCall(const std::string& label, Duration latency) {
+  void EndCall(Handle h, Duration latency) {
     if (in_flight_ > 0) --in_flight_;
-    Latency& lat = latency_[label];
+    Latency& lat = entries_[h].latency;
     lat.sum += latency;
     lat.max = std::max(lat.max, latency);
     lat.hist.Record(
         static_cast<std::uint64_t>(latency > 0 ? latency / kMicrosecond : 0));
   }
 
+  void EndCall(const std::string& label, Duration latency) {
+    EndCall(Intern(label), latency);
+  }
+
   std::uint64_t Calls(const std::string& label) const {
-    auto it = calls_.find(label);
-    return it == calls_.end() ? 0 : it->second;
+    const Entry* e = FindEntry(label);
+    return e == nullptr ? 0 : e->calls;
   }
 
   std::uint64_t Bytes(const std::string& label) const {
-    auto it = bytes_.find(label);
-    return it == bytes_.end() ? 0 : it->second;
+    const Entry* e = FindEntry(label);
+    return e == nullptr ? 0 : e->bytes;
   }
 
   std::uint64_t TotalCalls() const {
     std::uint64_t sum = 0;
-    for (const auto& [label, n] : calls_) sum += n;
+    for (const Entry& e : entries_) sum += e.calls;
     return sum;
   }
 
   std::uint64_t TotalBytes() const {
     std::uint64_t sum = 0;
-    for (const auto& [label, n] : bytes_) sum += n;
+    for (const Entry& e : entries_) sum += e.bytes;
     return sum;
   }
 
@@ -70,20 +98,20 @@ class StatsMap {
   std::uint64_t PeakInFlight() const { return peak_in_flight_; }
 
   Duration LatencySum(const std::string& label) const {
-    auto it = latency_.find(label);
-    return it == latency_.end() ? 0 : it->second.sum;
+    const Entry* e = FindEntry(label);
+    return e == nullptr ? 0 : e->latency.sum;
   }
 
   Duration LatencyMax(const std::string& label) const {
-    auto it = latency_.find(label);
-    return it == latency_.end() ? 0 : it->second.max;
+    const Entry* e = FindEntry(label);
+    return e == nullptr ? 0 : e->latency.max;
   }
 
   /// Mean completion latency, or 0 when no call finished under this label.
   Duration LatencyAvg(const std::string& label) const {
-    auto it = latency_.find(label);
-    if (it == latency_.end() || it->second.hist.count() == 0) return 0;
-    return it->second.sum / static_cast<Duration>(it->second.hist.count());
+    const Entry* e = FindEntry(label);
+    if (e == nullptr || e->latency.hist.count() == 0) return 0;
+    return e->latency.sum / static_cast<Duration>(e->latency.hist.count());
   }
 
   /// Latency percentile from the log-bucketed histogram (power-of-two
@@ -93,11 +121,11 @@ class StatsMap {
   /// never under-reported by more than one bucket (a factor of two at
   /// microsecond resolution).
   Duration LatencyPercentile(const std::string& label, double pct) const {
-    auto it = latency_.find(label);
-    if (it == latency_.end() || it->second.hist.count() == 0) return 0;
-    const Latency& lat = it->second;
-    const auto upper_us = lat.hist.PercentileBucketUpperBound(pct);
-    return std::min(lat.max, static_cast<Duration>(upper_us) * kMicrosecond);
+    const Entry* e = FindEntry(label);
+    if (e == nullptr || e->latency.hist.count() == 0) return 0;
+    const auto upper_us = e->latency.hist.PercentileBucketUpperBound(pct);
+    return std::min(e->latency.max,
+                    static_cast<Duration>(upper_us) * kMicrosecond);
   }
 
   Duration LatencyP50(const std::string& label) const {
@@ -110,12 +138,26 @@ class StatsMap {
     return LatencyPercentile(label, 99);
   }
 
-  const std::map<std::string, std::uint64_t>& calls() const { return calls_; }
+  /// Labels that counted at least one call, in sorted order — the stable
+  /// iteration order every report uses.
+  std::vector<std::string> Labels() const {
+    std::vector<std::string> out;
+    out.reserve(index_.size());
+    for (const auto& [label, h] : index_) {
+      if (entries_[h].calls > 0) out.push_back(label);
+    }
+    return out;
+  }
 
+  /// Zeroes every counter and gauge. Interned labels (and therefore handles
+  /// cached by RPC nodes) survive, so measurement windows can be re-armed
+  /// mid-run.
   void Reset() {
-    calls_.clear();
-    bytes_.clear();
-    latency_.clear();
+    for (Entry& e : entries_) {
+      e.calls = 0;
+      e.bytes = 0;
+      e.latency = Latency{};
+    }
     in_flight_ = 0;
     peak_in_flight_ = 0;
   }
@@ -130,9 +172,21 @@ class StatsMap {
     Duration max = 0;
   };
 
-  std::map<std::string, std::uint64_t> calls_;
-  std::map<std::string, std::uint64_t> bytes_;
-  std::map<std::string, Latency> latency_;
+  struct Entry {
+    std::string label;
+    std::uint64_t calls = 0;
+    std::uint64_t bytes = 0;
+    Latency latency;
+  };
+
+  const Entry* FindEntry(const std::string& label) const {
+    auto it = index_.find(label);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
+
+  // gvfs-lint: allow(hot-path-type): ordered iteration feeds reports; per-call paths use the Handle fast path, not this index
+  std::map<std::string, Handle> index_;
+  std::vector<Entry> entries_;
   std::uint64_t in_flight_ = 0;
   std::uint64_t peak_in_flight_ = 0;
 };

@@ -42,8 +42,12 @@ class Sleep {
 template <typename T>
 class OneShot {
  public:
+  /// Empty handle: assignable placeholder (e.g. a map slot). Using an empty
+  /// OneShot is undefined; assign a real one first.
+  OneShot() = default;
+
   explicit OneShot(Scheduler& sched)
-      : state_(std::make_shared<State>(State{&sched, {}, {}, 0, false})) {}
+      : state_(std::make_shared<State>(State{&sched, {}, {}, 0, false, {}})) {}
 
   /// Delivers the value. Resumes the waiter (via the scheduler) if present.
   void Set(T value) {
@@ -52,7 +56,10 @@ class OneShot {
     s.value = std::move(value);
     if (s.waiter) {
       auto h = std::exchange(s.waiter, {});
-      ++s.generation;  // invalidate any pending timeout
+      ++s.generation;  // invalidate a timeout already past cancellation
+      // Pull the pending timeout out of the queue entirely: its closure (and
+      // the shared State it pins) is destroyed now rather than at deadline.
+      s.sched->Cancel(std::exchange(s.timeout_event, {}));
       s.sched->At(s.sched->Now(), [h] { h.resume(); });
     }
   }
@@ -76,8 +83,9 @@ class OneShot {
         if (deadline >= 0) {
           const std::uint64_t gen = ++s->generation;
           std::shared_ptr<State> sp = s;
-          s->sched->At(deadline, [sp, gen] {
+          s->timeout_event = s->sched->At(deadline, [sp, gen] {
             if (sp->generation != gen || !sp->waiter) return;
+            sp->timeout_event = {};
             sp->timed_out = true;
             auto waiter = std::exchange(sp->waiter, {});
             waiter.resume();
@@ -103,6 +111,7 @@ class OneShot {
     std::coroutine_handle<> waiter;
     std::uint64_t generation;
     bool timed_out;
+    EventId timeout_event;
   };
 
   std::shared_ptr<State> state_;

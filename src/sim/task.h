@@ -9,9 +9,12 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace gvfs::sim {
 
@@ -20,10 +23,57 @@ class Task;
 
 namespace detail {
 
+/// Size-bucketed freelist for coroutine frames. Every simulated RPC spawns
+/// and destroys a handful of frames, and the working-set of frame sizes is a
+/// few dozen distinct values, so recycling them removes one malloc/free pair
+/// per frame from the hot path. Single-threaded by design, like the rest of
+/// the simulator. Frames above the pooled range fall through to operator new.
+struct FrameArena {
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kMaxPooled = 2048;
+  static constexpr std::size_t kBuckets = kMaxPooled / kGranule;
+
+  static std::vector<void*>* Pools() {
+    static std::vector<void*> pools[kBuckets];
+    return pools;
+  }
+
+  static void* Alloc(std::size_t n) {
+    const std::size_t bucket = (n + kGranule - 1) / kGranule;
+    if (bucket == 0 || bucket > kBuckets) return ::operator new(n);
+    std::vector<void*>& pool = Pools()[bucket - 1];
+    if (!pool.empty()) {
+      void* p = pool.back();
+      pool.pop_back();
+      return p;
+    }
+    return ::operator new(bucket * kGranule);
+  }
+
+  static void Free(void* p, std::size_t n) {
+    const std::size_t bucket = (n + kGranule - 1) / kGranule;
+    if (bucket == 0 || bucket > kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    Pools()[bucket - 1].push_back(p);
+  }
+};
+
 template <typename T>
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+  /// Set by Spawn: the frame owns itself and self-destroys at completion
+  /// (no Task object is left to destroy it).
+  bool detached = false;
+
+  // Route coroutine-frame storage through the freelist. The compiler calls
+  // these on the promise type when allocating/freeing the whole frame.
+  static void* operator new(std::size_t n) { return FrameArena::Alloc(n); }
+  static void operator delete(void* p, std::size_t n) {
+    FrameArena::Free(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -31,7 +81,15 @@ struct PromiseBase {
     bool await_ready() noexcept { return false; }
     template <typename Promise>
     std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
-      auto cont = h.promise().continuation;
+      auto& p = h.promise();
+      if (p.detached) {
+        // Detached processes may not leak exceptions (same contract the old
+        // RunDetached wrapper enforced by rethrowing into a noexcept frame).
+        if (p.exception) std::terminate();
+        h.destroy();
+        return std::noop_coroutine();
+      }
+      auto cont = p.continuation;
       return cont ? cont : std::noop_coroutine();
     }
     void await_resume() noexcept {}
@@ -150,6 +208,11 @@ class [[nodiscard]] Task<void> {
     return Awaiter{handle_};
   }
 
+  /// Transfers frame ownership out of the Task (used by Spawn).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
  private:
   void Destroy() {
     if (handle_) {
@@ -161,25 +224,15 @@ class [[nodiscard]] Task<void> {
   std::coroutine_handle<promise_type> handle_;
 };
 
-namespace detail {
-
-/// Self-destroying eager coroutine used to launch detached tasks.
-struct DetachedTask {
-  struct promise_type {
-    DetachedTask get_return_object() { return {}; }
-    std::suspend_never initial_suspend() noexcept { return {}; }
-    std::suspend_never final_suspend() noexcept { return {}; }
-    void return_void() {}
-    void unhandled_exception() { std::terminate(); }
-  };
-};
-
-inline DetachedTask RunDetached(Task<void> task) { co_await std::move(task); }
-
-}  // namespace detail
-
 /// Starts a task as a detached top-level simulated process. The task begins
-/// executing immediately (until its first suspension point).
-inline void Spawn(Task<void> task) { detail::RunDetached(std::move(task)); }
+/// executing immediately (until its first suspension point). The frame owns
+/// itself from here on and self-destroys at completion — no wrapper
+/// coroutine, no extra allocation.
+inline void Spawn(Task<void> task) {
+  auto h = task.Release();
+  assert(h);
+  h.promise().detached = true;
+  h.resume();
+}
 
 }  // namespace gvfs::sim

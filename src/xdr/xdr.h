@@ -3,12 +3,24 @@
 // All RPC argument/result structs serialize through these encoders; the
 // resulting byte counts feed the network simulator's bandwidth model, so
 // message sizes on the simulated wire match what a real XDR stack would send.
+//
+// Both halves are built for the per-message hot path:
+//   - Encoder borrows its buffer from a process-wide arena (detail::Arena)
+//     and writes with bulk memcpy instead of per-byte push_back. Take()
+//     transfers the buffer to the caller (it becomes the packet payload);
+//     whoever ends up owning it returns it with detail::ArenaRelease so the
+//     capacity is recycled into the next message.
+//   - Decoder is zero-copy: GetOpaque/GetFixedOpaque/GetString return views
+//     (View / StrView) into the message buffer rather than fresh allocations.
+//     Callers that outlive the buffer take ownership explicitly via .Copy().
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/expected.h"
@@ -16,21 +28,103 @@
 
 namespace gvfs::xdr {
 
-/// Appends XDR-encoded primitives to a byte buffer.
+namespace detail {
+
+/// Process-wide recycling pool for encode buffers. The simulator is
+/// single-threaded, and every message buffer follows the same lifecycle
+/// (Encoder -> packet payload -> decoded body -> dropped), so a small LIFO
+/// stack of retired vectors keeps their capacity hot across messages.
+inline std::vector<Bytes>& ArenaPool() {
+  static std::vector<Bytes> pool;
+  return pool;
+}
+
+inline Bytes ArenaAcquire() {
+  std::vector<Bytes>& pool = ArenaPool();
+  if (pool.empty()) return Bytes();
+  Bytes buf = std::move(pool.back());
+  pool.pop_back();
+  // Deliberately NOT cleared: the Encoder tracks its own write cursor, and
+  // keeping the old size avoids re-zeroing bytes the next message will
+  // overwrite anyway.
+  return buf;
+}
+
+inline void ArenaRelease(Bytes&& buf) {
+  constexpr std::size_t kMaxPooled = 256;
+  std::vector<Bytes>& pool = ArenaPool();
+  if (buf.capacity() == 0 || pool.size() >= kMaxPooled) return;
+  pool.push_back(std::move(buf));
+}
+
+}  // namespace detail
+
+/// A borrowed window over decoded opaque bytes. Valid only while the decoded
+/// message buffer lives; call Copy() to take ownership.
+struct View {
+  const std::uint8_t* ptr = nullptr;
+  std::size_t len = 0;
+
+  std::size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  const std::uint8_t* data() const { return ptr; }
+  const std::uint8_t* begin() const { return ptr; }
+  const std::uint8_t* end() const { return ptr + len; }
+  std::uint8_t operator[](std::size_t i) const { return ptr[i]; }
+
+  ByteView span() const { return ByteView(ptr, len); }
+  operator ByteView() const { return span(); }  // NOLINT: view adaptor
+
+  /// Explicit ownership escape hatch: materializes the bytes.
+  Bytes Copy() const { return Bytes(ptr, ptr + len); }
+};
+
+/// A borrowed window over a decoded string. Copy() materializes it.
+struct StrView {
+  std::string_view sv;
+
+  std::size_t size() const { return sv.size(); }
+  bool empty() const { return sv.empty(); }
+  operator std::string_view() const { return sv; }  // NOLINT: view adaptor
+
+  /// Explicit ownership escape hatch: materializes the string.
+  std::string Copy() const { return std::string(sv); }
+};
+
+inline bool operator==(const StrView& a, std::string_view b) { return a.sv == b; }
+inline bool operator==(std::string_view a, const StrView& b) { return a == b.sv; }
+
+/// Appends XDR-encoded primitives to an arena-recycled byte buffer.
+///
+/// The buffer is kept sized to its full capacity while encoding; a write
+/// cursor (pos_) tracks the logical message length. This turns each Put into
+/// a bounds check plus a store — one vector resize per capacity doubling
+/// instead of one per field — and the buffer is trimmed back to pos_ only
+/// when it escapes through bytes()/Take().
 class Encoder {
  public:
+  Encoder() : buf_(detail::ArenaAcquire()) {
+    // A recycled buffer keeps the size of the message it last carried; Grow
+    // only pays (one) value-initializing resize for bytes beyond that
+    // high-water mark, so steady-state messages never memset at all.
+    if (buf_.capacity() == 0) buf_.resize(kInitialCapacity);
+  }
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+  ~Encoder() { detail::ArenaRelease(std::move(buf_)); }
+
   void PutU32(std::uint32_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    std::uint8_t* p = Grow(4);
+    const std::uint32_t be = HostToBe32(v);
+    std::memcpy(p, &be, 4);
   }
 
   void PutI32(std::int32_t v) { PutU32(static_cast<std::uint32_t>(v)); }
 
   void PutU64(std::uint64_t v) {
-    PutU32(static_cast<std::uint32_t>(v >> 32));
-    PutU32(static_cast<std::uint32_t>(v));
+    std::uint8_t* p = Grow(8);
+    const std::uint64_t be = HostToBe64(v);
+    std::memcpy(p, &be, 8);
   }
 
   void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
@@ -40,54 +134,115 @@ class Encoder {
   /// Variable-length opaque: length prefix + data + pad to 4-byte boundary.
   void PutOpaque(const std::uint8_t* data, std::size_t len) {
     PutU32(static_cast<std::uint32_t>(len));
-    buf_.insert(buf_.end(), data, data + len);
-    Pad(len);
+    PutFixedOpaque(data, len);
   }
 
   void PutOpaque(const Bytes& data) { PutOpaque(data.data(), data.size()); }
+  void PutOpaque(ByteView data) { PutOpaque(data.data(), data.size()); }
 
   /// Fixed-length opaque: data + pad, no length prefix.
   void PutFixedOpaque(const std::uint8_t* data, std::size_t len) {
-    buf_.insert(buf_.end(), data, data + len);
-    Pad(len);
+    const std::size_t padded = (len + 3) & ~std::size_t{3};
+    std::uint8_t* p = Grow(padded);
+    std::memcpy(p, data, len);
+    std::memset(p + len, 0, padded - len);
   }
 
-  void PutString(const std::string& s) {
+  void PutString(std::string_view s) {
     PutOpaque(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
 
-  const Bytes& bytes() const { return buf_; }
-  Bytes Take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  /// Opens an n-byte raw write window that the caller must fill completely
+  /// (e.g. with StoreBe32/StoreBe64). Fixed-layout writers — RPC headers,
+  /// attribute blocks — fuse one capacity check over the whole window where
+  /// per-field Puts would each check and bump the cursor. The pointer is
+  /// valid until the next mutating call.
+  std::uint8_t* Reserve(std::size_t n) { return Grow(n); }
+
+  static void StoreBe32(std::uint8_t* p, std::uint32_t v) {
+    const std::uint32_t be = HostToBe32(v);
+    std::memcpy(p, &be, 4);
+  }
+
+  static void StoreBe64(std::uint8_t* p, std::uint64_t v) {
+    const std::uint64_t be = HostToBe64(v);
+    std::memcpy(p, &be, 8);
+  }
+
+  const Bytes& bytes() { return Trim(); }
+
+  /// Transfers the buffer out (it becomes, e.g., a packet payload). The
+  /// eventual owner should hand it back via detail::ArenaRelease.
+  Bytes Take() {
+    Trim();
+    pos_ = 0;
+    return std::move(buf_);
+  }
+
+  std::size_t size() const { return pos_; }
+
+  /// Drops accumulated bytes but keeps the capacity, for encoder reuse.
+  void Reset() { pos_ = 0; }
 
  private:
-  void Pad(std::size_t len) {
-    while (len % 4 != 0) {
-      buf_.push_back(0);
-      ++len;
+  static constexpr std::size_t kInitialCapacity = 256;
+
+  static std::uint32_t HostToBe32(std::uint32_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap32(v);
+#endif
+  }
+
+  static std::uint64_t HostToBe64(std::uint64_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return v;
+#else
+    return __builtin_bswap64(v);
+#endif
+  }
+
+  std::uint8_t* Grow(std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      buf_.resize(std::max(pos_ + n, buf_.size() * 2));
     }
+    std::uint8_t* p = buf_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  /// Shrinks the buffer to the logical message length (no reallocation).
+  Bytes& Trim() {
+    buf_.resize(pos_);
+    return buf_;
   }
 
   Bytes buf_;
+  std::size_t pos_ = 0;
 };
 
 enum class DecodeError { kTruncated, kBadValue };
 
 /// Reads XDR-encoded primitives from a byte buffer. Never reads out of
-/// bounds; a short buffer yields DecodeError::kTruncated.
+/// bounds; a short buffer yields DecodeError::kTruncated. Opaque and string
+/// reads return views into the buffer: the buffer must outlive them.
 class Decoder {
  public:
   explicit Decoder(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  explicit Decoder(ByteView buf) : data_(buf.data()), size_(buf.size()) {}
   Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   Expected<std::uint32_t, DecodeError> GetU32() {
     if (size_ - pos_ < 4) return Unexpected(DecodeError::kTruncated);
-    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    std::uint32_t be;
+    std::memcpy(&be, data_ + pos_, 4);
     pos_ += 4;
-    return v;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return be;
+#else
+    return __builtin_bswap32(be);
+#endif
   }
 
   Expected<std::int32_t, DecodeError> GetI32() {
@@ -97,11 +252,15 @@ class Decoder {
   }
 
   Expected<std::uint64_t, DecodeError> GetU64() {
-    auto hi = GetU32();
-    if (!hi) return Unexpected(hi.error());
-    auto lo = GetU32();
-    if (!lo) return Unexpected(lo.error());
-    return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+    if (size_ - pos_ < 8) return Unexpected(DecodeError::kTruncated);
+    std::uint64_t be;
+    std::memcpy(&be, data_ + pos_, 8);
+    pos_ += 8;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return be;
+#else
+    return __builtin_bswap64(be);
+#endif
   }
 
   Expected<std::int64_t, DecodeError> GetI64() {
@@ -117,27 +276,62 @@ class Decoder {
     return *v == 1;
   }
 
-  Expected<Bytes, DecodeError> GetOpaque() {
+  Expected<View, DecodeError> GetOpaque() {
     auto len = GetU32();
     if (!len) return Unexpected(len.error());
     return GetFixedOpaque(*len);
   }
 
-  Expected<Bytes, DecodeError> GetFixedOpaque(std::size_t len) {
+  Expected<View, DecodeError> GetFixedOpaque(std::size_t len) {
     const std::size_t padded = (len + 3) & ~std::size_t{3};
-    if (size_ - pos_ < padded) return Unexpected(DecodeError::kTruncated);
-    Bytes out(data_ + pos_, data_ + pos_ + len);
+    if (size_ - pos_ < padded || padded < len) {
+      return Unexpected(DecodeError::kTruncated);
+    }
+    View out{data_ + pos_, len};
     pos_ += padded;
     return out;
   }
 
-  Expected<std::string, DecodeError> GetString() {
+  Expected<StrView, DecodeError> GetString() {
     auto raw = GetOpaque();
     if (!raw) return Unexpected(raw.error());
-    return std::string(raw->begin(), raw->end());
+    return StrView{
+        std::string_view(reinterpret_cast<const char*>(raw->ptr), raw->len)};
+  }
+
+  /// Raw read window: returns a pointer to the next n bytes and advances, or
+  /// nullptr if the buffer is short. The fixed-layout mirror of
+  /// Encoder::Reserve — one bounds check covers every field read through
+  /// LoadBe32/LoadBe64.
+  const std::uint8_t* GetRaw(std::size_t n) {
+    if (size_ - pos_ < n) return nullptr;
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  static std::uint32_t LoadBe32(const std::uint8_t* p) {
+    std::uint32_t be;
+    std::memcpy(&be, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return be;
+#else
+    return __builtin_bswap32(be);
+#endif
+  }
+
+  static std::uint64_t LoadBe64(const std::uint8_t* p) {
+    std::uint64_t be;
+    std::memcpy(&be, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    return be;
+#else
+    return __builtin_bswap64(be);
+#endif
   }
 
   std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
  private:

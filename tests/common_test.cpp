@@ -6,6 +6,12 @@
 #include "common/rng.h"
 #include "common/types.h"
 
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/flat_map.h"
+
 namespace gvfs {
 namespace {
 
@@ -90,6 +96,120 @@ TEST(RngTest, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+// --- FlatMap ---------------------------------------------------------------
+
+TEST(FlatMapTest, InsertFindEraseBasics) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.Empty());
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_FALSE(m.Erase(7));
+
+  m[7] = 70;
+  m[8] = 80;
+  EXPECT_EQ(m.Size(), 2u);
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 70);
+  m[7] = 71;  // overwrite through operator[]
+  EXPECT_EQ(*m.Find(7), 71);
+  EXPECT_EQ(m.Size(), 2u);
+
+  EXPECT_TRUE(m.Erase(7));
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_FALSE(m.Erase(7));
+  EXPECT_EQ(m.Size(), 1u);
+  EXPECT_EQ(*m.Find(8), 80);
+}
+
+TEST(FlatMapTest, ExtractMovesValueOut) {
+  FlatMap<std::uint32_t, std::unique_ptr<int>> m;
+  m[5] = std::make_unique<int>(55);
+  std::unique_ptr<int> out;
+  EXPECT_FALSE(m.Extract(6, &out));
+  EXPECT_TRUE(m.Extract(5, &out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 55);
+  EXPECT_EQ(m.Find(5), nullptr);
+  EXPECT_TRUE(m.Empty());
+}
+
+// Identity hash exposes the probe geometry: keys sharing a home slot form a
+// cluster we can aim at the end of the table to exercise the wrapped case of
+// backward-shift deletion.
+struct IdentityHash {
+  std::uint64_t operator()(std::uint64_t k) const { return k; }
+};
+
+TEST(FlatMapTest, BackwardShiftCompactsWrappedCluster) {
+  FlatMap<std::uint64_t, int, IdentityHash> m;
+  m[0] = 0;  // occupy slot 0 so the cluster's wrap is visible
+  // Table capacity is 16 after the first insert: keys 14, 30, 46 all have
+  // home slot 14, landing at slots 14, 15, 0(wrapped past key 0... probing
+  // finds 1). Erasing 14 must backward-shift BOTH collided keys across the
+  // wrap boundary, leaving every survivor findable.
+  m[14] = 14;
+  m[30] = 30;
+  m[46] = 46;
+  m[15] = 15;  // home 15, displaced by the cluster
+  ASSERT_EQ(m.Size(), 5u);
+
+  EXPECT_TRUE(m.Erase(14));
+  EXPECT_EQ(m.Find(14), nullptr);
+  for (std::uint64_t k : {0ull, 30ull, 46ull, 15ull}) {
+    ASSERT_NE(m.Find(k), nullptr) << "lost key " << k << " after shift";
+    EXPECT_EQ(*m.Find(k), static_cast<int>(k));
+  }
+
+  EXPECT_TRUE(m.Erase(30));
+  EXPECT_TRUE(m.Erase(46));
+  for (std::uint64_t k : {0ull, 15ull}) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMapTest, ChurnMatchesReferenceMap) {
+  // The DRC workload in miniature: sustained insert/erase churn at steady
+  // state, checked move-for-move against std::unordered_map. Narrow key
+  // space forces collisions, clusters, and wraparound shifts.
+  FlatMap<std::uint64_t, int> m;
+  std::unordered_map<std::uint64_t, int> ref;
+  Rng rng(0x5eed);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = rng.Below(512);
+    switch (rng.Below(3)) {
+      case 0: {
+        const int val = static_cast<int>(rng.Below(1 << 20));
+        m[key] = val;
+        ref[key] = val;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(m.Erase(key), ref.erase(key) > 0) << "step " << step;
+        break;
+      }
+      default: {
+        int* found = m.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end()) << "step " << step;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.Size(), ref.size()) << "step " << step;
+  }
+  // Final contents must agree exactly.
+  std::size_t visited = 0;
+  m.ForEach([&](std::uint64_t k, int v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << "phantom key " << k;
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
 }
 
 }  // namespace

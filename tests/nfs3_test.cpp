@@ -48,6 +48,27 @@ TEST(Nfs3ProtoTest, FattrRoundTrip) {
   EXPECT_EQ(*back, attr);
 }
 
+TEST(Nfs3ProtoTest, FattrDecodeRejectsEveryTruncation) {
+  // Fattr decodes through one fused 60-byte window (xdr::Decoder::GetRaw);
+  // every strictly-short prefix must fail kTruncated and consume nothing.
+  Fattr attr;
+  attr.type = FType::kReg;
+  attr.mode = 0644;
+  attr.size = 7;
+  attr.fileid = 42;
+  xdr::Encoder enc;
+  attr.Encode(enc);
+  const Bytes& wire = enc.bytes();
+  ASSERT_EQ(wire.size(), 60u) << "Fattr wire layout changed";
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    xdr::Decoder dec(wire.data(), len);
+    auto res = Fattr::Decode(dec);
+    ASSERT_FALSE(res.has_value()) << "decoded from " << len << " bytes";
+    EXPECT_EQ(res.error(), xdr::DecodeError::kTruncated);
+    EXPECT_EQ(dec.pos(), 0u);
+  }
+}
+
 TEST(Nfs3ProtoTest, LookupResWithError) {
   LookupRes res;
   res.status = Status::kNoEnt;

@@ -17,7 +17,7 @@ constexpr std::uint32_t kProcEcho = 1;
 constexpr std::uint32_t kProcSlow = 2;
 constexpr std::uint32_t kProcCount = 3;
 
-sim::Task<Bytes> EchoHandler(CallContext, Bytes args) { co_return args; }
+sim::Task<Bytes> EchoHandler(CallContext, Body args) { co_return args.ToBytes(); }
 
 class RpcTest : public ::testing::Test {
  protected:
@@ -62,7 +62,7 @@ sim::Task<void> DoCall(RpcNode* node, net::Address dst, std::uint32_t proc,
   out->done = true;
   out->ok = r.has_value();
   if (r.has_value()) {
-    out->body = std::move(*r);
+    out->body = r->ToBytes();
   } else {
     out->error = r.error();
   }
@@ -84,7 +84,7 @@ TEST_F(RpcTest, EchoRoundTrip) {
 
 TEST_F(RpcTest, HandlerCanSleepInVirtualTime) {
   server_->RegisterHandler(kProg, kProcSlow,
-                           [this](CallContext, Bytes) -> sim::Task<Bytes> {
+                           [this](CallContext, Body) -> sim::Task<Bytes> {
                              co_await sim::Sleep(sched_, Seconds(3));
                              co_return Bytes{1};
                            });
@@ -145,7 +145,7 @@ TEST_F(RpcTest, RetransmitSucceedsAfterPartitionHeals) {
 TEST_F(RpcTest, DuplicateRequestCachePreventsReExecution) {
   int executions = 0;
   server_->RegisterHandler(kProg, kProcCount,
-                           [this, &executions](CallContext, Bytes) -> sim::Task<Bytes> {
+                           [this, &executions](CallContext, Body) -> sim::Task<Bytes> {
                              ++executions;
                              // Slower than the client's retransmit timer, so a
                              // retransmission always arrives mid-execution.
@@ -167,7 +167,7 @@ TEST_F(RpcTest, DuplicateRequestCachePreventsReExecution) {
 TEST_F(RpcTest, DuplicateAfterCompletionResendsCachedReply) {
   int executions = 0;
   server_->RegisterHandler(kProg, kProcCount,
-                           [&executions](CallContext, Bytes) -> sim::Task<Bytes> {
+                           [&executions](CallContext, Body) -> sim::Task<Bytes> {
                              ++executions;
                              co_return Bytes{static_cast<std::uint8_t>(executions)};
                            });
@@ -265,11 +265,12 @@ TEST_F(RpcTest, ServerToClientCallbackWorks) {
 
 TEST_F(RpcTest, ConcurrentCallsMatchRepliesByXid) {
   server_->RegisterHandler(kProg, kProcSlow,
-                           [this](CallContext, Bytes args) -> sim::Task<Bytes> {
+                           [this](CallContext, Body args) -> sim::Task<Bytes> {
                              // Delay inversely proportional to payload value so
                              // replies return out of order.
-                             co_await sim::Sleep(sched_, Seconds(10 - args.at(0)));
-                             co_return args;
+                             Bytes data = args.ToBytes();
+                             co_await sim::Sleep(sched_, Seconds(10 - data.at(0)));
+                             co_return data;
                            });
   CallResult r1, r2;
   CallOptions opts = Opts("SLOW");

@@ -4,9 +4,12 @@
 // frame); every coroutine here takes its state via parameters.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "sim/scheduler.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -227,7 +230,9 @@ TEST(OneShotTest, ValueBeatsTimeout) {
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, 1);
   EXPECT_EQ(when, Seconds(2));
-  EXPECT_EQ(sched.Now(), Seconds(5));  // stale timeout event still drains
+  // Set() cancels the pending timeout event: the queue drains at t=2 instead
+  // of idling forward to the dead t=5 wakeup.
+  EXPECT_EQ(sched.Now(), Seconds(2));
 }
 
 Task<void> ScopedOneShot(Scheduler* sched, std::optional<int>* got) {
@@ -357,6 +362,212 @@ TEST(WhenAllTest, EmptyVectorCompletesImmediately) {
   Spawn(JoinEmpty(&sched, &done));
   sched.Run();
   EXPECT_TRUE(done);
+}
+
+// --- Scheduler order parity ------------------------------------------------
+// The production scheduler is a 4-ary heap merged with a FIFO ready ring and
+// a tombstoning Cancel. The reference below is the obviously-correct model:
+// run the armed event with the smallest (time, seq), O(n^2) and proud of it.
+// Feeding both the same deterministic workload — nested posts, bursts of
+// same-timestamp events, interleaved cancels — and demanding the exact same
+// execution order is the golden proof that the fast structures changed
+// nothing observable.
+
+class ReferenceScheduler {
+ public:
+  std::size_t At(SimTime t, std::function<void()> fn) {
+    events_.push_back(Ev{t < now_ ? now_ : t, next_seq_++, true, std::move(fn)});
+    return events_.size() - 1;
+  }
+
+  bool Cancel(std::size_t id) {
+    if (id >= events_.size() || !events_[id].armed) return false;
+    events_[id].armed = false;
+    return true;
+  }
+
+  std::uint64_t RunAll() {
+    std::uint64_t processed = 0;
+    for (;;) {
+      std::size_t best = events_.size();
+      for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Ev& e = events_[i];
+        if (!e.armed) continue;
+        if (best == events_.size() || e.t < events_[best].t ||
+            (e.t == events_[best].t && e.seq < events_[best].seq)) {
+          best = i;
+        }
+      }
+      if (best == events_.size()) return processed;
+      events_[best].armed = false;
+      now_ = events_[best].t;
+      events_[best].fn();  // may append to events_
+      ++processed;
+    }
+  }
+
+  SimTime Now() const { return now_; }
+
+ private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;
+    bool armed;
+    std::function<void()> fn;
+  };
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Ev> events_;
+};
+
+// Workload script derived purely from the event id, so both schedulers see
+// byte-identical behaviour regardless of internal structure: each executed
+// event may spawn children (often at the *same* timestamp, stressing the
+// ready ring against the heap) and may cancel an earlier event (sometimes
+// one already run — both sides must agree Cancel fails).
+struct ParityWorkload {
+  static constexpr std::uint32_t kMaxEvents = 4000;
+
+  template <typename Sched, typename Handle>
+  void RunEvent(std::uint32_t id, Sched* sched, std::vector<Handle>* handles,
+                std::vector<std::uint32_t>* order,
+                std::vector<bool>* cancel_results) {
+    order->push_back(id);
+    const std::uint64_t h = MixHash64(id);
+    // 1–2 children per event: supercritical, so the workload always reaches
+    // the kMaxEvents cap instead of a lineage fizzling out early.
+    const std::uint32_t children = static_cast<std::uint32_t>(1 + h % 2);
+    for (std::uint32_t c = 0; c < children; ++c) {
+      if (next_id >= kMaxEvents) break;
+      // Half the children land at the current timestamp (ready-ring path),
+      // half a short hop into the future (heap path).
+      const Duration delay =
+          (h >> (8 + 4 * c)) % 2 == 0
+              ? 0
+              : static_cast<Duration>(1 + (h >> (16 + 4 * c)) % 5);
+      Post(sched, handles, order, cancel_results, delay);
+    }
+    if (h % 7 == 0 && id > 0) {
+      const std::uint32_t victim =
+          id - static_cast<std::uint32_t>(1 + (h >> 32) % id);
+      cancel_results->push_back(sched->Cancel((*handles)[victim]));
+    }
+  }
+
+  template <typename Sched, typename Handle>
+  void Post(Sched* sched, std::vector<Handle>* handles,
+            std::vector<std::uint32_t>* order,
+            std::vector<bool>* cancel_results, Duration delay) {
+    const std::uint32_t id = next_id++;
+    handles->push_back(sched->After(delay, [this, id, sched, handles, order,
+                                            cancel_results] {
+      RunEvent(id, sched, handles, order, cancel_results);
+    }));
+  }
+
+  std::uint32_t next_id = 0;
+};
+
+// ReferenceScheduler lacks After(); adapt it to the workload's interface.
+struct ReferenceAdapter {
+  std::size_t After(Duration d, std::function<void()> fn) {
+    return ref.At(ref.Now() + d, std::move(fn));
+  }
+  bool Cancel(std::size_t id) { return ref.Cancel(id); }
+  ReferenceScheduler ref;
+};
+
+TEST(SchedulerParityTest, GoldenOrderMatchesReferenceModel) {
+  // Seed both sides with identical bursts: clusters of events at equal
+  // timestamps, posted out of order.
+  std::vector<std::uint32_t> real_order, ref_order;
+  std::vector<bool> real_cancels, ref_cancels;
+
+  Scheduler sched;
+  std::vector<EventId> real_handles;
+  ParityWorkload real_wl;
+  for (int burst = 0; burst < 8; ++burst) {
+    for (int i = 0; i < 5; ++i) {
+      real_wl.Post(&sched, &real_handles, &real_order, &real_cancels,
+                   static_cast<Duration>((burst * 3) % 7));
+    }
+  }
+  const std::uint64_t real_processed = sched.Run();
+
+  ReferenceAdapter ref;
+  std::vector<std::size_t> ref_handles;
+  ParityWorkload ref_wl;
+  for (int burst = 0; burst < 8; ++burst) {
+    for (int i = 0; i < 5; ++i) {
+      ref_wl.Post(&ref, &ref_handles, &ref_order, &ref_cancels,
+                  static_cast<Duration>((burst * 3) % 7));
+    }
+  }
+  const std::uint64_t ref_processed = ref.ref.RunAll();
+
+  ASSERT_GT(real_order.size(), 100u) << "workload degenerated";
+  EXPECT_EQ(real_order, ref_order);
+  EXPECT_EQ(real_cancels, ref_cancels);
+  EXPECT_EQ(real_processed, ref_processed);
+  EXPECT_EQ(sched.Now(), ref.ref.Now());
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST(SchedulerStressTest, InterleavedPostCancelAtEqualTimestamps) {
+  // 100 events all at t=5; every third is cancelled before the clock moves,
+  // and event 10 cancels a later same-timestamp event (40) from inside its
+  // callback. Survivors must run in exact post (seq) order.
+  Scheduler sched;
+  std::vector<EventId> ids;
+  std::vector<int> order;
+  bool cancelled_40 = false;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sched.At(Seconds(5), [&, i] {
+      order.push_back(i);
+      // Event 10 cancels a later event at the SAME timestamp: it must
+      // vanish even though its queue node is already due.
+      if (i == 10) cancelled_40 = sched.Cancel(ids[40]);
+    }));
+  }
+  for (int i = 0; i < 100; i += 3) {
+    EXPECT_TRUE(sched.Cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_FALSE(sched.Cancel(ids[static_cast<std::size_t>(i)]))
+        << "double cancel must fail";
+  }
+
+  sched.Run();
+  EXPECT_TRUE(cancelled_40);
+
+  std::vector<int> expected;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 != 0 && i != 40) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(sched.Now(), Seconds(5));
+  EXPECT_TRUE(sched.Idle());
+}
+
+TEST(SchedulerStressTest, ReadyRingGrowsWhileWrapped) {
+  // Force the ready ring to grow while its head is mid-buffer and the live
+  // span wraps the physical end: pop a few events first, then burst-post
+  // far past the initial capacity from inside a callback.
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.At(0, [&order, i] { order.push_back(i); });
+  }
+  sched.Run(2);  // head advances; ring storage now starts mid-buffer
+  sched.At(0, [&] {
+    for (int i = 100; i < 200; ++i) {
+      sched.At(0, [&order, i] { order.push_back(i); });
+    }
+  });
+  sched.Run();
+
+  std::vector<int> expected = {0, 1, 2};
+  for (int i = 100; i < 200; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+  EXPECT_TRUE(sched.Idle());
 }
 
 }  // namespace

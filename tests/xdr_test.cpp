@@ -81,7 +81,7 @@ TEST(XdrTest, OpaquePadding) {
   Decoder dec(enc.bytes());
   auto v = dec.GetOpaque();
   ASSERT_TRUE(v.has_value());
-  EXPECT_EQ(*v, payload);
+  EXPECT_EQ(v->Copy(), payload);
   EXPECT_TRUE(dec.AtEnd());
 }
 
@@ -174,13 +174,154 @@ TEST_P(XdrOpaqueSweep, SizeAlwaysMultipleOfFour) {
   Decoder dec(enc.bytes());
   auto v = dec.GetOpaque();
   ASSERT_TRUE(v.has_value());
-  EXPECT_EQ(*v, payload);
+  EXPECT_EQ(v->Copy(), payload);
   EXPECT_TRUE(dec.AtEnd());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllResidues, XdrOpaqueSweep,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 1024,
                                            4095, 4096, 4097));
+
+// --- Truncation property sweep -------------------------------------------
+// Every getter, offered every strictly-short prefix of a valid encoding,
+// must report kTruncated (GetRaw: nullptr) and never read past the buffer
+// (the sanitizer job enforces the second half). At the exact length each
+// must succeed with the original value.
+
+TEST(XdrTruncationSweep, EveryGetterEveryShortPrefix) {
+  Encoder enc;
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  enc.PutBool(true);
+  Bytes payload = {1, 2, 3, 4, 5};
+  enc.PutOpaque(payload);
+  enc.PutString("hello");
+  const Bytes& wire = enc.bytes();
+
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    Decoder dec(wire.data(), len);
+    bool truncated = false;
+    auto u32 = dec.GetU32();
+    if (!u32.has_value()) {
+      EXPECT_EQ(u32.error(), DecodeError::kTruncated);
+      truncated = true;
+    }
+    if (!truncated) {
+      auto u64 = dec.GetU64();
+      if (!u64.has_value()) {
+        EXPECT_EQ(u64.error(), DecodeError::kTruncated);
+        truncated = true;
+      }
+    }
+    if (!truncated) {
+      auto b = dec.GetBool();
+      if (!b.has_value()) {
+        EXPECT_EQ(b.error(), DecodeError::kTruncated);
+        truncated = true;
+      }
+    }
+    if (!truncated) {
+      auto op = dec.GetOpaque();
+      if (!op.has_value()) {
+        EXPECT_EQ(op.error(), DecodeError::kTruncated);
+        truncated = true;
+      }
+    }
+    if (!truncated) {
+      auto s = dec.GetString();
+      if (!s.has_value()) {
+        EXPECT_EQ(s.error(), DecodeError::kTruncated);
+        truncated = true;
+      }
+    }
+    // A strict prefix can never decode the full sequence.
+    EXPECT_TRUE(truncated) << "prefix of " << len << " bytes decoded fully";
+  }
+
+  // The untruncated wire decodes to exactly what went in.
+  Decoder dec(wire);
+  EXPECT_EQ(dec.GetU32().value_or(0), 0xdeadbeefu);
+  EXPECT_EQ(dec.GetU64().value_or(0), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.GetBool().value_or(false), true);
+  auto op = dec.GetOpaque();
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->Copy(), payload);
+  auto s = dec.GetString();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->Copy(), "hello");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrTruncationSweep, GetFixedOpaqueShortBuffer) {
+  Bytes wire = {1, 2, 3, 4, 5, 6, 7};  // not a multiple of 4: 8 needed
+  for (std::size_t want : {8u, 12u, 100u}) {
+    Decoder dec(wire);
+    auto v = dec.GetFixedOpaque(want);
+    ASSERT_FALSE(v.has_value()) << want;
+    EXPECT_EQ(v.error(), DecodeError::kTruncated);
+  }
+}
+
+TEST(XdrTruncationSweep, GetRawShortBuffer) {
+  Bytes wire = {1, 2, 3, 4};
+  for (std::size_t len = 0; len <= wire.size(); ++len) {
+    Decoder dec(wire.data(), len);
+    const std::uint8_t* p = dec.GetRaw(len + 1);  // one past what's there
+    EXPECT_EQ(p, nullptr);
+    EXPECT_EQ(dec.pos(), 0u) << "failed GetRaw must not consume";
+    if (len > 0) {
+      EXPECT_NE(dec.GetRaw(len), nullptr);  // exact fit succeeds
+      EXPECT_TRUE(dec.AtEnd());
+    }
+  }
+}
+
+// --- Fixed-layout window round trips --------------------------------------
+// Reserve/StoreBe must be byte-identical to the per-field Put path, and
+// GetRaw/LoadBe must read back what Put wrote: the fused header writers in
+// rpc.cpp and proto.cpp rely on the two paths being interchangeable on the
+// wire.
+
+TEST(XdrFixedWindow, ReserveStoreMatchesPut) {
+  Encoder put;
+  put.PutU32(0x01020304);
+  put.PutU64(0x1122334455667788ULL);
+  put.PutU32(7);
+
+  Encoder fused;
+  std::uint8_t* w = fused.Reserve(16);
+  Encoder::StoreBe32(w, 0x01020304);
+  Encoder::StoreBe64(w + 4, 0x1122334455667788ULL);
+  Encoder::StoreBe32(w + 12, 7);
+
+  EXPECT_EQ(put.bytes(), fused.bytes());
+}
+
+TEST(XdrFixedWindow, LoadBeMatchesGet) {
+  Encoder enc;
+  enc.PutU32(0xcafef00d);
+  enc.PutU64(0x8000000000000001ULL);
+  Decoder dec(enc.bytes());
+  const std::uint8_t* r = dec.GetRaw(12);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(Decoder::LoadBe32(r), 0xcafef00du);
+  EXPECT_EQ(Decoder::LoadBe64(r + 4), 0x8000000000000001ULL);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(XdrFixedWindow, ReserveInterleavesWithPuts) {
+  Encoder enc;
+  enc.PutU32(1);
+  std::uint8_t* w = enc.Reserve(8);
+  Encoder::StoreBe64(w, 2);
+  enc.PutU32(3);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.GetU32().value_or(0), 1u);
+  EXPECT_EQ(dec.GetU64().value_or(0), 2u);
+  EXPECT_EQ(dec.GetU32().value_or(0), 3u);
+  EXPECT_TRUE(dec.AtEnd());
+}
 
 }  // namespace
 }  // namespace gvfs::xdr

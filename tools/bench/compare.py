@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf gate: compare fresh benchmark output against the committed baselines.
+
+Two kinds of numbers, two policies:
+
+  virtual-time (BENCH_flush.json)  deterministic simulator output. Compared
+      EXACTLY, field by field. Any difference is a correctness failure no
+      matter how the run was flagged — a changed flush_s means the simulation
+      itself changed, not the machine.
+
+  wall-clock (BENCH_core.json)     machine-dependent throughput. Compared
+      with a relative tolerance (default ±15%). Only benchmarks listed in the
+      baseline's "gated" array are enforced; extra rows in the candidate are
+      informational. --wall-mode=warn downgrades wall failures to warnings
+      for noisy local machines (the ctest `perf` tier uses this); CI's bench
+      job runs the default fail mode.
+
+Exit status: 0 clean, 1 any failure (including warnings promoted by mode).
+
+Usage:
+  tools/bench/compare.py \
+      --core-baseline BENCH_core.json --core-candidate /tmp/BENCH_core.json \
+      --flush-baseline BENCH_flush.json --flush-candidate /tmp/BENCH_flush.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_core(baseline, candidate, tolerance, wall_mode):
+    """Returns (hard_failures, warnings) comparing gated wall-clock rows."""
+    failures, warnings = [], []
+    gated = baseline.get("gated", sorted(baseline["benchmarks"].keys()))
+    base_rows = baseline["benchmarks"]
+    cand_rows = candidate["benchmarks"]
+    print(f"{'benchmark':<40} {'base':>12} {'cand':>12} {'ratio':>7}  verdict")
+    for name in gated:
+        if name not in cand_rows:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        base = base_rows[name]["score_per_s"]
+        cand = cand_rows[name]["score_per_s"]
+        if base <= 0:
+            failures.append(f"{name}: baseline throughput is zero")
+            continue
+        ratio = cand / base
+        ok = ratio >= 1.0 - tolerance
+        verdict = "ok" if ok else f"SLOWER than -{tolerance:.0%}"
+        print(f"{name:<40} {base:>12.3g} {cand:>12.3g} {ratio:>7.2f}  {verdict}")
+        if not ok:
+            msg = (
+                f"{name}: {cand:.3g} score/s vs baseline {base:.3g} "
+                f"(ratio {ratio:.2f}, tolerance -{tolerance:.0%})"
+            )
+            if wall_mode == "warn":
+                warnings.append(msg)
+            else:
+                failures.append(msg)
+    return failures, warnings
+
+
+def compare_flush(baseline, candidate):
+    """Exact comparison of the deterministic virtual-time document."""
+    failures = []
+    if baseline == candidate:
+        print("flush: virtual-time results identical to baseline")
+        return failures
+    for key in sorted(set(baseline) | set(candidate)):
+        b, c = baseline.get(key), candidate.get(key)
+        if b != c:
+            failures.append(f"flush.{key}: baseline {b!r} != candidate {c!r}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--core-baseline", required=True)
+    ap.add_argument("--core-candidate", required=True)
+    ap.add_argument("--flush-baseline", required=True)
+    ap.add_argument("--flush-candidate", required=True)
+    ap.add_argument("--wall-tolerance", type=float, default=0.15)
+    ap.add_argument("--wall-mode", choices=["fail", "warn"], default="fail")
+    args = ap.parse_args()
+
+    failures, warnings = compare_core(
+        load(args.core_baseline),
+        load(args.core_candidate),
+        args.wall_tolerance,
+        args.wall_mode,
+    )
+    failures += compare_flush(load(args.flush_baseline), load(args.flush_candidate))
+
+    for w in warnings:
+        print(f"WARN: {w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        print(f"perf gate: {len(failures)} failure(s)")
+        return 1
+    print("perf gate: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Regenerate the tracked perf baselines BENCH_core.json and BENCH_flush.json.
+
+Runs the two micro benchmarks from an existing Release build and distils
+their output into the two committed baseline files:
+
+  BENCH_core.json   wall-clock micro benchmarks (google-benchmark): per-bench
+                    real time and throughput. Machine-dependent; compared with
+                    a relative tolerance by compare.py.
+  BENCH_flush.json  micro_flush virtual-time results (flush latency vs
+                    write-back window). Deterministic; compared exactly.
+
+Usage:
+  tools/bench/run_bench.py --build-dir build --out-dir .
+
+The committed copies at the repo root are the CI reference; regenerate them
+with this script on a quiet machine whenever a PR intentionally moves perf
+(see EXPERIMENTS.md, "Perf baseline").
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+
+# Benchmarks whose throughput defines the tracked baseline. Names must match
+# bench/micro_core.cpp. The full-suite run produces more rows; anything not
+# listed here is recorded but not gated (compare.py gates only what the
+# baseline file contains).
+CORE_BENCHMARKS = [
+    "BM_SchedulerEventThroughput",
+    "BM_XdrEncodeFattr",
+    "BM_XdrDecodeFattr",
+    "BM_XdrOpaqueRoundTrip/1024",
+    "BM_XdrOpaqueRoundTrip/32768",
+    "BM_DiskCacheAttrLookup",
+    "BM_DiskCacheBlockWrite",
+    "BM_MemFsCreateWrite",
+    "BM_SimulatedGetattrRoundTrip",
+]
+
+
+def run_micro_core(build_dir, min_time):
+    binary = os.path.join(build_dir, "bench", "micro_core")
+    cmd = [
+        binary,
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    doc = json.loads(out.stdout)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        real_ns = float(b["real_time"])
+        items = float(b.get("items_per_second", 0.0))
+        # Uniform "bigger is better" score: reported throughput when the
+        # benchmark sets one, else iterations per second from wall time.
+        score = items if items > 0 else 1e9 / real_ns
+        rows[name] = {
+            "real_time_ns": round(real_ns, 2),
+            "items_per_second": round(items, 1),
+            "score_per_s": round(score, 1),
+        }
+    missing = [n for n in CORE_BENCHMARKS if n not in rows]
+    if missing:
+        sys.exit(f"micro_core output is missing benchmarks: {missing}")
+    return rows
+
+
+def run_micro_flush(build_dir, out_path):
+    binary = os.path.join(build_dir, "bench", "micro_flush")
+    cmd = [binary, "--check", "--json-out", out_path]
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out-dir", default=".")
+    ap.add_argument(
+        "--min-time",
+        default="0.3",
+        help="google-benchmark --benchmark_min_time per benchmark (seconds)",
+    )
+    ap.add_argument(
+        "--gate-baseline-dir",
+        default=None,
+        help="after running, invoke compare.py against the committed "
+        "BENCH_*.json in this directory and exit with its status",
+    )
+    ap.add_argument("--wall-mode", choices=["fail", "warn"], default="fail")
+    args = ap.parse_args()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    core_rows = run_micro_core(args.build_dir, args.min_time)
+    core_doc = {
+        "schema": "gvfs-bench-core/1",
+        "note": (
+            "Wall-clock micro benchmarks; machine-dependent. CI compares "
+            "against this file with a relative tolerance (compare.py). "
+            "Regenerate with tools/bench/run_bench.py on a quiet machine."
+        ),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "gated": CORE_BENCHMARKS,
+        "benchmarks": core_rows,
+    }
+    core_path = os.path.join(args.out_dir, "BENCH_core.json")
+    with open(core_path, "w") as f:
+        json.dump(core_doc, f, indent=1)
+        f.write("\n")
+    print(f"wrote {core_path}", file=sys.stderr)
+
+    flush_path = os.path.join(args.out_dir, "BENCH_flush.json")
+    flush_doc = run_micro_flush(args.build_dir, flush_path)
+    print(f"wrote {flush_path}", file=sys.stderr)
+
+    rt = core_rows.get("BM_SimulatedGetattrRoundTrip", {})
+    print(
+        f"roundtrip: {rt.get('items_per_second', 0) / 1e6:.2f}M sim-RPCs/s; "
+        f"flush speedup w8/w1: {flush_doc.get('speedup_w8_vs_w1')}",
+        file=sys.stderr,
+    )
+
+    if args.gate_baseline_dir:
+        compare = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "compare.py"
+        )
+        rc = subprocess.run(
+            [
+                sys.executable,
+                compare,
+                "--core-baseline",
+                os.path.join(args.gate_baseline_dir, "BENCH_core.json"),
+                "--core-candidate",
+                core_path,
+                "--flush-baseline",
+                os.path.join(args.gate_baseline_dir, "BENCH_flush.json"),
+                "--flush-candidate",
+                flush_path,
+                "--wall-mode",
+                args.wall_mode,
+            ]
+        ).returncode
+        sys.exit(rc)
+
+
+if __name__ == "__main__":
+    main()

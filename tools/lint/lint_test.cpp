@@ -191,6 +191,38 @@ TEST(RuleFixtures, FirePassSuppressed) {
   }
 }
 
+// hot-path-type scopes to src/sim + src/rpc, narrower than the shared
+// fixture harness's src/gvfs/ path, so it gets its own fire/pass/suppressed
+// pass at an in-scope path plus an out-of-scope check.
+TEST(RuleFixtures, HotPathTypeFirePassSuppressedScoped) {
+  const fs::path dir = kTestdata / "rules" / "hot-path-type";
+  auto lint_at = [&](const char* rel_path, const fs::path& file) {
+    Tree tree;
+    FileUnit unit = MakeUnit(rel_path, ReadFile(file));
+    tree.emplace(unit.rel_path, std::move(unit));
+    return LintTree(tree);
+  };
+
+  const auto fire = lint_at("src/sim/fixture.cpp", dir / "fire.cpp");
+  EXPECT_EQ(CountRule(fire, "hot-path-type"), 2)
+      << "expected one std::function and one std::map finding";
+  const auto fire_rpc = lint_at("src/rpc/fixture.cpp", dir / "fire.cpp");
+  EXPECT_EQ(CountRule(fire_rpc, "hot-path-type"), 2);
+
+  const auto pass = lint_at("src/sim/fixture.cpp", dir / "pass.cpp");
+  EXPECT_EQ(pass.size(), 0u) << "pass.cpp is not clean: " << FormatText(pass);
+
+  const auto suppressed =
+      lint_at("src/sim/fixture.cpp", dir / "suppressed.cpp");
+  EXPECT_EQ(suppressed.size(), 0u)
+      << "suppressed.cpp is not clean: " << FormatText(suppressed);
+
+  // Outside the two hot-path directories the rule must stay silent: the
+  // flexibility of std::function/std::map is fine where packets don't flow.
+  const auto out_of_scope = lint_at("src/gvfs/fixture.cpp", dir / "fire.cpp");
+  EXPECT_EQ(CountRule(out_of_scope, "hot-path-type"), 0);
+}
+
 TEST(Rules, PlainVariableDiscardIsAllowed) {
   Tree tree;
   FileUnit unit = MakeUnit("src/gvfs/fixture.cpp",

@@ -202,6 +202,38 @@ void CheckDiscardedExpected(const FileUnit& unit, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-path discipline (src/sim and src/rpc only)
+// ---------------------------------------------------------------------------
+
+/// hot-path-type: src/sim runs an event and src/rpc a packet millions of
+/// times per benchmark, and both were rebuilt around allocation-free
+/// structures (sim::EventFn's inline storage, gvfs::FlatMap, the per-host
+/// dispatch vector). A std::function posted per event re-introduces a heap
+/// allocation + indirect call per occurrence; a std::map consulted per call
+/// re-introduces a pointer chase per packet. Both are banned in these two
+/// directories; registration-time or report-ordering uses stay allowed via
+/// a reasoned suppression.
+void CheckHotPathType(const FileUnit& unit, std::vector<Finding>& out) {
+  const auto& toks = unit.lex.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!(IsIdent(toks[i], "std") && Is(toks[i + 1], "::"))) continue;
+    const Token& t = toks[i + 2];
+    if (IsIdent(t, "function")) {
+      Add(out, unit, "hot-path-type", t.line,
+          "'std::function' in an event/packet hot path allocates and "
+          "indirects per call; use sim::EventFn (sim/callback.h) or a "
+          "concrete callable, or suppress where the type erasure is "
+          "registration-time only");
+    } else if (IsIdent(t, "map")) {
+      Add(out, unit, "hot-path-type", t.line,
+          "'std::map' in an event/packet hot path costs a pointer chase per "
+          "lookup; use gvfs::FlatMap (common/flat_map.h) or a flat vector, "
+          "or suppress where ordered iteration is load-bearing");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppression hygiene
 // ---------------------------------------------------------------------------
 
@@ -235,6 +267,10 @@ bool InProtocolDirs(const std::string& rel_path) {
 }
 
 bool InSrc(const std::string& rel_path) { return StartsWith(rel_path, "src/"); }
+
+bool InHotPathDirs(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/sim/") || StartsWith(rel_path, "src/rpc/");
+}
 
 namespace {
 
@@ -281,6 +317,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"discarded-expected",
        "(void)-discarding a call result swallows protocol errors",
        CheckDiscardedExpected, nullptr, InProtocolDirs},
+      {"hot-path-type",
+       "std::function/std::map in sim/rpc hot paths; use EventFn/FlatMap",
+       CheckHotPathType, nullptr, InHotPathDirs},
       {"bad-suppression",
        "Suppressions must name real rules and give a reason",
        CheckBadSuppression, nullptr, nullptr},

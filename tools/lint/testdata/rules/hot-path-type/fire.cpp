@@ -1,0 +1,12 @@
+// Fixture: std::function stored per event and std::map consulted per call.
+#include <functional>
+#include <map>
+
+struct Scheduler {
+  void Post(std::function<void()> fn);
+};
+
+struct Dispatch {
+  std::map<unsigned, int> handlers;
+  int Lookup(unsigned proc) { return handlers[proc]; }
+};

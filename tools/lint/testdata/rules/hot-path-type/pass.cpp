@@ -1,0 +1,15 @@
+// Fixture: hot-path idioms — inline-storage callable, flat containers.
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "sim/callback.h"
+
+struct Scheduler {
+  void Post(gvfs::sim::EventFn fn);
+};
+
+struct Dispatch {
+  gvfs::FlatMap<unsigned, int> handlers;
+  std::vector<std::pair<unsigned, int>> ports;
+};

@@ -1,0 +1,13 @@
+// Fixture: reasoned suppressions — registration-time type erasure and a
+// report-feeding ordered index are allowed when justified.
+#include <functional>
+#include <map>
+#include <string>
+
+struct Registry {
+  // gvfs-lint: allow(hot-path-type): handler erasure is registration-time only, never per packet
+  using Handler = std::function<int(int)>;
+
+  // gvfs-lint: allow(hot-path-type): ordered iteration feeds the stats report
+  std::map<std::string, int> index;
+};
