@@ -1,0 +1,25 @@
+#include "fleet/shard_router.h"
+
+namespace gvfs::fleet {
+
+std::uint32_t ShardRouter::IndexOf(const nfs3::Fh& fh) const {
+  return proxy::ShardOf(fh, shard_count());
+}
+
+net::Address ShardRouter::AddressOf(const nfs3::Fh& fh) const {
+  return shards_.at(IndexOf(fh));
+}
+
+std::vector<std::size_t> ShardRouter::BalanceHistogram(
+    std::uint64_t fsid, std::uint64_t probe_count) const {
+  std::vector<std::size_t> counts(std::max<std::size_t>(1, shards_.size()), 0);
+  for (std::uint64_t ino = 1; ino <= probe_count; ++ino) {
+    nfs3::Fh fh;
+    fh.fsid = fsid;
+    fh.ino = ino;
+    ++counts[IndexOf(fh)];
+  }
+  return counts;
+}
+
+}  // namespace gvfs::fleet

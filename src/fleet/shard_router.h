@@ -1,0 +1,50 @@
+// Fleet-scale sharded proxy serving (ROADMAP "O(1k-10k) clients" item).
+//
+// A fleet session replaces the single proxy server with N ProxyServer
+// shards, all co-located with the kernel NFS server. Each shard owns a
+// static slice of the file-handle space (proxy::ShardOf): delegation state,
+// per-client invalidation buffers, and callback registrations for a handle
+// live only on its owning shard, never shared or replicated. A shard that
+// observes a mutation of a foreign handle (RENAME/LINK crossing slices)
+// forwards it to the owner with a NOTIFYINV RPC.
+//
+// The ShardRouter is the fleet's partition map: a value type every node can
+// copy, answering "which shard owns this handle" without coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gvfs/session.h"
+#include "net/network.h"
+#include "nfs3/proto.h"
+
+namespace gvfs::fleet {
+
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+  explicit ShardRouter(std::vector<net::Address> shards)
+      : shards_(std::move(shards)) {}
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  const std::vector<net::Address>& shards() const { return shards_; }
+
+  /// Index of the shard owning `fh` (0 when the fleet has < 2 shards).
+  std::uint32_t IndexOf(const nfs3::Fh& fh) const;
+
+  /// Address of the shard owning `fh`.
+  net::Address AddressOf(const nfs3::Fh& fh) const;
+
+  /// Number of handles from [0, probe_count) fsid/ino probes landing on each
+  /// shard — a balance diagnostic for tests and benches.
+  std::vector<std::size_t> BalanceHistogram(std::uint64_t fsid,
+                                            std::uint64_t probe_count) const;
+
+ private:
+  std::vector<net::Address> shards_;
+};
+
+}  // namespace gvfs::fleet

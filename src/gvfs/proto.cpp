@@ -19,6 +19,8 @@ const char* GvfsProcName(std::uint32_t proc) {
       return "CALLBACK";
     case kRecovery:
       return "RECOVERY";
+    case kNotifyInv:
+      return "NOTIFYINV";
   }
   return "GVFS?";
 }
@@ -50,6 +52,23 @@ nfs3::DecodeResult<GetInvRes> GetInvRes::Decode(xdr::Decoder& dec) {
     GVFS_TRY(fh, nfs3::Fh::Decode(dec));
     out.handles.push_back(fh);
   }
+  return out;
+}
+
+void NotifyInvArgs::Encode(xdr::Encoder& enc) const {
+  file.Encode(enc);
+  enc.PutU32(writer_host);
+  enc.PutU32(writer_port);
+}
+
+nfs3::DecodeResult<NotifyInvArgs> NotifyInvArgs::Decode(xdr::Decoder& dec) {
+  NotifyInvArgs out;
+  GVFS_TRY(fh, nfs3::Fh::Decode(dec));
+  out.file = fh;
+  GVFS_TRY(host, dec.GetU32());
+  out.writer_host = host;
+  GVFS_TRY(port, dec.GetU32());
+  out.writer_port = port;
   return out;
 }
 

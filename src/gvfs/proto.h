@@ -31,6 +31,7 @@ enum GvfsProc : std::uint32_t {
   kGetInv = 1,
   kCallback = 2,
   kRecovery = 3,
+  kNotifyInv = 4,
 };
 
 const char* GvfsProcName(std::uint32_t proc);
@@ -55,6 +56,31 @@ struct GetInvRes {
 
   void Encode(xdr::Encoder& enc) const;
   static nfs3::DecodeResult<GetInvRes> Decode(xdr::Decoder& dec);
+};
+
+// ---------------------------------------------------------------------------
+// NOTIFYINV (shard -> shard)
+// ---------------------------------------------------------------------------
+
+/// Sharded fleets only (src/fleet): a shard that completed a mutation
+/// touching a handle it does not own tells the owning shard, which records
+/// the invalidation in its per-client buffers. The writer's address rides
+/// along so the owner can skip the writer's own buffer, exactly as it does
+/// for locally observed mutations.
+struct NotifyInvArgs {
+  nfs3::Fh file;
+  std::uint32_t writer_host = 0;
+  std::uint32_t writer_port = 0;
+
+  void Encode(xdr::Encoder& enc) const;
+  static nfs3::DecodeResult<NotifyInvArgs> Decode(xdr::Decoder& dec);
+};
+
+struct NotifyInvRes {
+  void Encode(xdr::Encoder&) const {}
+  static nfs3::DecodeResult<NotifyInvRes> Decode(xdr::Decoder&) {
+    return NotifyInvRes{};
+  }
 };
 
 // ---------------------------------------------------------------------------

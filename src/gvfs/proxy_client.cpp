@@ -182,6 +182,13 @@ void ProxyClient::AttachMetrics(metrics::Registry& registry,
 // Upstream forwarding
 // ---------------------------------------------------------------------------
 
+net::Address ProxyClient::UpstreamFor(const std::optional<Fh>& fh) const {
+  const auto shard_count =
+      static_cast<std::uint32_t>(config_.shard_addrs.size());
+  if (shard_count < 2 || !fh.has_value()) return upstream_.server();
+  return config_.shard_addrs[ShardOf(*fh, shard_count)];
+}
+
 sim::Task<std::optional<Bytes>> ProxyClient::Upstream(std::uint32_t proc, Bytes args,
                                                       std::optional<Fh> granted_fh,
                                                       std::string label,
@@ -191,8 +198,8 @@ sim::Task<std::optional<Bytes>> ProxyClient::Upstream(std::uint32_t proc, Bytes 
   opts.label = std::move(label);
   opts.max_retries = 100;  // hard-mount semantics: requests are simply retried
   opts.parent = parent;
-  auto reply = co_await node_.Call(upstream_.server(), nfs3::kProgram, proc,
-                                   std::move(args), std::move(opts));
+  auto reply = co_await node_.Call(UpstreamFor(granted_fh), nfs3::kProgram,
+                                   proc, std::move(args), std::move(opts));
   if (!reply) co_return std::nullopt;
   Bytes body = reply->ToBytes();
   if (config_.model == ConsistencyModel::kDelegationCallback) {
@@ -907,10 +914,28 @@ sim::Task<Bytes> ProxyClient::HandleRecovery(rpc::CallContext ctx, rpc::Body) {
 // Background tasks
 // ---------------------------------------------------------------------------
 
+void ProxyClient::InitPollTargets() {
+  poll_targets_.clear();
+  std::vector<net::Address> addrs = config_.getinv_targets;
+  if (addrs.empty()) {
+    if (config_.shard_addrs.size() >= 2) {
+      // Sharded session: every shard owns a slice of the handle space, so an
+      // up-to-date client polls all of them (the fan-in the aggregation tier
+      // exists to absorb).
+      addrs = config_.shard_addrs;
+    } else {
+      addrs.push_back(upstream_.server());
+    }
+  }
+  poll_targets_.reserve(addrs.size());
+  for (const auto& addr : addrs) poll_targets_.push_back(PollTarget{addr, 0});
+}
+
 void ProxyClient::Start() {
   if (running_) return;
   running_ = true;
   if (config_.model == ConsistencyModel::kInvalidationPolling) {
+    InitPollTargets();
     sim::Spawn(PollLoop());
   }
   if (config_.cache_mode == CacheMode::kWriteBack && config_.wb_flush_period > 0) {
@@ -933,37 +958,49 @@ sim::Task<void> ProxyClient::PollLoop() {
 
 sim::Task<void> ProxyClient::PollOnce() {
   bool got_news = false;
-  while (true) {
-    GetInvArgs args;
-    args.last_timestamp = poll_timestamp_;
-    rpc::CallOptions opts;
-    opts.label = "GETINV";
-    auto reply = co_await node_.Call(upstream_.server(), kGvfsProgram, kGetInv,
-                                     Serialize(args), std::move(opts));
-    if (!reply) co_return;  // server unreachable; retry next period
-    auto res = nfs3::Parse<GetInvRes>(*reply);
-    if (!res) co_return;
-    ++stats_.polls;
-    poll_timestamp_ = res->new_timestamp;
-    if (res->force_invalidate) {
-      node_.tracer().Inv(trace::EventType::kInvForce, node_.address().host, 0,
-                         0, res->new_timestamp, 0, upstream_.server().host);
-      cache_.InvalidateAllAttrs();
-      ++stats_.force_invalidations;
-      got_news = true;
-    } else {
-      for (const auto& fh : res->handles) {
-        node_.tracer().Inv(trace::EventType::kInvPoll, node_.address().host,
-                           fh.fsid, fh.ino, res->new_timestamp,
-                           static_cast<std::uint32_t>(res->handles.size()),
-                           upstream_.server().host);
-        cache_.InvalidateAttr(fh);
-        ++stats_.invalidations_applied;
+  bool unreachable = false;
+  for (auto& target : poll_targets_) {
+    while (true) {
+      GetInvArgs args;
+      args.last_timestamp = target.timestamp;
+      rpc::CallOptions opts;
+      opts.label = "GETINV";
+      auto reply = co_await node_.Call(target.addr, kGvfsProgram, kGetInv,
+                                       Serialize(args), std::move(opts));
+      if (!reply) {  // target unreachable; retry next period
+        unreachable = true;
+        break;
       }
-      got_news |= !res->handles.empty();
+      auto res = nfs3::Parse<GetInvRes>(*reply);
+      if (!res) {
+        unreachable = true;
+        break;
+      }
+      ++stats_.polls;
+      target.timestamp = res->new_timestamp;
+      if (res->force_invalidate) {
+        node_.tracer().Inv(trace::EventType::kInvForce, node_.address().host,
+                           0, 0, res->new_timestamp, 0, target.addr.host);
+        cache_.InvalidateAllAttrs();
+        ++stats_.force_invalidations;
+        got_news = true;
+      } else {
+        for (const auto& fh : res->handles) {
+          node_.tracer().Inv(trace::EventType::kInvPoll, node_.address().host,
+                             fh.fsid, fh.ino, res->new_timestamp,
+                             static_cast<std::uint32_t>(res->handles.size()),
+                             target.addr.host);
+          cache_.InvalidateAttr(fh);
+          ++stats_.invalidations_applied;
+        }
+        got_news |= !res->handles.empty();
+      }
+      if (!res->poll_again) break;
     }
-    if (!res->poll_again) break;
   }
+  // A transport/parse failure without news skips the back-off adjustment
+  // (mirrors the single-target behavior: the next period retries as-is).
+  if (unreachable && !got_news) co_return;
 
   // Exponential back-off while the file system is quiet (§4.2.1).
   if (config_.poll_max_period > config_.poll_period) {
@@ -1116,7 +1153,9 @@ void ProxyClient::Crash() {
   ++epoch_;
   cache_.Crash();      // disk survives; validity metadata does not
   delegations_.clear();
-  poll_timestamp_ = 0;  // lost: the next GETINV bootstraps with a null ts
+  // Poll timestamps are lost: the next GETINV per target bootstraps with a
+  // null timestamp.
+  for (auto& target : poll_targets_) target.timestamp = 0;
   poll_period_ = config_.poll_period;
 }
 

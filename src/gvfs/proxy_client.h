@@ -138,6 +138,13 @@ class ProxyClient {
   /// Records a cached read-class serve into the session staleness probe.
   void RecordCachedRead(const nfs3::Fh& fh);
 
+  /// Destination for an upstream call: the owning shard when the session is
+  /// sharded and the call names a file handle, else the session server.
+  net::Address UpstreamFor(const std::optional<nfs3::Fh>& fh) const;
+
+  /// (Re)builds poll_targets_ from the session config.
+  void InitPollTargets();
+
   /// True when the consistency model lets cached attributes answer locally.
   bool AttrServable(const nfs3::Fh& fh) const;
   /// Delegation model: do we hold a live (non-renewal-due) delegation?
@@ -223,7 +230,14 @@ class ProxyClient {
   /// instead of issuing their own upstream READ.
   std::set<std::pair<nfs3::Fh, std::uint64_t>> prefetch_inflight_;
   sim::Condition prefetch_done_{sched_};
-  std::uint64_t poll_timestamp_ = 0;
+  /// GETINV poll targets with per-target logical timestamps: the session
+  /// server by default, every shard when the session is sharded, or the
+  /// aggregation tier when SessionConfig::getinv_targets overrides.
+  struct PollTarget {
+    net::Address addr{};
+    std::uint64_t timestamp = 0;
+  };
+  std::vector<PollTarget> poll_targets_;
   Duration poll_period_;
   bool running_ = false;
   std::uint64_t epoch_ = 0;  // bumped on crash to cancel stale loops

@@ -34,6 +34,10 @@ ProxyServer::ProxyServer(sim::Scheduler& sched, rpc::RpcNode& node,
                        [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleGetInv(ctx, std::move(args));
                        });
+  node.RegisterHandler(kGvfsProgram, kNotifyInv,
+                       [this](rpc::CallContext ctx, rpc::Body args) {
+                         return HandleNotifyInv(ctx, std::move(args));
+                       });
 }
 
 // ---------------------------------------------------------------------------
@@ -226,13 +230,13 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
     auto status = dec.GetU32();
     if (status && *status == 0) {
       for (const auto& fh : info.writes) {
-        RecordInvalidation(fh, ctx.caller);
+        co_await PropagateInvalidation(fh, ctx.caller, ctx.span);
         if (staleness_ != nullptr) {
           staleness_->StampVersion(fh.fsid, fh.ino, received, ctx.caller.host);
         }
       }
       for (const auto& fh : victim_fhs) {
-        RecordInvalidation(fh, ctx.caller);
+        co_await PropagateInvalidation(fh, ctx.caller, ctx.span);
         if (staleness_ != nullptr) {
           staleness_->StampVersion(fh.fsid, fh.ino, received, ctx.caller.host);
         }
@@ -272,6 +276,9 @@ void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
     if (!state.pending.insert(fh).second) continue;  // coalesced
     state.buffer.push_back(InvEntry{inv_clock_, fh});
     ++stats_.invalidations_recorded;
+    ++inv_entries_;
+    stats_.inv_entries_peak =
+        std::max<std::uint64_t>(stats_.inv_entries_peak, inv_entries_);
     tr.Inv(trace::EventType::kInvAppend, host, fh.fsid, fh.ino, inv_clock_,
            static_cast<std::uint32_t>(state.buffer.size()), client.host);
     if (state.buffer.size() > config_.inv_buffer_capacity) {
@@ -282,9 +289,60 @@ void ProxyServer::RecordInvalidation(const Fh& fh, net::Address writer) {
       ++stats_.inv_wraps;
       state.pending.erase(oldest.fh);
       state.buffer.pop_front();
+      --inv_entries_;
       state.overflowed = true;  // wrap-around: this client must force-invalidate
     }
   }
+}
+
+bool ProxyServer::OwnsHandle(const Fh& fh) const {
+  const auto shard_count =
+      static_cast<std::uint32_t>(config_.shard_addrs.size());
+  if (shard_count < 2) return true;
+  return ShardOf(fh, shard_count) == config_.shard_index;
+}
+
+sim::Task<void> ProxyServer::PropagateInvalidation(Fh fh, net::Address writer,
+                                                   trace::SpanRef parent) {
+  if (OwnsHandle(fh)) {
+    RecordInvalidation(fh, writer);
+    co_return;
+  }
+  // Sharded fleet: invalidation state lives only with the owning shard.
+  // Awaited before the NFS reply goes out, so the owner has recorded the
+  // invalidation before the writer can tell anyone about its update.
+  NotifyInvArgs notify;
+  notify.file = fh;
+  notify.writer_host = writer.host;
+  notify.writer_port = writer.port;
+  ++stats_.notifyinv_sent;
+  rpc::CallOptions opts;
+  opts.label = "NOTIFYINV";
+  opts.parent = parent;
+  const net::Address owner = config_.shard_addrs[ShardOf(
+      fh, static_cast<std::uint32_t>(config_.shard_addrs.size()))];
+  auto reply = co_await node_.Call(owner, kGvfsProgram, kNotifyInv,
+                                   Serialize(notify), std::move(opts));
+  if (!reply) {
+    GVFS_WARN("shard %u: NOTIFYINV for %llu:%llu to shard host %u failed",
+              node_.address().host, static_cast<unsigned long long>(fh.fsid),
+              static_cast<unsigned long long>(fh.ino), owner.host);
+  }
+}
+
+sim::Task<Bytes> ProxyServer::HandleNotifyInv(rpc::CallContext ctx,
+                                              rpc::Body args) {
+  ++stats_.notifyinv_received;
+  auto parsed = nfs3::Parse<NotifyInvArgs>(args);
+  if (parsed) {
+    const net::Address writer{parsed->writer_host, parsed->writer_port};
+    RecordInvalidation(parsed->file, writer);
+    if (config_.model == ConsistencyModel::kDelegationCallback) {
+      co_await RecallConflicts(parsed->file, writer, /*write_op=*/true,
+                               std::nullopt, ctx.span);
+    }
+  }
+  co_return Serialize(NotifyInvRes{});
 }
 
 sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, rpc::Body args) {
@@ -321,6 +379,7 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, rpc::Body args)
   if (stale_ts || state.overflowed) {
     // Case 2: the client cannot be brought up to date incrementally (lost
     // timestamp, or its buffer wrapped around during a partition).
+    inv_entries_ -= state.buffer.size();
     state.buffer.clear();
     state.pending.clear();
     state.overflowed = false;
@@ -344,6 +403,7 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, rpc::Body args)
     res.handles.push_back(entry.fh);
     state.last_acked = entry.timestamp;
   }
+  inv_entries_ -= batch;
   if (state.buffer.empty()) {
     state.last_acked = inv_clock_;
   } else {
@@ -469,7 +529,9 @@ sim::Task<void> ProxyServer::RecallOne(Fh fh, net::Address addr,
           (offset.has_value() ? trace::kDelegFlagHasWanted : 0),
       offset.value_or(0));
   const SimTime recall_start = sched_.Now();
+  ++recalls_in_flight_;
   CallbackRes res = co_await SendCallback(addr, fh, type, offset, parent);
+  --recalls_in_flight_;
   if (recall_wb_hist_ != nullptr && type == CallbackType::kRecallWrite) {
     // Recall → reply covers the holder's synchronous write-back (§4.3.2).
     const SimTime took = sched_.Now() - recall_start;
@@ -523,8 +585,10 @@ sim::Task<void> ProxyServer::EnsureBlockWrittenBack(Fh fh, net::Address requeste
                        it->second.writeback_owner.host,
                        trace::kDelegFlagServerSide | trace::kDelegFlagHasWanted,
                        block_offset);
+  ++recalls_in_flight_;
   co_await SendCallback(it->second.writeback_owner, fh, CallbackType::kRecallWrite,
                         block_offset, parent);
+  --recalls_in_flight_;
   // The owner's WRITE (observed in HandleNfs) retires the pending offset.
 }
 
@@ -595,6 +659,7 @@ void ProxyServer::Crash() {
   node_.SetDown(true);
   inv_clients_.clear();
   inv_clock_ = 1;
+  inv_entries_ = 0;
   files_.clear();
   // persistent_clients_ survives: it is stored on disk.
 }
@@ -689,6 +754,24 @@ void ProxyServer::AttachMetrics(metrics::Registry& registry,
   });
   registry.AddProbe(prefix + "invalidations_recorded", [this] {
     return static_cast<double>(stats_.invalidations_recorded);
+  });
+  registry.AddProbe(prefix + "inv_buffer_entries", [this] {
+    return static_cast<double>(inv_entries_);
+  });
+  registry.AddProbe(prefix + "inv_entries_peak", [this] {
+    return static_cast<double>(stats_.inv_entries_peak);
+  });
+  registry.AddProbe(prefix + "inv_buffer_clients", [this] {
+    return static_cast<double>(inv_clients_.size());
+  });
+  registry.AddProbe(prefix + "recall_queue_depth", [this] {
+    return static_cast<double>(recalls_in_flight_);
+  });
+  registry.AddProbe(prefix + "notifyinv_sent", [this] {
+    return static_cast<double>(stats_.notifyinv_sent);
+  });
+  registry.AddProbe(prefix + "notifyinv_received", [this] {
+    return static_cast<double>(stats_.notifyinv_received);
   });
 }
 

@@ -51,6 +51,13 @@ struct ProxyServerStats {
   /// Invalidation-buffer wrap-arounds (oldest entry evicted; the affected
   /// client is forced to whole-cache invalidate on its next poll).
   std::uint64_t inv_wraps = 0;
+  /// Sharded fleets: cross-shard invalidation notifications (NOTIFYINV)
+  /// sent to owning shards / received from peer shards.
+  std::uint64_t notifyinv_sent = 0;
+  std::uint64_t notifyinv_received = 0;
+  /// High-water mark of total buffered invalidation entries across all
+  /// clients (the per-shard blow-up fig_scale measures).
+  std::uint64_t inv_entries_peak = 0;
 };
 
 class ProxyServer {
@@ -133,6 +140,7 @@ class ProxyServer {
 
   sim::Task<Bytes> HandleNfs(std::uint32_t proc, rpc::CallContext ctx, rpc::Body args);
   sim::Task<Bytes> HandleGetInv(rpc::CallContext ctx, rpc::Body args);
+  sim::Task<Bytes> HandleNotifyInv(rpc::CallContext ctx, rpc::Body args);
 
   static OpInfo Classify(std::uint32_t proc, ByteView args);
 
@@ -141,6 +149,14 @@ class ProxyServer {
 
   // -- invalidation polling --
   void RecordInvalidation(const nfs3::Fh& fh, net::Address writer);
+
+  // -- sharded fleet (src/fleet) --
+  /// True when this shard owns `fh` (always true unsharded).
+  bool OwnsHandle(const nfs3::Fh& fh) const;
+  /// Records a mutation of `fh`: locally when owned, else via a NOTIFYINV
+  /// RPC to the owning shard so invalidations live only with the owner.
+  sim::Task<void> PropagateInvalidation(nfs3::Fh fh, net::Address writer,
+                                        trace::SpanRef parent);
 
   // -- delegation machinery --
   // `parent` chains the recall CALLBACKs into the span of the NFS request
@@ -195,6 +211,11 @@ class ProxyServer {
   sim::Condition grace_over_;
 
   ProxyServerStats stats_;
+  /// Total buffered invalidation entries across all client buffers
+  /// (incremented on append, decremented on serve/wrap/clear).
+  std::size_t inv_entries_ = 0;
+  /// Recall CALLBACKs currently in flight (recall queue depth gauge).
+  int recalls_in_flight_ = 0;
   metrics::StalenessProbe* staleness_ = nullptr;
   metrics::Histogram* deleg_hold_hist_ = nullptr;   // µs
   metrics::Histogram* recall_wb_hist_ = nullptr;    // recall → reply, µs

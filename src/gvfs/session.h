@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
+#include "net/network.h"
+#include "nfs3/proto.h"
 
 namespace gvfs::proxy {
 
@@ -98,6 +101,29 @@ struct SessionConfig {
   /// deliberately breaking the §4.3 single-writer invariant so the checker
   /// has something to catch. NEVER enable outside tests.
   bool unsafe_skip_recalls = false;
+
+  /// Sharded fleet serving (src/fleet): addresses of every proxy-server
+  /// shard in this session, indexed by ShardOf(fh, shard_addrs.size()).
+  /// Empty or size 1 means the classic single-server session. When set on a
+  /// proxy client, per-file NFS traffic routes to the owning shard; when set
+  /// on a proxy server shard, mutations of foreign handles are forwarded to
+  /// the owner via NOTIFYINV.
+  std::vector<net::Address> shard_addrs;
+
+  /// This proxy server's index into shard_addrs (ignored when unsharded).
+  std::uint32_t shard_index = 0;
+
+  /// GETINV polling targets for a proxy client. Empty means "poll the
+  /// session server" (plus every other shard when sharded); set to a single
+  /// aggregator address to route consistency polls through the aggregation
+  /// tier instead.
+  std::vector<net::Address> getinv_targets;
 };
+
+/// Partitions the file-handle space across `shard_count` shards. Pure
+/// function of the handle (splitmix64-mixed fsid/ino), so every node in a
+/// fleet computes the same owner without coordination. shard_count < 2
+/// always maps to shard 0.
+std::uint32_t ShardOf(const nfs3::Fh& fh, std::uint32_t shard_count);
 
 }  // namespace gvfs::proxy

@@ -44,6 +44,8 @@ const char* InvariantKindName(InvariantKind kind) {
       return "recall-writeback";
     case InvariantKind::kDrcReexec:
       return "drc-reexec";
+    case InvariantKind::kAggTier:
+      return "agg-tier";
   }
   return "?";
 }
@@ -97,6 +99,27 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
   using ExecKey = std::tuple<HostId, std::uint32_t, HostId, std::uint32_t,
                              std::uint32_t>;
   std::set<ExecKey> executed;
+
+  // Invariant 5: aggregation-tier fan-out accounting. Hosts become
+  // "aggregators" implicitly by emitting kAgg* events; a plain server's
+  // kInvWrap/kInvForce events touch no state here because no clients are
+  // ever registered under its host. A client registers under an aggregator
+  // when it is first served (kAggServe / aggregator-side kInvForce), which
+  // is exactly when the aggregator starts fanning out to it.
+  using AggClientKey = std::pair<HostId, HostId>;  // aggregator, client
+  using AggPendingKey =
+      std::tuple<HostId, HostId, std::uint64_t, std::uint64_t>;  // +fsid, ino
+  std::map<HostId, std::set<HostId>> agg_clients;
+  std::set<AggPendingKey> agg_pending;   // fanned out, not yet delivered
+  std::set<AggClientKey> agg_forced;     // whole-cache invalidation owed
+  auto drop_agg_client = [&](HostId agg, HostId client) {
+    agg_forced.erase({agg, client});
+    auto it = agg_pending.lower_bound({agg, client, 0, 0});
+    while (it != agg_pending.end() && std::get<0>(*it) == agg &&
+           std::get<1>(*it) == client) {
+      it = agg_pending.erase(it);
+    }
+  };
 
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     const Event& ev = buffer.at(i);
@@ -171,9 +194,76 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
         if (v.ino != 0) cache[{ev.host, v.fsid, v.ino}].invalidated = idx;
         break;
       }
-      case EventType::kInvForce:
+      case EventType::kInvForce: {
         force_inv[ev.host] = idx;
+        // Server/aggregator side (peer = the client being force-served):
+        // the whole-cache invalidation settles every outstanding per-handle
+        // obligation toward that client and (re)registers it for fan-out.
+        const auto& v = ev.u.inv;
+        if (v.peer_host != 0) {
+          drop_agg_client(ev.host, v.peer_host);
+          agg_clients[ev.host].insert(v.peer_host);
+        }
         break;
+      }
+      case EventType::kInvWrap: {
+        // The incremental stream to `peer` broke (buffer overflow or an
+        // upstream force escalating through the tier); per-handle delivery
+        // is superseded by the force the client will be served next poll.
+        const auto& v = ev.u.inv;
+        if (v.peer_host != 0) {
+          drop_agg_client(ev.host, v.peer_host);
+          agg_forced.insert({ev.host, v.peer_host});
+        }
+        break;
+      }
+      case EventType::kAggFanout: {
+        const auto& v = ev.u.inv;
+        agg_clients[ev.host].insert(v.peer_host);
+        if (!agg_pending.insert({ev.host, v.peer_host, v.fsid, v.ino})
+                 .second) {
+          std::snprintf(msg, sizeof(msg),
+                        "aggregator %u fanned out file %s to host %u twice "
+                        "without a delivery in between (coalescing broken; "
+                        "duplicate invalidation)",
+                        ev.host, FhString(v.fsid, v.ino).c_str(), v.peer_host);
+          report(i, ev.time, InvariantKind::kAggTier);
+        }
+        break;
+      }
+      case EventType::kAggIngest: {
+        const auto& v = ev.u.inv;
+        for (HostId client : agg_clients[ev.host]) {
+          if (agg_forced.count({ev.host, client}) != 0) continue;
+          if (agg_pending.count({ev.host, client, v.fsid, v.ino}) != 0) {
+            continue;
+          }
+          std::snprintf(msg, sizeof(msg),
+                        "aggregator %u ingested file %s without fanning it "
+                        "out to registered host %u (invalidation lost "
+                        "crossing the tier)",
+                        ev.host, FhString(v.fsid, v.ino).c_str(), client);
+          report(i, ev.time, InvariantKind::kAggTier);
+        }
+        break;
+      }
+      case EventType::kAggDeliver: {
+        const auto& v = ev.u.inv;
+        const AggPendingKey key{ev.host, v.peer_host, v.fsid, v.ino};
+        if (agg_pending.erase(key) == 0) {
+          std::snprintf(msg, sizeof(msg),
+                        "aggregator %u delivered file %s to host %u without "
+                        "a pending fan-out (duplicate or fabricated "
+                        "invalidation)",
+                        ev.host, FhString(v.fsid, v.ino).c_str(), v.peer_host);
+          report(i, ev.time, InvariantKind::kAggTier);
+        }
+        break;
+      }
+      case EventType::kAggServe: {
+        agg_clients[ev.host].insert(ev.u.inv.peer_host);
+        break;
+      }
       case EventType::kCacheMiss:
         cache[{ev.host, ev.u.cache.fsid, ev.u.cache.ino}].validated = idx;
         break;
@@ -241,6 +331,12 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
         for (auto it = executed.begin(); it != executed.end();) {
           it = std::get<0>(*it) == ev.host ? executed.erase(it)
                                            : std::next(it);
+        }
+        // A crashed aggregator forgets its downstream registrations; its
+        // clients re-bootstrap (force) when it comes back.
+        if (auto ait = agg_clients.find(ev.host); ait != agg_clients.end()) {
+          for (HostId client : ait->second) drop_agg_client(ev.host, client);
+          agg_clients.erase(ait);
         }
         break;
       }

@@ -21,6 +21,14 @@
 //     every retransmission. Which (prog, proc) pairs are non-idempotent is
 //     supplied by the caller (see proxy::NfsTraceCheckerConfig()), keeping
 //     this library protocol-agnostic.
+//  5. kAggTier — no invalidation is lost or duplicated crossing the GETINV
+//     aggregation tier (src/fleet). The aggregator emits one kAggFanout per
+//     registered downstream client BEFORE each kAggIngest, so the replay
+//     demands: at ingest, every registered client has a pending fanout for
+//     the handle (unless a kInvWrap put that client in force-pending state,
+//     where a whole-cache invalidation supersedes per-handle delivery); a
+//     second fanout of a pending handle (broken coalescing) and a delivery
+//     of a handle never fanned out are both duplications.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +45,7 @@ enum class InvariantKind {
   kStaleRead,
   kRecallWriteBack,
   kDrcReexec,
+  kAggTier,
 };
 
 const char* InvariantKindName(InvariantKind kind);

@@ -94,7 +94,11 @@ std::string PayloadArgs(const TraceBuffer& buf, const Event& ev) {
     case EventType::kInvAppend:
     case EventType::kInvPoll:
     case EventType::kInvWrap:
-    case EventType::kInvForce: {
+    case EventType::kInvForce:
+    case EventType::kAggFanout:
+    case EventType::kAggIngest:
+    case EventType::kAggDeliver:
+    case EventType::kAggServe: {
       const auto& i = ev.u.inv;
       std::snprintf(out, sizeof(out),
                     "{\"fh\":\"%s\",\"timestamp\":%" PRIu64
@@ -412,7 +416,11 @@ void WriteTimeline(const TraceBuffer& buffer, std::ostream& out,
       case EventType::kInvAppend:
       case EventType::kInvPoll:
       case EventType::kInvWrap:
-      case EventType::kInvForce: {
+      case EventType::kInvForce:
+      case EventType::kAggFanout:
+      case EventType::kAggIngest:
+      case EventType::kAggDeliver:
+      case EventType::kAggServe: {
         const auto& v = ev.u.inv;
         std::snprintf(line, sizeof(line),
                       " fh=%s ts=%" PRIu64 " count=%u peer=%s",

@@ -44,6 +44,14 @@ const char* EventTypeName(EventType type) {
       return "INV_WRAP";
     case EventType::kInvForce:
       return "INV_FORCE";
+    case EventType::kAggFanout:
+      return "AGG_FANOUT";
+    case EventType::kAggIngest:
+      return "AGG_INGEST";
+    case EventType::kAggDeliver:
+      return "AGG_DELIVER";
+    case EventType::kAggServe:
+      return "AGG_SERVE";
     case EventType::kNodeCrash:
       return "NODE_CRASH";
     case EventType::kNodeRecover:

@@ -52,8 +52,16 @@ enum class EventType : std::uint8_t {
   // Invalidation polling (§4.2).
   kInvAppend,  // server appended a handle to a client's buffer
   kInvPoll,    // GETINV served (server) / invalidation applied (client)
-  kInvWrap,    // circular buffer overflowed; oldest entry dropped
+  kInvWrap,    // incremental stream broken (overflow / upstream force);
+               // the affected client owes a whole-cache invalidation
   kInvForce,   // whole-cache invalidation (overflow, bootstrap, recovery)
+  // GETINV aggregation tier (src/fleet). Per upstream handle the aggregator
+  // emits one kAggFanout per registered downstream client FOLLOWED by one
+  // kAggIngest, so a single-pass checker can prove no client was skipped.
+  kAggFanout,   // aggregator appended a handle to one downstream buffer
+  kAggIngest,   // aggregator absorbed one upstream handle (post-fanout)
+  kAggDeliver,  // aggregator handed one buffered handle to a downstream poll
+  kAggServe,    // aggregator served one downstream GETINV batch
   // Node lifecycle.
   kNodeCrash,
   kNodeRecover,

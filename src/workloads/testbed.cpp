@@ -10,6 +10,11 @@ sim::Task<void> GvfsSession::Shutdown() {
   for (auto* proxy : proxies) co_await proxy->Shutdown();
 }
 
+sim::Task<void> FleetSession::Shutdown() {
+  for (auto* proxy : proxies) co_await proxy->Shutdown();
+  if (aggregator != nullptr) aggregator->Stop();
+}
+
 Testbed::Testbed(TestbedConfig config)
     : config_(config),
       network_(sched_),
@@ -134,6 +139,118 @@ GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
         kernel_options));
     session.mounts.push_back(mounts_.back().get());
     mount_stats_[mounts_.back().get()] = stats;
+  }
+  return session;
+}
+
+FleetSession& Testbed::CreateFleetSession(const FleetConfig& config,
+                                          const std::vector<int>& clients,
+                                          std::size_t active_mounts,
+                                          kclient::MountOptions kernel_options) {
+  fleet_sessions_.push_back(FleetSession{});
+  FleetSession& session = fleet_sessions_.back();
+
+  stats_.push_back(std::make_unique<rpc::StatsMap>());
+  rpc::StatsMap* stats = stats_.back().get();
+  session.stats = stats;
+
+  std::string tag = "f";
+  tag += std::to_string(fleet_sessions_.size() - 1);
+
+  // Reserve the shard ports up front: every shard (and every client) needs
+  // the full ShardOf-indexed address vector before any node is created.
+  const std::uint32_t shard_count = std::max<std::uint32_t>(1, config.shards);
+  std::vector<net::Address> shard_addrs;
+  shard_addrs.reserve(shard_count);
+  for (std::uint32_t k = 0; k < shard_count; ++k) {
+    shard_addrs.push_back(net::Address{server_host_, next_port_++});
+  }
+  const std::uint32_t agg_port = next_port_++;
+  const std::uint32_t client_port = next_port_++;
+  session.router = fleet::ShardRouter(shard_addrs);
+
+  metrics::StalenessProbe* probe = nullptr;
+  if (metrics_registry_ != nullptr) {
+    staleness_probes_.emplace_back();
+    probe = &staleness_probes_.back();
+    probe->SetHistogram(&metrics_registry_->GetHistogram(tag + ".staleness_us"));
+    metrics_registry_->AddProbe(tag + ".rpc_in_flight", [stats] {
+      return static_cast<double>(stats->InFlight());
+    });
+  }
+
+  // Shards, all beside the kernel NFS server (loopback upstream). Each owns
+  // the ShardOf slice at its index; foreign-handle mutations are forwarded
+  // with NOTIFYINV.
+  for (std::uint32_t k = 0; k < shard_count; ++k) {
+    rpc::RpcNode& shard_node = domain_.CreateNode(
+        server_host_, shard_addrs[k].port, "proxy-shard" + std::to_string(k));
+    shard_node.SetStatsSink(stats);
+    proxy::SessionConfig shard_config = config.session;
+    shard_config.shard_addrs = shard_addrs;
+    shard_config.shard_index = k;
+    proxy_servers_.push_back(std::make_unique<proxy::ProxyServer>(
+        sched_, shard_node, nfsd_node_->address(), shard_config));
+    session.shards.push_back(proxy_servers_.back().get());
+    if (metrics_registry_ != nullptr) {
+      session.shards.back()->AttachMetrics(
+          *metrics_registry_, tag + ".s" + std::to_string(k) + ".", probe);
+    }
+  }
+
+  // Aggregation tier: its own host, LAN-adjacent to the server so its
+  // upstream polls are cheap, reached by clients over the WAN.
+  net::Address agg_addr{};
+  if (config.aggregate) {
+    const HostId agg_host = network_.AddHost(tag + "-agg");
+    network_.Connect(agg_host, server_host_, config_.lan);
+    rpc::RpcNode& agg_node =
+        domain_.CreateNode(agg_host, agg_port, "inv-agg");
+    agg_node.SetStatsSink(stats);
+    agg_addr = agg_node.address();
+    fleet::InvAggregatorConfig agg_config = config.aggregator;
+    agg_config.shards = shard_addrs;
+    aggregators_.push_back(std::make_unique<fleet::InvAggregator>(
+        sched_, agg_node, std::move(agg_config)));
+    session.aggregator = aggregators_.back().get();
+    if (metrics_registry_ != nullptr) {
+      session.aggregator->AttachMetrics(*metrics_registry_, tag + ".agg.");
+    }
+    session.aggregator->Start();
+  }
+
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const HostId host = client_hosts_.at(clients[i]);
+    if (config.aggregate) {
+      // Clients reach the aggregator over the same WAN they'd use for the
+      // server; the tier's win is server-side fan-in, not client latency.
+      network_.Connect(host, agg_addr.host, config_.wan);
+    }
+    rpc::RpcNode& proxy_node = domain_.CreateNode(
+        host, client_port, "proxy-client@" + network_.HostName(host));
+    proxy_node.SetStatsSink(stats);
+    proxy::SessionConfig client_config = config.session;
+    client_config.shard_addrs = shard_addrs;
+    if (config.aggregate) client_config.getinv_targets = {agg_addr};
+    proxy_clients_.push_back(std::make_unique<proxy::ProxyClient>(
+        sched_, proxy_node, shard_addrs[0], client_config));
+    proxy::ProxyClient* proxy = proxy_clients_.back().get();
+    if (metrics_registry_ != nullptr) {
+      proxy->AttachMetrics(*metrics_registry_,
+                           tag + ".c" + std::to_string(host) + ".", probe);
+    }
+    proxy->Start();
+    session.proxies.push_back(proxy);
+
+    if (i < active_mounts) {
+      rpc::RpcNode& kernel_node = domain_.CreateNode(
+          host, next_port_++, "kclient@" + network_.HostName(host));
+      mounts_.push_back(std::make_unique<kclient::KernelClient>(
+          sched_, kernel_node, proxy_node.address(), nfsd_->RootFh(),
+          kernel_options));
+      session.mounts.push_back(mounts_.back().get());
+      mount_stats_[mounts_.back().get()] = stats;
+    }
   }
   return session;
 }

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "afs/afs.h"
+#include "fleet/inv_aggregator.h"
+#include "fleet/shard_router.h"
 #include "gvfs/proxy_client.h"
 #include "gvfs/proxy_server.h"
 #include "gvfs/session.h"
@@ -56,6 +58,53 @@ struct GvfsSession {
   sim::Task<void> Shutdown();
 };
 
+/// Topology of a fleet-scale session (src/fleet): N proxy-server shards
+/// beside the kernel NFS server, optionally fronted by a GETINV aggregation
+/// tier.
+struct FleetConfig {
+  FleetConfig() = default;
+  FleetConfig(const FleetConfig&) = default;
+  FleetConfig(FleetConfig&&) noexcept = default;
+  FleetConfig& operator=(const FleetConfig&) = default;
+  FleetConfig& operator=(FleetConfig&&) noexcept = default;
+
+  /// Number of proxy-server shards (1 = the classic single-server session).
+  std::uint32_t shards = 1;
+
+  /// When true, clients poll an InvAggregator (LAN-adjacent to the server)
+  /// instead of polling every shard directly.
+  bool aggregate = false;
+
+  /// Aggregator tuning; `shards` is filled in by the testbed.
+  fleet::InvAggregatorConfig aggregator;
+
+  /// Per-shard session config; shard_addrs / shard_index / getinv_targets
+  /// are filled in by the testbed.
+  proxy::SessionConfig session;
+};
+
+/// One fleet-scale GVFS session: sharded servers, optional aggregation tier,
+/// a proxy client per participating host, kernel mounts on the active ones.
+struct FleetSession {
+  std::vector<proxy::ProxyServer*> shards;
+  fleet::InvAggregator* aggregator = nullptr;  // null in direct mode
+  std::vector<proxy::ProxyClient*> proxies;
+  /// Kernel mounts, one per ACTIVE client (the first `active_mounts` of the
+  /// client list); passive clients run only the proxy's poll loop.
+  std::vector<kclient::KernelClient*> mounts;
+  /// Session RPCs (client upstream calls, GETINV fan-in, NOTIFYINV,
+  /// aggregator upstream polls), by procedure.
+  rpc::StatsMap* stats = nullptr;
+  fleet::ShardRouter router;
+
+  kclient::KernelClient& mount(std::size_t i) { return *mounts.at(i); }
+  proxy::ProxyClient& proxy(std::size_t i) { return *proxies.at(i); }
+  proxy::ProxyServer& shard(std::size_t i) { return *shards.at(i); }
+
+  /// Flushes all proxy caches and stops background tasks (incl. the tier).
+  sim::Task<void> Shutdown();
+};
+
 class Testbed {
  public:
   explicit Testbed(TestbedConfig config = {});
@@ -83,6 +132,18 @@ class Testbed {
   GvfsSession& CreateSession(const proxy::SessionConfig& config,
                              const std::vector<int>& clients,
                              kclient::MountOptions kernel_options = {});
+
+  /// Establishes a fleet-scale session (src/fleet): `config.shards` proxy
+  /// servers beside the kernel NFS server, each owning a slice of the handle
+  /// space, plus — when `config.aggregate` — an InvAggregator on its own
+  /// LAN-adjacent host absorbing the clients' GETINV polls. Every listed
+  /// client gets a polling proxy; only the first `active_mounts` get kernel
+  /// mounts (the rest model poll-only fleet members, which is what the
+  /// fig_scale sweep scales to thousands of).
+  FleetSession& CreateFleetSession(
+      const FleetConfig& config, const std::vector<int>& clients,
+      std::size_t active_mounts = static_cast<std::size_t>(-1),
+      kclient::MountOptions kernel_options = {});
 
   /// An AFS client on client `index`, talking to a shared AFS server over
   /// the same exported tree (the Figure 6 reference DFS). The AFS server is
@@ -134,6 +195,8 @@ class Testbed {
   std::deque<std::unique_ptr<afs::AfsClient>> afs_clients_;
   std::deque<std::unique_ptr<proxy::ProxyClient>> proxy_clients_;
   std::deque<std::unique_ptr<proxy::ProxyServer>> proxy_servers_;
+  std::deque<std::unique_ptr<fleet::InvAggregator>> aggregators_;
+  std::deque<FleetSession> fleet_sessions_;
   std::deque<std::unique_ptr<rpc::StatsMap>> stats_;
   std::deque<GvfsSession> sessions_;
   std::map<const kclient::KernelClient*, rpc::StatsMap*> mount_stats_;

@@ -15,6 +15,13 @@ Two kinds of numbers, two policies:
       for noisy local machines (the ctest `perf` tier uses this); CI's bench
       job runs the default fail mode.
 
+  virtual-time (BENCH_scale.json)  deterministic fleet-sweep rows from
+      bench/fig_scale, keyed by (clients, shards, mode). Optional
+      (--scale-baseline/--scale-candidate). Every candidate row must exist in
+      the baseline and match EXACTLY — the candidate may be a subset (the
+      --smoke sweep runs the small-N prefix of the same sweep), so the smoke
+      tier gates against the committed full baseline.
+
 Exit status: 0 clean, 1 any failure (including warnings promoted by mode).
 
 Usage:
@@ -78,15 +85,53 @@ def compare_flush(baseline, candidate):
     return failures
 
 
+def compare_scale(baseline, candidate):
+    """Exact subset comparison of the deterministic fleet-sweep rows."""
+    failures = []
+
+    def key(row):
+        return (row["clients"], row["shards"], row["mode"])
+
+    base_rows = {key(r): r for r in baseline.get("points", [])}
+    cand_points = candidate.get("points", [])
+    if not cand_points:
+        return ["scale: candidate has no sweep points"]
+    for row in cand_points:
+        k = key(row)
+        tag = f"scale[clients={k[0]},shards={k[1]},{k[2]}]"
+        base = base_rows.get(k)
+        if base is None:
+            failures.append(
+                f"{tag}: not in baseline (regenerate BENCH_scale.json)"
+            )
+            continue
+        for field in sorted(set(base) | set(row)):
+            if base.get(field) != row.get(field):
+                failures.append(
+                    f"{tag}.{field}: baseline {base.get(field)!r} "
+                    f"!= candidate {row.get(field)!r}"
+                )
+    if not failures:
+        print(
+            f"scale: {len(cand_points)} virtual-time sweep row(s) match "
+            "baseline exactly"
+        )
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--core-baseline", required=True)
     ap.add_argument("--core-candidate", required=True)
     ap.add_argument("--flush-baseline", required=True)
     ap.add_argument("--flush-candidate", required=True)
+    ap.add_argument("--scale-baseline")
+    ap.add_argument("--scale-candidate")
     ap.add_argument("--wall-tolerance", type=float, default=0.15)
     ap.add_argument("--wall-mode", choices=["fail", "warn"], default="fail")
     args = ap.parse_args()
+    if bool(args.scale_baseline) != bool(args.scale_candidate):
+        ap.error("--scale-baseline and --scale-candidate must be given together")
 
     failures, warnings = compare_core(
         load(args.core_baseline),
@@ -95,6 +140,10 @@ def main():
         args.wall_mode,
     )
     failures += compare_flush(load(args.flush_baseline), load(args.flush_candidate))
+    if args.scale_baseline:
+        failures += compare_scale(
+            load(args.scale_baseline), load(args.scale_candidate)
+        )
 
     for w in warnings:
         print(f"WARN: {w}")

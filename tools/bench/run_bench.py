@@ -9,6 +9,10 @@ their output into the two committed baseline files:
                     a relative tolerance by compare.py.
   BENCH_flush.json  micro_flush virtual-time results (flush latency vs
                     write-back window). Deterministic; compared exactly.
+  BENCH_scale.json  fig_scale fleet sweep (GETINV load / buffer occupancy vs
+                    client count across sharding and aggregation topologies).
+                    Deterministic; compared exactly per (clients, shards,
+                    mode) row — a smoke run gates as a subset.
 
 Usage:
   tools/bench/run_bench.py --build-dir build --out-dir .
@@ -80,6 +84,17 @@ def run_micro_flush(build_dir, out_path):
         return json.load(f)
 
 
+def run_fig_scale(build_dir, out_path, smoke):
+    binary = os.path.join(build_dir, "bench", "fig_scale")
+    cmd = [binary, "--check", "--json-out", out_path]
+    if smoke:
+        cmd.append("--smoke")
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -96,6 +111,12 @@ def main():
         "BENCH_*.json in this directory and exit with its status",
     )
     ap.add_argument("--wall-mode", choices=["fail", "warn"], default="fail")
+    ap.add_argument(
+        "--scale-smoke",
+        action="store_true",
+        help="run only the small-N prefix of the fig_scale sweep (rows still "
+        "gate exactly, as a subset of the committed baseline)",
+    )
     args = ap.parse_args()
 
     os.makedirs(args.out_dir, exist_ok=True)
@@ -125,6 +146,10 @@ def main():
     flush_doc = run_micro_flush(args.build_dir, flush_path)
     print(f"wrote {flush_path}", file=sys.stderr)
 
+    scale_path = os.path.join(args.out_dir, "BENCH_scale.json")
+    run_fig_scale(args.build_dir, scale_path, args.scale_smoke)
+    print(f"wrote {scale_path}", file=sys.stderr)
+
     rt = core_rows.get("BM_SimulatedGetattrRoundTrip", {})
     print(
         f"roundtrip: {rt.get('items_per_second', 0) / 1e6:.2f}M sim-RPCs/s; "
@@ -148,6 +173,10 @@ def main():
                 os.path.join(args.gate_baseline_dir, "BENCH_flush.json"),
                 "--flush-candidate",
                 flush_path,
+                "--scale-baseline",
+                os.path.join(args.gate_baseline_dir, "BENCH_scale.json"),
+                "--scale-candidate",
+                scale_path,
                 "--wall-mode",
                 args.wall_mode,
             ]

@@ -12,8 +12,11 @@
 //   inv-coverage         every proc the NFS protocol defines as mutating is
 //                        classified mutating, and the mutating path appends
 //                        to the invalidation buffers (RecordInvalidation ->
-//                        push_back).
-//   trace-coverage       the append is traced (kInvAppend), and every
+//                        push_back). The fleet aggregation tier is held to
+//                        the same bar: Ingest() must fan handles out and
+//                        Fanout() must append downstream.
+//   trace-coverage       the append is traced (kInvAppend; kAggIngest /
+//                        kAggFanout in the aggregation tier), and every
 //                        trace::EventType has an EventTypeName entry.
 //
 // All parsing is over the lexer's token stream; the helpers below understand
@@ -369,48 +372,84 @@ void CheckStatsNameCoverage(const Tree& tree, std::vector<Finding>& out) {
 void CheckInvCoverage(const Tree& tree, std::vector<Finding>& out) {
   const FileUnit* nfs_proto = FindUnit(tree, "src/nfs3/proto.h");
   const FileUnit* server = FindUnit(tree, "src/gvfs/proxy_server.cpp");
-  if (nfs_proto == nullptr || server == nullptr) return;
+  if (nfs_proto != nullptr && server != nullptr) {
+    std::vector<std::string> procs =
+        EnumValues(nfs_proto->lex, "Proc", nullptr);
+    Span classify = FunctionBody(server->lex, "Classify");
+    std::vector<CaseGroup> cases = CaseGroups(classify);
 
-  std::vector<std::string> procs = EnumValues(nfs_proto->lex, "Proc", nullptr);
-  Span classify = FunctionBody(server->lex, "Classify");
-  std::vector<CaseGroup> cases = CaseGroups(classify);
+    // Each protocol-defined mutating proc must be classified mutating — that
+    // flag is the sole gate to RecordInvalidation and the staleness stamps.
+    for (std::string_view proc : kMutatingProcs) {
+      const std::string name(proc);
+      if (!Contains(procs, name)) continue;  // partial tree / fixture subset
+      const CaseGroup* group = GroupFor(cases, name);
+      if (group == nullptr) continue;  // proc-coverage already reports this
+      if (!SpanContains(group->block, "mutating")) {
+        Add(out, "inv-coverage", *server, classify.line,
+            "mutating NFS proc '" + name + "' is not marked mutating in "
+            "Classify(); its invalidation-buffer append and staleness stamp "
+            "are skipped");
+      }
+    }
 
-  // Each protocol-defined mutating proc must be classified mutating — that
-  // flag is the sole gate to RecordInvalidation and the staleness stamps.
-  for (std::string_view proc : kMutatingProcs) {
-    const std::string name(proc);
-    if (!Contains(procs, name)) continue;  // partial tree / fixture subset
-    const CaseGroup* group = GroupFor(cases, name);
-    if (group == nullptr) continue;  // proc-coverage already reports this
-    if (!SpanContains(group->block, "mutating")) {
-      Add(out, "inv-coverage", *server, classify.line,
-          "mutating NFS proc '" + name + "' is not marked mutating in "
-          "Classify(); its invalidation-buffer append and staleness stamp "
-          "are skipped");
+    // The mutating path itself: HandleNfs must reach RecordInvalidation —
+    // directly, or through PropagateInvalidation (the sharded form, which
+    // records locally or forwards to the owning shard with NOTIFYINV) — and
+    // RecordInvalidation must actually append.
+    Span handle = FunctionBody(server->lex, "HandleNfs");
+    if (handle.ok()) {
+      if (!SpanContains(handle, "RecordInvalidation") &&
+          !SpanContains(handle, "PropagateInvalidation")) {
+        Add(out, "inv-coverage", *server, handle.line,
+            "HandleNfs() never calls RecordInvalidation or "
+            "PropagateInvalidation; mutating procs leave no "
+            "invalidation-buffer entries");
+      }
+    }
+    Span propagate = FunctionBody(server->lex, "PropagateInvalidation");
+    if (propagate.ok() && !SpanContains(propagate, "RecordInvalidation")) {
+      Add(out, "inv-coverage", *server, propagate.line,
+          "PropagateInvalidation() never calls RecordInvalidation; "
+          "owned-shard mutations leave no invalidation-buffer entries");
+    }
+    Span record = FunctionBody(server->lex, "RecordInvalidation");
+    if (record.ok()) {
+      if (!SpanContains(record, "push_back")) {
+        Add(out, "inv-coverage", *server, record.line,
+            "RecordInvalidation() never appends to a client invalidation "
+            "buffer; polling clients stop seeing peer writes");
+      }
+    } else {
+      Add(out, "inv-coverage", *server, 1,
+          "RecordInvalidation() definition not found; the "
+          "invalidation-polling model has no producer");
     }
   }
 
-  // The mutating path itself: HandleNfs must gate on the flag and call
-  // RecordInvalidation; RecordInvalidation must actually append.
-  Span handle = FunctionBody(server->lex, "HandleNfs");
-  if (handle.ok()) {
-    if (!SpanContains(handle, "RecordInvalidation")) {
-      Add(out, "inv-coverage", *server, handle.line,
-          "HandleNfs() never calls RecordInvalidation; mutating procs leave "
-          "no invalidation-buffer entries");
-    }
+  // The aggregation tier re-publishes upstream invalidations to the clients
+  // it fronts: Ingest() must fan every handle out and Fanout() must actually
+  // append to the downstream buffer — otherwise clients behind the tier
+  // silently stop seeing peer writes while the direct path still works.
+  const FileUnit* agg = FindUnit(tree, "src/fleet/inv_aggregator.cpp");
+  if (agg == nullptr) return;
+  Span ingest = FunctionBody(agg->lex, "Ingest");
+  if (ingest.ok() && !SpanContains(ingest, "Fanout")) {
+    Add(out, "inv-coverage", *agg, ingest.line,
+        "Ingest() never calls Fanout(); upstream invalidations are dropped "
+        "at the aggregation tier");
   }
-  Span record = FunctionBody(server->lex, "RecordInvalidation");
-  if (record.ok()) {
-    if (!SpanContains(record, "push_back")) {
-      Add(out, "inv-coverage", *server, record.line,
-          "RecordInvalidation() never appends to a client invalidation "
-          "buffer; polling clients stop seeing peer writes");
+  Span fanout = FunctionBody(agg->lex, "Fanout");
+  if (fanout.ok()) {
+    if (!SpanContains(fanout, "push_back")) {
+      Add(out, "inv-coverage", *agg, fanout.line,
+          "Fanout() never appends to a downstream invalidation buffer; "
+          "clients behind the aggregation tier stop seeing peer writes");
     }
   } else {
-    Add(out, "inv-coverage", *server, 1,
-        "RecordInvalidation() definition not found; the invalidation-polling "
-        "model has no producer");
+    Add(out, "inv-coverage", *agg, 1,
+        "Fanout() definition not found; the aggregation tier has no "
+        "downstream producer");
   }
 }
 
@@ -428,6 +467,25 @@ void CheckTraceCoverage(const Tree& tree, std::vector<Finding>& out) {
       Add(out, "trace-coverage", *server, record.line,
           "RecordInvalidation() does not emit a kInvAppend trace event; the "
           "TraceChecker cannot see these appends");
+    }
+  }
+
+  // Same discipline for the aggregation tier: fan-outs and ingests must be
+  // traced, or the checker's kAggTier invariant (no invalidation lost or
+  // duplicated crossing the tier) has nothing to match against.
+  const FileUnit* agg = FindUnit(tree, "src/fleet/inv_aggregator.cpp");
+  if (agg != nullptr) {
+    Span fanout = FunctionBody(agg->lex, "Fanout");
+    if (fanout.ok() && !SpanContains(fanout, "kAggFanout")) {
+      Add(out, "trace-coverage", *agg, fanout.line,
+          "Fanout() does not emit a kAggFanout trace event; the kAggTier "
+          "invariant cannot see tier fan-outs");
+    }
+    Span ingest = FunctionBody(agg->lex, "Ingest");
+    if (ingest.ok() && !SpanContains(ingest, "kAggIngest")) {
+      Add(out, "trace-coverage", *agg, ingest.line,
+          "Ingest() does not emit a kAggIngest trace event; the kAggTier "
+          "invariant cannot pair fan-outs with their upstream ingest");
     }
   }
 

@@ -309,6 +309,20 @@ TEST_F(CoverageTest, UntracedAppendIsCaught) {
   EXPECT_GE(CountRule(findings, "trace-coverage"), 1) << FormatText(findings);
 }
 
+TEST_F(CoverageTest, MissingAggregatorAppendIsCaught) {
+  // The tier-level twin of missing_append: Fanout() still traces but no
+  // longer appends to the downstream buffer.
+  const auto findings = LintVariant("missing_agg_append");
+  EXPECT_GE(CountRule(findings, "inv-coverage"), 1) << FormatText(findings);
+}
+
+TEST_F(CoverageTest, UntracedAggregatorFanoutIsCaught) {
+  // Appends are intact but kAggIngest/kAggFanout are gone: one trace-coverage
+  // finding per untraced hop across the tier.
+  const auto findings = LintVariant("missing_agg_trace");
+  EXPECT_GE(CountRule(findings, "trace-coverage"), 2) << FormatText(findings);
+}
+
 TEST_F(CoverageTest, MissingEventTypeNameIsCaught) {
   const auto findings = LintVariant("missing_event_name");
   EXPECT_GE(CountRule(findings, "trace-coverage"), 1) << FormatText(findings);

@@ -263,7 +263,8 @@ void CheckBadSuppression(const FileUnit& unit, std::vector<Finding>& out) {
 
 bool InProtocolDirs(const std::string& rel_path) {
   return StartsWith(rel_path, "src/gvfs/") || StartsWith(rel_path, "src/rpc/") ||
-         StartsWith(rel_path, "src/nfs3/") || StartsWith(rel_path, "src/sim/");
+         StartsWith(rel_path, "src/nfs3/") || StartsWith(rel_path, "src/sim/") ||
+         StartsWith(rel_path, "src/fleet/");
 }
 
 bool InSrc(const std::string& rel_path) { return StartsWith(rel_path, "src/"); }
@@ -330,7 +331,8 @@ const std::vector<RuleInfo>& AllRules() {
        "Every NFS/GVFS proc needs a ProcName/GvfsProcName entry",
        nullptr, CheckStatsNameCoverage, nullptr},
       {"inv-coverage",
-       "Every mutating proc must append an invalidation-buffer entry",
+       "Mutating procs and the aggregation tier must append invalidation "
+       "entries",
        nullptr, CheckInvCoverage, nullptr},
       {"trace-coverage",
        "Invalidation appends must be traced; every EventType needs a name",

@@ -1,0 +1,48 @@
+// Seeded violation: the aggregation tier appends correctly but emits no
+// kAggIngest / kAggFanout events — the TraceChecker's kAggTier invariant is
+// blind to the tier, so a lost or duplicated invalidation goes unnoticed.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gvfs::fleet {
+
+struct Fh {
+  std::uint64_t ino = 0;
+};
+
+struct Entry {
+  std::uint64_t timestamp = 0;
+  Fh fh;
+};
+
+struct Downstream {
+  std::vector<Entry> buffer;
+  bool overflowed = false;
+};
+
+class InvAggregator {
+ public:
+  void Ingest(const Fh& fh, int shard);
+
+ private:
+  bool Fanout(int client, Downstream& state, const Fh& fh);
+
+  std::map<int, Downstream> clients_;
+  std::uint64_t agg_clock_ = 0;
+};
+
+void InvAggregator::Ingest(const Fh& fh, int shard) {
+  ++agg_clock_;
+  for (auto& [client, state] : clients_) {
+    if (state.overflowed) continue;
+    Fanout(client, state, fh);
+  }
+}
+
+bool InvAggregator::Fanout(int client, Downstream& state, const Fh& fh) {
+  state.buffer.push_back(Entry{agg_clock_, fh});
+  return true;
+}
+
+}  // namespace gvfs::fleet
