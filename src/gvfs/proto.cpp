@@ -21,6 +21,8 @@ const char* GvfsProcName(std::uint32_t proc) {
       return "RECOVERY";
     case kNotifyInv:
       return "NOTIFYINV";
+    case kMigrate:
+      return "MIGRATE";
   }
   return "GVFS?";
 }
@@ -69,6 +71,40 @@ nfs3::DecodeResult<NotifyInvArgs> NotifyInvArgs::Decode(xdr::Decoder& dec) {
   out.writer_host = host;
   GVFS_TRY(port, dec.GetU32());
   out.writer_port = port;
+  return out;
+}
+
+void MigrateArgs::Encode(xdr::Encoder& enc) const {
+  file.Encode(enc);
+  enc.PutU32(from);
+  enc.PutU32(to);
+}
+
+nfs3::DecodeResult<MigrateArgs> MigrateArgs::Decode(xdr::Decoder& dec) {
+  MigrateArgs out;
+  GVFS_TRY(fh, nfs3::Fh::Decode(dec));
+  out.file = fh;
+  GVFS_TRY(from, dec.GetU32());
+  out.from = from;
+  GVFS_TRY(to, dec.GetU32());
+  out.to = to;
+  return out;
+}
+
+void MigrateRes::Encode(xdr::Encoder& enc) const {
+  enc.PutU32(status);
+  enc.PutU32(drained);
+  enc.PutU32(granted);
+}
+
+nfs3::DecodeResult<MigrateRes> MigrateRes::Decode(xdr::Decoder& dec) {
+  MigrateRes out;
+  GVFS_TRY(status, dec.GetU32());
+  out.status = status;
+  GVFS_TRY(drained, dec.GetU32());
+  out.drained = drained;
+  GVFS_TRY(granted, dec.GetU32());
+  out.granted = granted;
   return out;
 }
 

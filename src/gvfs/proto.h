@@ -32,6 +32,7 @@ enum GvfsProc : std::uint32_t {
   kCallback = 2,
   kRecovery = 3,
   kNotifyInv = 4,
+  kMigrate = 5,
 };
 
 const char* GvfsProcName(std::uint32_t proc);
@@ -81,6 +82,38 @@ struct NotifyInvRes {
   static nfs3::DecodeResult<NotifyInvRes> Decode(xdr::Decoder&) {
     return NotifyInvRes{};
   }
+};
+
+// ---------------------------------------------------------------------------
+// MIGRATE (client -> owning shard)
+// ---------------------------------------------------------------------------
+
+/// Adaptive sessions only (src/policy): switches one file between
+/// consistency modes at runtime. The server drains the caller's buffered
+/// invalidations for the file (so none is lost crossing the transition),
+/// recalls conflicting delegations, records the file's new mode, and — when
+/// the target mode is a delegation — runs the normal grant decision so the
+/// caller leaves the handshake already holding its delegation.
+struct MigrateArgs {
+  nfs3::Fh file;
+  std::uint32_t from = 0;  // policy::FileMode the caller is leaving
+  std::uint32_t to = 0;    // policy::FileMode the caller is entering
+
+  void Encode(xdr::Encoder& enc) const;
+  static nfs3::DecodeResult<MigrateArgs> Decode(xdr::Decoder& dec);
+};
+
+struct MigrateRes {
+  std::uint32_t status = 0;
+  /// Buffered invalidation entries for the file drained from the caller's
+  /// queue as part of the switch; > 0 tells the caller to invalidate its
+  /// cached attributes before serving under the new mode.
+  std::uint32_t drained = 0;
+  /// DelegationType granted under the new mode (kNone when polling).
+  std::uint32_t granted = 0;
+
+  void Encode(xdr::Encoder& enc) const;
+  static nfs3::DecodeResult<MigrateRes> Decode(xdr::Decoder& dec);
 };
 
 // ---------------------------------------------------------------------------

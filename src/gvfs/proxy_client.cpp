@@ -66,6 +66,16 @@ ProxyClient::ProxyClient(sim::Scheduler& sched, rpc::RpcNode& node,
                        [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleRecovery(ctx, std::move(args));
                        });
+  if (config_.adaptive) {
+    policy::PolicyConfig pc;
+    pc.dwell = config_.policy_dwell;
+    pc.promote_reads = config_.policy_promote_reads;
+    pc.write_hot = config_.policy_write_hot;
+    pc.storm_recalls = config_.policy_storm_recalls;
+    pc.storm_freeze = config_.policy_storm_freeze;
+    pc.write_delegation = config_.cache_mode == CacheMode::kWriteBack;
+    policy_ = std::make_unique<policy::PolicyEngine>(pc);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +186,10 @@ void ProxyClient::AttachMetrics(metrics::Registry& registry,
   registry.AddProbe(prefix + "blocks_flushed", [this] {
     return static_cast<double>(stats_.blocks_flushed);
   });
+  registry.AddProbe(prefix + "migrations", [this] {
+    return static_cast<double>(stats_.migrations);
+  });
+  if (policy_ != nullptr) policy_->AttachMetrics(registry, prefix);
 }
 
 // ---------------------------------------------------------------------------
@@ -202,7 +216,10 @@ sim::Task<std::optional<Bytes>> ProxyClient::Upstream(std::uint32_t proc, Bytes 
                                    proc, std::move(args), std::move(opts));
   if (!reply) co_return std::nullopt;
   Bytes body = reply->ToBytes();
-  if (config_.model == ConsistencyModel::kDelegationCallback) {
+  // Adaptive sessions speak the delegation wire format too: the server
+  // piggybacks grant suffixes on every known NFS reply.
+  if (config_.model == ConsistencyModel::kDelegationCallback ||
+      config_.adaptive) {
     GrantSuffix suffix = GrantSuffix::ExtractFrom(body);
     if (granted_fh.has_value()) StoreGrant(*granted_fh, suffix.delegation);
   }
@@ -399,6 +416,7 @@ sim::Task<Bytes> ProxyClient::HandleRead(rpc::CallContext ctx, rpc::Body args) {
   auto parsed = nfs3::Parse<nfs3::ReadArgs>(args);
   if (!parsed) co_return Fault<nfs3::ReadRes>();
   const Fh fh = parsed->file;
+  if (policy_ != nullptr) policy_->OnRead({fh.fsid, fh.ino});
   const std::uint32_t bs = cache_.block_size();
   const std::uint64_t index = parsed->offset / bs;
   const bool sequential = cache_.NoteReadAccess(fh, index);
@@ -526,13 +544,17 @@ sim::Task<Bytes> ProxyClient::HandleWrite(rpc::CallContext ctx, rpc::Body args) 
   auto parsed = nfs3::Parse<nfs3::WriteArgs>(args);
   if (!parsed) co_return Fault<nfs3::WriteRes>();
   const Fh fh = parsed->file;
+  if (policy_ != nullptr) policy_->OnWrite({fh.fsid, fh.ino});
   const std::uint32_t bs = cache_.block_size();
 
+  // Adaptive sessions absorb writes only under a live write delegation: the
+  // base polling model alone gives no exclusivity promise for the file.
   const bool can_absorb =
       config_.cache_mode == CacheMode::kWriteBack &&
       cache_.ValidAttr(fh) != nullptr &&
       (config_.model != ConsistencyModel::kDelegationCallback ||
-       DelegationFresh(fh, /*need_write=*/true));
+       DelegationFresh(fh, /*need_write=*/true)) &&
+      (!config_.adaptive || DelegationFresh(fh, /*need_write=*/true));
 
   if (can_absorb) {
     // Write-back: absorb into the disk cache; the data is stable there.
@@ -838,6 +860,7 @@ sim::Task<Bytes> ProxyClient::HandleCallback(rpc::CallContext ctx, rpc::Body arg
   auto parsed = nfs3::Parse<CallbackArgs>(args);
   if (!parsed) co_return Serialize(CallbackRes{});
   const Fh fh = parsed->file;
+  if (policy_ != nullptr) policy_->OnRecall({fh.fsid, fh.ino});
   DropDelegation(fh);
   {
     // Sample the wanted block's dirty bit now: this is the moment the §4.3.2
@@ -941,6 +964,12 @@ void ProxyClient::Start() {
   if (config_.cache_mode == CacheMode::kWriteBack && config_.wb_flush_period > 0) {
     sim::Spawn(FlushLoop());
   }
+  if (policy_ != nullptr) {
+    // The node's tracer may have been attached after construction
+    // (EnableTracing): pick it up at start, when it is final.
+    policy_->SetTracer(node_.tracer(), node_.address().host);
+    sim::Spawn(PolicyLoop());
+  }
 }
 
 sim::Task<void> ProxyClient::PollLoop() {
@@ -992,6 +1021,7 @@ sim::Task<void> ProxyClient::PollOnce() {
                              target.addr.host);
           cache_.InvalidateAttr(fh);
           ++stats_.invalidations_applied;
+          if (policy_ != nullptr) policy_->OnInvalidation({fh.fsid, fh.ino});
         }
         got_news |= !res->handles.empty();
       }
@@ -1019,6 +1049,69 @@ sim::Task<void> ProxyClient::FlushLoop() {
     if (!running_ || epoch != epoch_) break;
     co_await FlushAll();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive policy (src/policy)
+// ---------------------------------------------------------------------------
+
+sim::Task<void> ProxyClient::PolicyLoop() {
+  const std::uint64_t epoch = epoch_;
+  while (running_ && epoch == epoch_) {
+    co_await sim::Sleep(sched_, config_.policy_period);
+    if (!running_ || epoch != epoch_) break;
+    const auto migrations = policy_->Tick(sched_.Now());
+    for (const auto& m : migrations) {
+      if (!running_ || epoch != epoch_) co_return;
+      const Fh fh{m.file.fsid, m.file.ino};
+      if (co_await MigrateMode(fh, m.from, m.to)) {
+        policy_->Commit(m.file, m.to, sched_.Now());
+      }
+    }
+  }
+}
+
+sim::Task<bool> ProxyClient::MigrateMode(Fh fh, policy::FileMode from,
+                                         policy::FileMode to) {
+  if (from != policy::FileMode::kPolling) {
+    // Leaving a delegation: everything acknowledged under it must be durable
+    // upstream before the old mode's guarantees are surrendered.
+    co_await DrainAsyncWrites(fh);
+    co_await FlushFile(fh, /*commit=*/true);
+    DropDelegation(fh);
+  }
+  MigrateArgs margs;
+  margs.file = fh;
+  margs.from = static_cast<std::uint32_t>(from);
+  margs.to = static_cast<std::uint32_t>(to);
+  rpc::CallOptions opts;
+  opts.label = "MIGRATE";
+  // UpstreamFor routes the handshake to the shard that owns the file's
+  // invalidation buffer — the only place the drain is meaningful.
+  auto reply = co_await node_.Call(UpstreamFor(fh), kGvfsProgram, kMigrate,
+                                   Serialize(margs), std::move(opts));
+  if (!reply) co_return false;
+  auto res = nfs3::Parse<MigrateRes>(*reply);
+  if (!res || res->status != 0) co_return false;
+  if (res->drained > 0) {
+    // Buffered invalidations delivered in the reply: apply them now, before
+    // the new mode starts trusting cached state.
+    cache_.InvalidateAttr(fh);
+    stats_.invalidations_applied += res->drained;
+  }
+  if (res->granted != 0) {
+    StoreGrant(fh, static_cast<DelegationType>(res->granted));
+  } else if (to != policy::FileMode::kPolling) {
+    // The server could not grant the delegation right now (conflict);
+    // the migration still switched the file's mode, and the next forwarded
+    // request will pick up a grant once the conflict clears.
+    DropDelegation(fh);
+  }
+  ++stats_.migrations;
+  node_.tracer().Policy(trace::EventType::kPolicyMigrate, node_.address().host,
+                        fh.fsid, fh.ino, static_cast<std::uint32_t>(from),
+                        static_cast<std::uint32_t>(to), 0);
+  co_return true;
 }
 
 sim::Task<bool> ProxyClient::FlushBlock(Fh fh, std::uint64_t offset,

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -32,6 +33,7 @@
 #include "metrics/staleness.h"
 #include "nfs3/client.h"
 #include "nfs3/proto.h"
+#include "policy/policy.h"
 #include "rpc/rpc.h"
 #include "sim/concurrency.h"
 #include "sim/scheduler.h"
@@ -53,6 +55,8 @@ struct ProxyClientStats {
   std::uint64_t blocks_prefetched = 0;
   /// Prefetch replies discarded (invalidated or changed mid-flight).
   std::uint64_t prefetches_discarded = 0;
+  /// Adaptive sessions: MIGRATE handshakes completed by this client.
+  std::uint64_t migrations = 0;
 };
 
 class ProxyClient {
@@ -95,6 +99,17 @@ class ProxyClient {
 
   /// Files whose cached dirty data was found conflicted during recovery.
   const std::vector<nfs3::Fh>& corrupted_files() const { return corrupted_; }
+
+  /// Adaptive sessions only (null otherwise): the per-file policy engine
+  /// driving runtime migrations between polling and delegation.
+  policy::PolicyEngine* policy() { return policy_.get(); }
+
+  /// Switches `fh` between consistency modes with the owning shard:
+  /// drains/flushes under the old mode, sends MIGRATE, applies any drained
+  /// invalidations and the granted delegation. Returns false if the
+  /// handshake did not complete (the old mode stays authoritative).
+  sim::Task<bool> MigrateMode(nfs3::Fh fh, policy::FileMode from,
+                              policy::FileMode to);
 
  private:
   struct Delegation {
@@ -171,6 +186,9 @@ class ProxyClient {
   sim::Task<void> PollLoop();
   sim::Task<void> PollOnce();
   sim::Task<void> FlushLoop();
+  /// Adaptive sessions: closes one policy window per period and performs the
+  /// migrations the engine proposes.
+  sim::Task<void> PolicyLoop();
 
   // -- pipelined write-through (NFSv3 unstable-write contract) --
 
@@ -245,6 +263,8 @@ class ProxyClient {
   std::vector<nfs3::Fh> corrupted_;
   ProxyClientStats stats_;
   metrics::StalenessProbe* staleness_ = nullptr;
+  /// Present only when config_.adaptive.
+  std::unique_ptr<policy::PolicyEngine> policy_;
 };
 
 }  // namespace gvfs::proxy

@@ -38,6 +38,10 @@ ProxyServer::ProxyServer(sim::Scheduler& sched, rpc::RpcNode& node,
                        [this](rpc::CallContext ctx, rpc::Body args) {
                          return HandleNotifyInv(ctx, std::move(args));
                        });
+  node.RegisterHandler(kGvfsProgram, kMigrate,
+                       [this](rpc::CallContext ctx, rpc::Body args) {
+                         return HandleMigrate(ctx, std::move(args));
+                       });
 }
 
 // ---------------------------------------------------------------------------
@@ -177,9 +181,14 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
     if (res && res->status == nfs3::Status::kOk) victim_fhs.push_back(res->object);
   }
 
-  const bool delegation_model = config_.model == ConsistencyModel::kDelegationCallback;
+  // Adaptive sessions run polling as the base model with per-file
+  // delegations layered on top, so the recall/grant machinery must be live
+  // for them too; DecideGrant's per-file mode gate keeps grants scoped to
+  // files the policy engine actually migrated.
+  const bool deleg_active =
+      config_.model == ConsistencyModel::kDelegationCallback || config_.adaptive;
 
-  if (delegation_model && !skip_recalls) {
+  if (deleg_active && !skip_recalls) {
     // Recall conflicting delegations before the operation proceeds.
     for (const auto& fh : info.writes) {
       co_await RecallConflicts(fh, ctx.caller, /*write_op=*/true, info.offset,
@@ -245,7 +254,7 @@ sim::Task<Bytes> ProxyServer::HandleNfs(std::uint32_t proc, rpc::CallContext ctx
   }
 
   // Delegation decision, piggybacked on the reply (§4.3.1).
-  if (delegation_model && info.known) {
+  if (deleg_active && info.known) {
     DelegationType grant = DelegationType::kNone;
     if (!info.writes.empty()) {
       grant = DecideGrant(info.writes.front(), ctx.caller, /*write_op=*/true);
@@ -337,7 +346,8 @@ sim::Task<Bytes> ProxyServer::HandleNotifyInv(rpc::CallContext ctx,
   if (parsed) {
     const net::Address writer{parsed->writer_host, parsed->writer_port};
     RecordInvalidation(parsed->file, writer);
-    if (config_.model == ConsistencyModel::kDelegationCallback) {
+    if (config_.model == ConsistencyModel::kDelegationCallback ||
+        config_.adaptive) {
       co_await RecallConflicts(parsed->file, writer, /*write_op=*/true,
                                std::nullopt, ctx.span);
     }
@@ -412,6 +422,98 @@ sim::Task<Bytes> ProxyServer::HandleGetInv(rpc::CallContext ctx, rpc::Body args)
   res.new_timestamp = state.last_acked;
   tr.Inv(trace::EventType::kInvPoll, host, 0, 0, res.new_timestamp,
          static_cast<std::uint32_t>(res.handles.size()), ctx.caller.host);
+  co_return Serialize(res);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive policy migrations
+// ---------------------------------------------------------------------------
+
+std::uint32_t ProxyServer::DrainInvEntries(const Fh& fh, net::Address client) {
+  auto it = inv_clients_.find(client);
+  if (it == inv_clients_.end()) return 0;
+  InvClient& state = it->second;
+  std::uint32_t drained = 0;
+  for (auto entry = state.buffer.begin(); entry != state.buffer.end();) {
+    if (entry->fh == fh) {
+      // The MIGRATE reply delivers this entry, exactly like a GETINV batch
+      // would have: trace it as an applied per-handle invalidation so the
+      // version-continuity invariant sees the buffer emptied.
+      node_.tracer().Inv(trace::EventType::kInvPoll, node_.address().host,
+                         fh.fsid, fh.ino, entry->timestamp, 1, client.host);
+      entry = state.buffer.erase(entry);
+      state.pending.erase(fh);
+      --inv_entries_;
+      ++drained;
+    } else {
+      ++entry;
+    }
+  }
+  stats_.inv_drained += drained;
+  return drained;
+}
+
+sim::Task<Bytes> ProxyServer::HandleMigrate(rpc::CallContext ctx, rpc::Body args) {
+  co_await WaitGrace();
+  RegisterClient(ctx.caller);
+  MigrateRes res;
+  auto parsed = nfs3::Parse<MigrateArgs>(args);
+  if (!parsed) {
+    res.status = 1;
+    co_return Serialize(res);
+  }
+  const Fh fh = parsed->file;
+  const auto to = static_cast<policy::FileMode>(parsed->to);
+  ++stats_.migrations_served;
+
+  // Entering write delegation conflicts with every existing holder; entering
+  // read delegation or polling only with write holders.
+  const bool write_op = to == policy::FileMode::kWriteDelegation;
+  if (!config_.unsafe_skip_recalls) {
+    co_await RecallConflicts(fh, ctx.caller, write_op, std::nullopt, ctx.span);
+  }
+
+  // The caller dropped its own delegation client-side before sending the
+  // MIGRATE; retire the server-side record without a callback.
+  auto fit = files_.find(fh);
+  if (fit != files_.end()) {
+    auto sharer = fit->second.sharers.find(ctx.caller);
+    if (sharer != fit->second.sharers.end() &&
+        sharer->second.granted != DelegationType::kNone) {
+      RecordHoldTime(sharer->second);
+      node_.tracer().Deleg(trace::EventType::kDelegRelease,
+                           node_.address().host, fh.fsid, fh.ino,
+                           static_cast<std::uint32_t>(sharer->second.granted),
+                           ctx.caller.host, trace::kDelegFlagServerSide, 0);
+      sharer->second.granted = DelegationType::kNone;
+      sharer->second.granted_at = 0;
+    }
+  }
+
+  // Drain-before-switch: every invalidation buffered for this caller+file is
+  // delivered inside the MIGRATE reply, so no mutation recorded under the
+  // old mode becomes invisible under the new one. unsafe_skip_drain is fault
+  // injection for the trace checker's negative tests — NEVER enable it
+  // outside tests.
+  if (!config_.unsafe_skip_drain) {
+    res.drained = DrainInvEntries(fh, ctx.caller);
+    auto cit = inv_clients_.find(ctx.caller);
+    if (cit != inv_clients_.end() && cit->second.overflowed) {
+      // A wrapped buffer may already have dropped entries for this very
+      // file; force the caller to treat its cached attributes as stale.
+      res.drained = std::max<std::uint32_t>(res.drained, 1);
+    }
+  }
+
+  files_[fh].mode = to;
+  if (to != policy::FileMode::kPolling) {
+    const DelegationType grant = DecideGrant(fh, ctx.caller, write_op);
+    TouchSharer(fh, ctx.caller, write_op, grant);
+    res.granted = static_cast<std::uint32_t>(grant);
+  }
+  node_.tracer().Policy(trace::EventType::kPolicyMigrate, node_.address().host,
+                        fh.fsid, fh.ino, parsed->from, parsed->to,
+                        trace::kPolicyFlagServerSide);
   co_return Serialize(res);
 }
 
@@ -601,6 +703,14 @@ DelegationType ProxyServer::DecideGrant(const Fh& fh, net::Address requester,
   if (config_.unsafe_skip_recalls) {
     return write_op ? DelegationType::kWrite : DelegationType::kRead;
   }
+  // Adaptive sessions: delegations exist only for files a MIGRATE moved out
+  // of polling, and a read-delegated file never hands out write grants.
+  if (config_.adaptive) {
+    if (state.mode == policy::FileMode::kPolling) return DelegationType::kNone;
+    if (state.mode == policy::FileMode::kReadDelegation && write_op) {
+      return DelegationType::kNone;
+    }
+  }
   // Temporarily non-cacheable: a recall is in flight or a write-back is
   // still being monitored (§4.3.1 / §4.3.2).
   if (state.recalling > 0 || !state.pending_writeback.empty()) {
@@ -667,7 +777,10 @@ void ProxyServer::Crash() {
 sim::Task<void> ProxyServer::Recover() {
   node_.SetDown(false);
   node_.tracer().Node(trace::EventType::kNodeRecover, node_.address().host);
-  if (config_.model != ConsistencyModel::kDelegationCallback) co_return;
+  if (config_.model != ConsistencyModel::kDelegationCallback &&
+      !config_.adaptive) {
+    co_return;
+  }
 
   in_grace_ = true;
   // A single multicast round: every known client gets a whole-cache
@@ -772,6 +885,12 @@ void ProxyServer::AttachMetrics(metrics::Registry& registry,
   });
   registry.AddProbe(prefix + "notifyinv_received", [this] {
     return static_cast<double>(stats_.notifyinv_received);
+  });
+  registry.AddProbe(prefix + "migrations_served", [this] {
+    return static_cast<double>(stats_.migrations_served);
+  });
+  registry.AddProbe(prefix + "inv_drained", [this] {
+    return static_cast<double>(stats_.inv_drained);
   });
 }
 

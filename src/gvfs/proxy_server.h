@@ -31,6 +31,7 @@
 #include "metrics/staleness.h"
 #include "nfs3/client.h"
 #include "nfs3/proto.h"
+#include "policy/policy.h"
 #include "rpc/rpc.h"
 #include "sim/concurrency.h"
 #include "sim/scheduler.h"
@@ -58,6 +59,10 @@ struct ProxyServerStats {
   /// High-water mark of total buffered invalidation entries across all
   /// clients (the per-shard blow-up fig_scale measures).
   std::uint64_t inv_entries_peak = 0;
+  /// Adaptive sessions: MIGRATE handshakes completed for files this shard
+  /// owns, and buffered invalidations delivered inside their replies.
+  std::uint64_t migrations_served = 0;
+  std::uint64_t inv_drained = 0;
 };
 
 class ProxyServer {
@@ -121,6 +126,9 @@ class ProxyServer {
     net::Address writeback_owner{};
     /// Recalls in flight: the file is temporarily non-cacheable (§4.3.1).
     int recalling = 0;
+    /// Adaptive sessions: consistency mode the last MIGRATE put the file in.
+    /// DecideGrant hands out no delegation while a file sits in kPolling.
+    policy::FileMode mode = policy::FileMode::kPolling;
   };
 
   /// What an incoming NFS request does, distilled for consistency handling.
@@ -141,6 +149,13 @@ class ProxyServer {
   sim::Task<Bytes> HandleNfs(std::uint32_t proc, rpc::CallContext ctx, rpc::Body args);
   sim::Task<Bytes> HandleGetInv(rpc::CallContext ctx, rpc::Body args);
   sim::Task<Bytes> HandleNotifyInv(rpc::CallContext ctx, rpc::Body args);
+  /// Adaptive sessions: per-file mode switch (drain-before-switch handshake).
+  sim::Task<Bytes> HandleMigrate(rpc::CallContext ctx, rpc::Body args);
+
+  /// Removes every buffered invalidation entry for (`fh`, `client`) and
+  /// returns how many were delivered this way (traced as kInvPoll — the
+  /// MIGRATE reply is an invalidation delivery path).
+  std::uint32_t DrainInvEntries(const nfs3::Fh& fh, net::Address client);
 
   static OpInfo Classify(std::uint32_t proc, ByteView args);
 

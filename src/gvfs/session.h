@@ -102,6 +102,36 @@ struct SessionConfig {
   /// has something to catch. NEVER enable outside tests.
   bool unsafe_skip_recalls = false;
 
+  /// Adaptive consistency (src/policy): the session starts every file under
+  /// invalidation polling (model must be kInvalidationPolling — polling
+  /// stays on as the safety net) and a per-file policy engine migrates hot
+  /// files into read/write delegations at runtime via MIGRATE handshakes.
+  bool adaptive = false;
+
+  /// Adaptive only: how often the policy engine re-classifies access
+  /// patterns and issues migrations.
+  Duration policy_period = Seconds(5);
+  /// Adaptive only: minimum time a file stays in its mode after a migration
+  /// before the engine may move it again (damps thrashing).
+  Duration policy_dwell = Seconds(10);
+  /// Adaptive only: reads observed inside one policy window before a
+  /// read-shared file is promoted to a read delegation.
+  std::uint32_t policy_promote_reads = 4;
+  /// Adaptive only: writes observed inside one policy window before a
+  /// single-writer file is promoted to a write delegation.
+  std::uint32_t policy_write_hot = 3;
+  /// Adaptive only: recall-storm breaker — when the fleet-wide recall count
+  /// grows by at least this much across one policy window, promotions freeze
+  /// (demotions still run) for policy_storm_freeze.
+  std::uint32_t policy_storm_recalls = 8;
+  Duration policy_storm_freeze = Seconds(30);
+
+  /// Fault injection for TraceChecker invariant 6: the proxy server skips
+  /// draining the caller's buffered invalidations during a MIGRATE, so a
+  /// mutation buffered before the switch becomes invisible after it. NEVER
+  /// enable outside tests.
+  bool unsafe_skip_drain = false;
+
   /// Sharded fleet serving (src/fleet): addresses of every proxy-server
   /// shard in this session, indexed by ShardOf(fh, shard_addrs.size()).
   /// Empty or size 1 means the classic single-server session. When set on a

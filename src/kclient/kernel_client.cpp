@@ -364,7 +364,6 @@ sim::Task<VfsResult<Bytes>> KernelClient::Read(Fd fd, std::uint64_t offset,
       cached_bytes_ += block.data.size();
       lru_.push_back({fh, index});
       cached = fc.blocks.emplace(index, std::move(block)).first;
-      EvictIfNeeded();
     } else {
       ++stats_.page_hits;
     }
@@ -377,6 +376,10 @@ sim::Task<VfsResult<Bytes>> KernelClient::Read(Fd fd, std::uint64_t offset,
                data.begin() + static_cast<std::ptrdiff_t>(in_block + take));
     pos += take;
   }
+  // Evict only after assembly: evicting inside the loop can reclaim the
+  // block just fetched (always true with max_cached_bytes == 0), leaving
+  // `cached` dangling before the copy above.
+  EvictIfNeeded();
   co_return out;
 }
 

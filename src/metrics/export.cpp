@@ -13,12 +13,17 @@ namespace gvfs::metrics {
 namespace {
 
 std::string Sanitize(const std::string& name) {
-  std::string out = name;
+  // Only the metric name proper is sanitized; a "{...}" label block (built
+  // with Labeled(), whose values are already escaped) passes through
+  // verbatim — sanitizing it would destroy the quotes the format requires.
+  const std::size_t brace = name.find('{');
+  std::string out = name.substr(0, brace);
   for (char& c : out) {
     if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
       c = '_';
     }
   }
+  if (brace != std::string::npos) out += name.substr(brace);
   return out;
 }
 
@@ -29,6 +34,25 @@ std::string FormatDouble(double v) {
 }
 
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Labeled(const std::string& name, const std::string& key,
+                    const std::string& value) {
+  return name + "{" + key + "=\"" + EscapeLabelValue(value) + "\"}";
+}
 
 std::string PrometheusText(const Registry& registry) {
   std::string out;

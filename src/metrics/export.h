@@ -15,8 +15,18 @@ namespace gvfs::metrics {
 
 /// Prometheus-style text exposition: counters/gauges/probes one line each,
 /// histograms as _count/_sum plus quantile-labeled lines. Instrument names
-/// are sanitized to [a-zA-Z0-9_:] as the format requires.
+/// are sanitized to [a-zA-Z0-9_:] as the format requires; a `{...}` label
+/// block built with Labeled() passes through verbatim (already escaped).
 std::string PrometheusText(const Registry& registry);
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline become \\, \" and \n.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Builds `name{key="value"}` with the value escaped, so an instrument
+/// registered under this name exports as a correctly labeled series.
+std::string Labeled(const std::string& name, const std::string& key,
+                    const std::string& value);
 
 /// CSV with header `time_s,<col>,...` over the union of all columns ever
 /// seen in the series; samples missing a column emit 0.

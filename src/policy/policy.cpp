@@ -1,0 +1,204 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+
+namespace gvfs::policy {
+
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool IsPromotion(FileMode from, FileMode to) {
+  return static_cast<std::uint32_t>(to) > static_cast<std::uint32_t>(from);
+}
+
+}  // namespace
+
+const char* FileModeName(FileMode mode) {
+  switch (mode) {
+    case FileMode::kPolling:
+      return "polling";
+    case FileMode::kReadDelegation:
+      return "read-delegation";
+    case FileMode::kWriteDelegation:
+      return "write-delegation";
+  }
+  return "?";
+}
+
+const char* AccessClassName(AccessClass cls) {
+  switch (cls) {
+    case AccessClass::kIdle:
+      return "idle";
+    case AccessClass::kReadShared:
+      return "read-shared";
+    case AccessClass::kSingleWriter:
+      return "single-writer";
+    case AccessClass::kWriteHot:
+      return "write-hot";
+    case AccessClass::kContended:
+      return "contended";
+  }
+  return "?";
+}
+
+PolicyEngine::PolicyEngine(PolicyConfig config) : config_(config) {}
+
+void PolicyEngine::OnRead(const FileId& file) { ++files_[file].reads; }
+
+void PolicyEngine::OnWrite(const FileId& file) { ++files_[file].writes; }
+
+void PolicyEngine::OnInvalidation(const FileId& file) {
+  ++files_[file].remote_invs;
+}
+
+void PolicyEngine::OnRecall(const FileId& file) {
+  ++files_[file].recalls;
+  ++local_recalls_;
+}
+
+AccessClass PolicyEngine::Classify(const PolicyState& s) const {
+  // Write sharing: we write a file that remote parties also touch (their
+  // writes reach us as invalidations, or their access recalls our grant).
+  // Any delegation here just bounces, so back off to polling.
+  if (s.writes > 0 && (s.remote_invs > 0 || s.recalls > 0)) {
+    return AccessClass::kContended;
+  }
+  if (s.writes >= config_.write_hot && s.writes > s.reads) {
+    return AccessClass::kWriteHot;
+  }
+  if (s.writes > 0) return AccessClass::kSingleWriter;
+  // A hot read file earns (and keeps) a read delegation even while a remote
+  // writer keeps recalling it: the recall push delivers freshness faster
+  // than the poll period does, which is the whole point of migrating. The
+  // recall cost is only worth paying for a *fast* reader, though — a file
+  // read too rarely to clear the promotion bar but still drawing recalls is
+  // contended, and demotes.
+  if (s.reads >= config_.promote_reads) return AccessClass::kReadShared;
+  if (s.recalls > 0) return AccessClass::kContended;
+  return AccessClass::kIdle;
+}
+
+FileMode PolicyEngine::TargetFor(const PolicyState& s, AccessClass cls) const {
+  switch (cls) {
+    case AccessClass::kIdle:
+      return s.mode;  // hold
+    case AccessClass::kReadShared:
+      return FileMode::kReadDelegation;
+    case AccessClass::kSingleWriter:
+    case AccessClass::kWriteHot:
+      // Write-through sessions gain nothing from a write grant: hold.
+      return config_.write_delegation ? FileMode::kWriteDelegation : s.mode;
+    case AccessClass::kContended:
+      return FileMode::kPolling;
+  }
+  return s.mode;
+}
+
+AccessClass PolicyEngine::ClassifyOpenWindow(const FileId& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? AccessClass::kIdle : Classify(it->second);
+}
+
+std::uint64_t PolicyEngine::RecallTotal() const {
+  if (registry_ == nullptr) return local_recalls_;
+  double total = 0.0;
+  for (const auto& [name, probe] : registry_->probes()) {
+    if (EndsWith(name, "recalls_read") || EndsWith(name, "recalls_write")) {
+      total += probe();
+    }
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+std::vector<Migration> PolicyEngine::Tick(SimTime now) {
+  // Storm breaker first, so this window's decisions see the fresh state.
+  const std::uint64_t recall_total = RecallTotal();
+  const std::uint64_t delta = recall_total - std::min(recall_total, prev_recall_total_);
+  prev_recall_total_ = recall_total;
+  if (delta >= config_.storm_recalls) {
+    frozen_until_ = now + config_.storm_freeze;
+    ++storm_freezes_;
+    if (frozen_counter_ != nullptr) frozen_counter_->Inc();
+  }
+  frozen_now_ = now < frozen_until_;
+
+  std::vector<Migration> out;
+  for (auto& [file, s] : files_) {
+    const AccessClass cls = Classify(s);
+    const FileMode target = TargetFor(s, cls);
+    ++decisions_;
+    if (decisions_counter_ != nullptr) decisions_counter_->Inc();
+    if (tracer_.enabled()) {
+      tracer_.Policy(trace::EventType::kPolicyDecide, host_, file.fsid,
+                     file.ino, static_cast<std::uint32_t>(s.mode),
+                     static_cast<std::uint32_t>(target),
+                     frozen_now_ ? trace::kPolicyFlagFrozen : 0);
+    }
+
+    const bool agreed = s.has_prev_target && s.prev_target == target;
+    const bool dwell_over =
+        !s.ever_migrated || now - s.migrated_at >= config_.dwell;
+    if (target != s.mode && agreed && dwell_over) {
+      if (frozen_now_ && IsPromotion(s.mode, target)) {
+        ++promotions_frozen_;
+      } else {
+        out.push_back(Migration{file, s.mode, target});
+      }
+    }
+
+    s.prev_target = target;
+    s.has_prev_target = true;
+    s.reads = s.writes = s.remote_invs = s.recalls = 0;
+  }
+  return out;
+}
+
+void PolicyEngine::Commit(const FileId& file, FileMode to, SimTime now) {
+  PolicyState& s = files_[file];
+  if (IsPromotion(s.mode, to)) {
+    ++promotions_;
+    if (promotions_counter_ != nullptr) promotions_counter_->Inc();
+  } else if (to != s.mode) {
+    ++demotions_;
+    if (demotions_counter_ != nullptr) demotions_counter_->Inc();
+  }
+  s.mode = to;
+  s.prev_target = to;
+  s.migrated_at = now;
+  s.ever_migrated = true;
+}
+
+FileMode PolicyEngine::ModeOf(const FileId& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? FileMode::kPolling : it->second.mode;
+}
+
+void PolicyEngine::AttachMetrics(metrics::Registry& registry,
+                                 const std::string& prefix) {
+  registry_ = &registry;
+  decisions_counter_ = &registry.GetCounter(prefix + "policy_decisions");
+  promotions_counter_ = &registry.GetCounter(prefix + "policy_promotions");
+  demotions_counter_ = &registry.GetCounter(prefix + "policy_demotions");
+  frozen_counter_ = &registry.GetCounter(prefix + "policy_storm_freezes");
+  registry.AddProbe(prefix + "policy_files_delegated", [this] {
+    double n = 0;
+    for (const auto& [file, s] : files_) {
+      (void)file;
+      if (s.mode != FileMode::kPolling) ++n;
+    }
+    return n;
+  });
+  registry.AddProbe(prefix + "policy_frozen",
+                    [this] { return frozen_now_ ? 1.0 : 0.0; });
+}
+
+void PolicyEngine::SetTracer(trace::Tracer tracer, HostId host) {
+  tracer_ = tracer;
+  host_ = host;
+}
+
+}  // namespace gvfs::policy

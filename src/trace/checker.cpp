@@ -46,6 +46,8 @@ const char* InvariantKindName(InvariantKind kind) {
       return "drc-reexec";
     case InvariantKind::kAggTier:
       return "agg-tier";
+    case InvariantKind::kPolicyMigration:
+      return "policy-migration";
   }
   return "?";
 }
@@ -121,6 +123,26 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
     }
   };
 
+  // Invariant 6: buffered-but-undelivered invalidation entries per
+  // (destination host, file), produced by server-side kInvAppend and
+  // consumed when the destination applies the entry (client-side kInvPoll),
+  // the server drains it during a MIGRATE (server-side kInvPoll naming the
+  // destination as peer), an aggregator absorbs it (kAggIngest), or a
+  // whole-cache invalidation supersedes the stream (kInvForce / kInvWrap /
+  // crash). A client-side kPolicyMigrate with entries still pending is a
+  // lost invalidation.
+  std::map<HostFileKey, std::uint32_t> inv_pending;
+  auto drop_inv_pending_for = [&](HostId host) {
+    auto it = inv_pending.lower_bound({host, 0, 0});
+    while (it != inv_pending.end() && std::get<0>(it->first) == host) {
+      it = inv_pending.erase(it);
+    }
+  };
+  auto clear_inv_pending = [&](HostId host, std::uint64_t fsid,
+                               std::uint64_t ino) {
+    inv_pending.erase({host, fsid, ino});
+  };
+
   for (std::size_t i = 0; i < buffer.size(); ++i) {
     const Event& ev = buffer.at(i);
     const auto idx = static_cast<std::int64_t>(i);
@@ -189,13 +211,29 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
         }
         break;
       }
+      case EventType::kInvAppend: {
+        // Server appended an entry to the destination's buffer (peer = the
+        // destination host): the invalidation is now owed to that host.
+        const auto& v = ev.u.inv;
+        if (v.peer_host != 0 && v.ino != 0) {
+          ++inv_pending[{v.peer_host, v.fsid, v.ino}];
+        }
+        break;
+      }
       case EventType::kInvPoll: {
         const auto& v = ev.u.inv;
-        if (v.ino != 0) cache[{ev.host, v.fsid, v.ino}].invalidated = idx;
+        if (v.ino != 0) {
+          cache[{ev.host, v.fsid, v.ino}].invalidated = idx;
+          // Client-side application (host = destination) or server-side
+          // MIGRATE drain (peer = destination) both settle the owed entry.
+          clear_inv_pending(ev.host, v.fsid, v.ino);
+          if (v.peer_host != 0) clear_inv_pending(v.peer_host, v.fsid, v.ino);
+        }
         break;
       }
       case EventType::kInvForce: {
         force_inv[ev.host] = idx;
+        drop_inv_pending_for(ev.host);
         // Server/aggregator side (peer = the client being force-served):
         // the whole-cache invalidation settles every outstanding per-handle
         // obligation toward that client and (re)registers it for fan-out.
@@ -203,6 +241,7 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
         if (v.peer_host != 0) {
           drop_agg_client(ev.host, v.peer_host);
           agg_clients[ev.host].insert(v.peer_host);
+          drop_inv_pending_for(v.peer_host);
         }
         break;
       }
@@ -214,6 +253,7 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
         if (v.peer_host != 0) {
           drop_agg_client(ev.host, v.peer_host);
           agg_forced.insert({ev.host, v.peer_host});
+          drop_inv_pending_for(v.peer_host);
         }
         break;
       }
@@ -233,6 +273,8 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
       }
       case EventType::kAggIngest: {
         const auto& v = ev.u.inv;
+        // The aggregator absorbed its buffered copy of the upstream entry.
+        clear_inv_pending(ev.host, v.fsid, v.ino);
         for (HostId client : agg_clients[ev.host]) {
           if (agg_forced.count({ev.host, client}) != 0) continue;
           if (agg_pending.count({ev.host, client, v.fsid, v.ino}) != 0) {
@@ -337,6 +379,24 @@ std::vector<Violation> TraceChecker::Check(const TraceBuffer& buffer) {
         if (auto ait = agg_clients.find(ev.host); ait != agg_clients.end()) {
           for (HostId client : ait->second) drop_agg_client(ev.host, client);
           agg_clients.erase(ait);
+        }
+        // A crashed host's owed invalidations die with its buffers; the
+        // recovery force re-bootstraps the stream.
+        drop_inv_pending_for(ev.host);
+        break;
+      }
+      case EventType::kPolicyMigrate: {
+        const auto& p = ev.u.policy;
+        if ((p.flags & kPolicyFlagServerSide) != 0) break;
+        auto it = inv_pending.find({ev.host, p.fsid, p.ino});
+        if (it != inv_pending.end() && it->second > 0) {
+          std::snprintf(msg, sizeof(msg),
+                        "host %u migrated file %s (mode %u -> %u) with %u "
+                        "buffered invalidation(s) undelivered — the switch "
+                        "lost a mutation (drain-before-switch violated)",
+                        ev.host, FhString(p.fsid, p.ino).c_str(), p.from, p.to,
+                        it->second);
+          report(i, ev.time, InvariantKind::kPolicyMigration);
         }
         break;
       }

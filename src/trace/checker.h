@@ -29,6 +29,13 @@
 //     where a whole-cache invalidation supersedes per-handle delivery); a
 //     second fanout of a pending handle (broken coalescing) and a delivery
 //     of a handle never fanned out are both duplications.
+//  6. kPolicyMigration — every adaptive-policy migration is version-
+//     continuous: when a client completes a MIGRATE for a file (client-side
+//     kPolicyMigrate), no invalidation for that file may still sit
+//     undelivered in the client's server-side buffer (kInvAppend without a
+//     matching kInvPoll application, server-side drain, aggregator ingest,
+//     or superseding whole-cache invalidation). A buffered entry surviving
+//     the switch is a mutation invisible under the new mode.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +53,7 @@ enum class InvariantKind {
   kRecallWriteBack,
   kDrcReexec,
   kAggTier,
+  kPolicyMigration,
 };
 
 const char* InvariantKindName(InvariantKind kind);

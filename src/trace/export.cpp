@@ -107,6 +107,14 @@ std::string PayloadArgs(const TraceBuffer& buf, const Event& ev) {
                     i.peer_host);
       return out;
     }
+    case EventType::kPolicyDecide:
+    case EventType::kPolicyMigrate: {
+      const auto& p = ev.u.policy;
+      std::snprintf(out, sizeof(out),
+                    "{\"fh\":\"%s\",\"from\":%u,\"to\":%u,\"flags\":%u}",
+                    FhString(p.fsid, p.ino).c_str(), p.from, p.to, p.flags);
+      return out;
+    }
     default:
       return "{}";
   }
@@ -426,6 +434,16 @@ void WriteTimeline(const TraceBuffer& buffer, std::ostream& out,
                       " fh=%s ts=%" PRIu64 " count=%u peer=%s",
                       FhString(v.fsid, v.ino).c_str(), v.timestamp, v.count,
                       HostLabel(host_names, v.peer_host).c_str());
+        out << line;
+        break;
+      }
+      case EventType::kPolicyDecide:
+      case EventType::kPolicyMigrate: {
+        const auto& p = ev.u.policy;
+        std::snprintf(line, sizeof(line), " fh=%s from=%u to=%u%s%s",
+                      FhString(p.fsid, p.ino).c_str(), p.from, p.to,
+                      (p.flags & kPolicyFlagServerSide) != 0 ? " (server)" : "",
+                      (p.flags & kPolicyFlagFrozen) != 0 ? " frozen" : "");
         out << line;
         break;
       }

@@ -56,6 +56,10 @@ const char* EventTypeName(EventType type) {
       return "NODE_CRASH";
     case EventType::kNodeRecover:
       return "NODE_RECOVER";
+    case EventType::kPolicyDecide:
+      return "POLICY_DECIDE";
+    case EventType::kPolicyMigrate:
+      return "POLICY_MIGRATE";
   }
   return "?";
 }
@@ -161,6 +165,15 @@ void Tracer::Inv(EventType type, HostId host, std::uint64_t fsid,
   if (buffer_ == nullptr) return;
   Event ev = Stamp(type, host, 0);
   ev.u.inv = InvPayload{fsid, ino, timestamp, count, peer_host};
+  buffer_->Push(ev);
+}
+
+void Tracer::Policy(EventType type, HostId host, std::uint64_t fsid,
+                    std::uint64_t ino, std::uint32_t from, std::uint32_t to,
+                    std::uint32_t flags) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(type, host, 0);
+  ev.u.policy = PolicyPayload{fsid, ino, from, to, flags};
   buffer_->Push(ev);
 }
 

@@ -65,6 +65,11 @@ enum class EventType : std::uint8_t {
   // Node lifecycle.
   kNodeCrash,
   kNodeRecover,
+  // Adaptive consistency (src/policy). Decisions are client-side engine
+  // events; migrations are recorded on both ends of the MIGRATE handshake
+  // (server side carries kPolicyFlagServerSide).
+  kPolicyDecide,   // engine classified a file and chose a target mode
+  kPolicyMigrate,  // MIGRATE completed (client) / served (server)
 };
 
 const char* EventTypeName(EventType type);
@@ -73,6 +78,10 @@ const char* EventTypeName(EventType type);
 constexpr std::uint32_t kDelegFlagServerSide = 1;   // recorded by the server
 constexpr std::uint32_t kDelegFlagHasWanted = 2;    // wanted_offset is valid
 constexpr std::uint32_t kDelegFlagWantedDirty = 4;  // wanted block was dirty
+
+// PolicyPayload::flags bits.
+constexpr std::uint32_t kPolicyFlagServerSide = 1;  // recorded by the server
+constexpr std::uint32_t kPolicyFlagFrozen = 2;      // storm breaker active
 
 /// Sentinel for cache events without a byte offset (attribute-level ops).
 constexpr std::uint64_t kNoOffset = ~0ull;
@@ -131,6 +140,14 @@ struct InvPayload {
   std::uint32_t peer_host = 0;
 };
 
+struct PolicyPayload {
+  std::uint64_t fsid = 0;
+  std::uint64_t ino = 0;
+  std::uint32_t from = 0;  // policy::FileMode before the decision/migration
+  std::uint32_t to = 0;    // policy::FileMode after
+  std::uint32_t flags = 0;
+};
+
 struct Event {
   SimTime time = 0;
   EventType type = EventType::kRpcSend;
@@ -142,6 +159,7 @@ struct Event {
     CachePayload cache;
     DelegPayload deleg;
     InvPayload inv;
+    PolicyPayload policy;
     Payload() : rpc() {}
   } u;
 };
@@ -204,6 +222,9 @@ class Tracer {
              std::uint64_t wanted_offset) const;
   void Inv(EventType type, HostId host, std::uint64_t fsid, std::uint64_t ino,
            std::uint64_t timestamp, std::uint32_t count, HostId peer_host) const;
+  void Policy(EventType type, HostId host, std::uint64_t fsid,
+              std::uint64_t ino, std::uint32_t from, std::uint32_t to,
+              std::uint32_t flags) const;
   void Node(EventType type, HostId host) const;
 
  private:

@@ -53,6 +53,22 @@ TEST(ShardRouterTest, SingleShardOwnsEverything) {
   }
 }
 
+TEST(ShardRouterTest, DegenerateRoutersOwnEverything) {
+  // A fleet of one (and the empty default) must collapse to the unsharded
+  // map: index 0 for every handle, the whole probe space on one shard.
+  const fleet::ShardRouter empty;
+  EXPECT_EQ(empty.shard_count(), 0u);
+  EXPECT_EQ(empty.IndexOf(nfs3::Fh{7, 123}), 0u);
+
+  const fleet::ShardRouter single(FakeShards(1));
+  for (std::uint64_t ino = 1; ino < 50; ++ino) {
+    EXPECT_EQ(single.AddressOf(nfs3::Fh{7, ino}).port, 5000u);
+  }
+  const auto histogram = single.BalanceHistogram(7, 256);
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0], 256u);
+}
+
 TEST(ShardRouterTest, HandlesSpreadAcrossShards) {
   const fleet::ShardRouter router(FakeShards(4));
   const auto histogram = router.BalanceHistogram(7, 4096);
@@ -263,6 +279,76 @@ TEST_F(FleetTest, UpstreamForceEscalatesThroughTier) {
     client_forces += session.proxy(i).stats().force_invalidations;
   }
   EXPECT_GT(client_forces, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate fleet: shards=1, no tier. The fleet machinery must add no
+// observable behavior over the plain unsharded session.
+// ---------------------------------------------------------------------------
+
+struct ChurnResult {
+  std::vector<std::uint8_t> first_bytes;
+  std::uint64_t applied = 0;
+};
+
+sim::Task<void> SleepFor(sim::Scheduler& sched, Duration d) {
+  co_await sim::Sleep(sched, d);
+}
+
+/// Writer dirties three files, the poll period and kernel attr cache expire,
+/// the reader reads them back; returns what the reader saw. Works on both
+/// session flavors (mount()/proxy() are the shared surface).
+template <typename SessionT>
+ChurnResult RunChurn(Testbed& bed, SessionT& session) {
+  auto& writer = session.mount(0);
+  auto& reader = session.mount(1);
+  (void)RunTask(bed.sched(), SleepFor(bed.sched(), Seconds(15)));
+  for (int f = 0; f < 3; ++f) {
+    auto fd = RunTask(bed.sched(),
+                      writer.Open("/d" + std::to_string(f), kCreateWrite));
+    EXPECT_TRUE(fd.has_value());
+    (void)RunTask(
+        bed.sched(),
+        writer.Write(*fd, 0, Bytes(64, static_cast<std::uint8_t>(f + 1))));
+    (void)RunTask(bed.sched(), writer.Close(*fd));
+  }
+  (void)RunTask(bed.sched(), SleepFor(bed.sched(), Seconds(35)));
+  ChurnResult out;
+  for (int f = 0; f < 3; ++f) {
+    auto fd =
+        RunTask(bed.sched(), reader.Open("/d" + std::to_string(f), kRead));
+    EXPECT_TRUE(fd.has_value());
+    auto data = RunTask(bed.sched(), reader.Read(*fd, 0, 64));
+    EXPECT_TRUE(data.has_value());
+    if (data.has_value() && !data->empty()) {
+      out.first_bytes.push_back((*data)[0]);
+    }
+    (void)RunTask(bed.sched(), reader.Close(*fd));
+  }
+  out.applied = session.proxy(1).stats().invalidations_applied;
+  (void)RunTask(bed.sched(), session.Shutdown());
+  return out;
+}
+
+TEST_F(FleetTest, SingleShardFleetMatchesUnshardedSession) {
+  auto& fleet = bed_.CreateFleetSession(MakeConfig(1, /*aggregate=*/false),
+                                        AddClients(2), /*active_mounts=*/2);
+  const ChurnResult sharded = RunChurn(bed_, fleet);
+
+  Testbed solo;
+  solo.EnableTracing(1 << 18);
+  solo.AddWanClient();
+  solo.AddWanClient();
+  auto& plain = solo.CreateSession(MakeConfig(1, false).session, {0, 1});
+  const ChurnResult unsharded = RunChurn(solo, plain);
+
+  // shards=1 routes every handle to shard 0 and never forwards.
+  EXPECT_EQ(fleet.shard(0).stats().notifyinv_sent, 0u);
+  EXPECT_EQ(fleet.shard(0).stats().notifyinv_received, 0u);
+  // The reader observes identical bytes and the same invalidation stream.
+  EXPECT_EQ(sharded.first_bytes, unsharded.first_bytes);
+  EXPECT_EQ(sharded.applied, unsharded.applied);
+  testutil::ExpectTraceClean(solo);
 }
 
 // ---------------------------------------------------------------------------

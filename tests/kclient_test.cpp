@@ -332,6 +332,26 @@ TEST_F(KclientTest, EvictionRereadsAfterPressure) {
   EXPECT_LE(client.CachedBytes(), 96 * 1024u);
 }
 
+// Regression: with a zero-byte page cache every fetched block is immediately
+// evictable, and eviction used to run before the block's bytes were copied
+// into the result — returning freed memory instead of file data.
+TEST_F(KclientTest, ZeroByteCacheReadsReturnFileData) {
+  MountOptions opts;
+  opts.max_cached_bytes = 0;
+  auto client = MakeClient(0, opts);
+  auto ino = fs_.Create(fs_.root(), "f", 0644);
+  const std::size_t size = 96 * 1024;  // 3 blocks at 32 KB
+  ASSERT_TRUE(fs_.Write(*ino, 0, Bytes(size, 0x5A)).has_value());
+  auto fd = RunTask(sched_, client.Open("/f", kRead));
+  ASSERT_TRUE(fd.has_value());
+  for (int pass = 0; pass < 2; ++pass) {
+    auto data = RunTask(sched_, client.Read(*fd, 0, size));
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ(*data, Bytes(size, 0x5A)) << "pass " << pass;
+  }
+  EXPECT_EQ(client.CachedBytes(), 0u);  // nothing may stay resident
+}
+
 TEST_F(KclientTest, MkdirRmdirReadDir) {
   auto client = MakeClient(0);
   ASSERT_TRUE(RunTask(sched_, client.Mkdir("/d")).has_value());

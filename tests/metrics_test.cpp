@@ -85,6 +85,29 @@ TEST(MetricsRegistry, InstrumentReferencesSurviveLaterInsertions) {
   EXPECT_DOUBLE_EQ(registry.GetGauge("g").value(), 1.5);
 }
 
+TEST(MetricsRegistry, ReRegisteringNameReturnsSameInstance) {
+  metrics::Registry registry;
+  metrics::Counter& counter = registry.GetCounter("dup");
+  counter.Inc(5);
+  // A second Get* under the same name must hand back the same instrument,
+  // not a fresh zeroed one — two subsystems sharing a name share the count.
+  EXPECT_EQ(&registry.GetCounter("dup"), &counter);
+  EXPECT_EQ(registry.GetCounter("dup").value(), 5u);
+
+  metrics::Gauge& gauge = registry.GetGauge("dup");  // separate namespace
+  gauge.Set(2.5);
+  EXPECT_EQ(&registry.GetGauge("dup"), &gauge);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("dup").value(), 2.5);
+  EXPECT_EQ(registry.counters().size(), 1u);
+  EXPECT_EQ(registry.gauges().size(), 1u);
+
+  // Probes differ by design: re-registering replaces the callback.
+  registry.AddProbe("p", [] { return 1.0; });
+  registry.AddProbe("p", [] { return 2.0; });
+  ASSERT_EQ(registry.probes().size(), 1u);
+  EXPECT_DOUBLE_EQ(registry.probes().at("p")(), 2.0);
+}
+
 TEST(MetricsSampler, ProbesEvaluateAtSampleTime) {
   sim::Scheduler sched;
   metrics::Registry registry;
@@ -120,6 +143,29 @@ TEST(MetricsExport, CsvAndPrometheusCarryEveryInstrument) {
   const std::string prom = metrics::PrometheusText(registry);
   EXPECT_NE(prom.find("requests 7"), std::string::npos);
   EXPECT_NE(prom.find("lat_us_count 1"), std::string::npos);
+}
+
+TEST(MetricsExport, PrometheusEscapesLabelValues) {
+  metrics::Registry registry;
+  // A label value carrying every character the exposition format escapes.
+  const std::string name =
+      metrics::Labeled("migrations", "mode", "read\"deleg\\x\ny");
+  registry.GetCounter(name).Inc(3);
+
+  const std::string prom = metrics::PrometheusText(registry);
+  // The exported line carries the escaped forms \" \\ \n on one line — a
+  // raw newline or quote in the value would corrupt the exposition.
+  EXPECT_NE(prom.find("migrations{mode=\"read\\\"deleg\\\\x\\ny\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("read\"deleg"), std::string::npos);  // raw quote gone
+  EXPECT_EQ(prom.find("deleg\\x\ny"), std::string::npos);  // raw newline gone
+
+  // The metric name proper is still sanitized, label block untouched.
+  registry.GetGauge(metrics::Labeled("queue depth", "shard", "s-0")).Set(1.0);
+  const std::string prom2 = metrics::PrometheusText(registry);
+  EXPECT_NE(prom2.find("queue_depth{shard=\"s-0\"} 1"), std::string::npos)
+      << prom2;
 }
 
 // ---------------------------------------------------------------------------

@@ -22,7 +22,15 @@ Two kinds of numbers, two policies:
       --smoke sweep runs the small-N prefix of the same sweep), so the smoke
       tier gates against the committed full baseline.
 
-Exit status: 0 clean, 1 any failure (including warnings promoted by mode).
+  virtual-time (BENCH_adapt.json)  deterministic fig_adapt rows, keyed by
+      mode. Optional (--adapt-baseline/--adapt-candidate). Same subset rule
+      as scale: --smoke runs the single-server prefix of the same point set.
+
+Exit status: 0 clean, 1 any regression/mismatch. A structurally broken
+input — a baseline or candidate document missing a key the comparison needs
+(e.g. a baseline committed from an older schema) — exits 2 instead, naming
+the key and the file it is missing from, so CI can distinguish "perf
+regressed" from "the gate itself could not run".
 
 Usage:
   tools/bench/compare.py \
@@ -40,19 +48,34 @@ def load(path):
         return json.load(f)
 
 
-def compare_core(baseline, candidate, tolerance, wall_mode):
+class MissingKeyError(Exception):
+    """A document lacks a key the comparison needs (exit 2, not a perf fail)."""
+
+    def __init__(self, key, path):
+        super().__init__(f"missing key {key!r} (from {path})")
+        self.key = key
+        self.path = path
+
+
+def require(doc, key, path):
+    if key not in doc:
+        raise MissingKeyError(key, path)
+    return doc[key]
+
+
+def compare_core(baseline, candidate, base_path, cand_path, tolerance, wall_mode):
     """Returns (hard_failures, warnings) comparing gated wall-clock rows."""
     failures, warnings = [], []
-    gated = baseline.get("gated", sorted(baseline["benchmarks"].keys()))
-    base_rows = baseline["benchmarks"]
-    cand_rows = candidate["benchmarks"]
+    base_rows = require(baseline, "benchmarks", base_path)
+    gated = baseline.get("gated", sorted(base_rows.keys()))
+    cand_rows = require(candidate, "benchmarks", cand_path)
     print(f"{'benchmark':<40} {'base':>12} {'cand':>12} {'ratio':>7}  verdict")
     for name in gated:
         if name not in cand_rows:
             failures.append(f"{name}: missing from candidate run")
             continue
-        base = base_rows[name]["score_per_s"]
-        cand = cand_rows[name]["score_per_s"]
+        base = require(base_rows[name], "score_per_s", f"{base_path} [{name}]")
+        cand = require(cand_rows[name], "score_per_s", f"{cand_path} [{name}]")
         if base <= 0:
             failures.append(f"{name}: baseline throughput is zero")
             continue
@@ -85,15 +108,15 @@ def compare_flush(baseline, candidate):
     return failures
 
 
-def compare_scale(baseline, candidate):
+def compare_scale(baseline, candidate, base_path, cand_path):
     """Exact subset comparison of the deterministic fleet-sweep rows."""
     failures = []
 
     def key(row):
         return (row["clients"], row["shards"], row["mode"])
 
-    base_rows = {key(r): r for r in baseline.get("points", [])}
-    cand_points = candidate.get("points", [])
+    base_rows = {key(r): r for r in require(baseline, "points", base_path)}
+    cand_points = require(candidate, "points", cand_path)
     if not cand_points:
         return ["scale: candidate has no sweep points"]
     for row in cand_points:
@@ -119,6 +142,34 @@ def compare_scale(baseline, candidate):
     return failures
 
 
+def compare_adapt(baseline, candidate, base_path, cand_path):
+    """Exact subset comparison of the deterministic fig_adapt rows."""
+    failures = []
+    base_rows = {r["mode"]: r for r in require(baseline, "points", base_path)}
+    cand_points = require(candidate, "points", cand_path)
+    if not cand_points:
+        return ["adapt: candidate has no points"]
+    for row in cand_points:
+        mode = row.get("mode")
+        tag = f"adapt[{mode}]"
+        base = base_rows.get(mode)
+        if base is None:
+            failures.append(f"{tag}: not in baseline (regenerate BENCH_adapt.json)")
+            continue
+        for field in sorted(set(base) | set(row)):
+            if base.get(field) != row.get(field):
+                failures.append(
+                    f"{tag}.{field}: baseline {base.get(field)!r} "
+                    f"!= candidate {row.get(field)!r}"
+                )
+    if not failures:
+        print(
+            f"adapt: {len(cand_points)} virtual-time row(s) match baseline "
+            "exactly"
+        )
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--core-baseline", required=True)
@@ -127,23 +178,46 @@ def main():
     ap.add_argument("--flush-candidate", required=True)
     ap.add_argument("--scale-baseline")
     ap.add_argument("--scale-candidate")
+    ap.add_argument("--adapt-baseline")
+    ap.add_argument("--adapt-candidate")
     ap.add_argument("--wall-tolerance", type=float, default=0.15)
     ap.add_argument("--wall-mode", choices=["fail", "warn"], default="fail")
     args = ap.parse_args()
     if bool(args.scale_baseline) != bool(args.scale_candidate):
         ap.error("--scale-baseline and --scale-candidate must be given together")
+    if bool(args.adapt_baseline) != bool(args.adapt_candidate):
+        ap.error("--adapt-baseline and --adapt-candidate must be given together")
 
-    failures, warnings = compare_core(
-        load(args.core_baseline),
-        load(args.core_candidate),
-        args.wall_tolerance,
-        args.wall_mode,
-    )
-    failures += compare_flush(load(args.flush_baseline), load(args.flush_candidate))
-    if args.scale_baseline:
-        failures += compare_scale(
-            load(args.scale_baseline), load(args.scale_candidate)
+    try:
+        failures, warnings = compare_core(
+            load(args.core_baseline),
+            load(args.core_candidate),
+            args.core_baseline,
+            args.core_candidate,
+            args.wall_tolerance,
+            args.wall_mode,
         )
+        failures += compare_flush(
+            load(args.flush_baseline), load(args.flush_candidate)
+        )
+        if args.scale_baseline:
+            failures += compare_scale(
+                load(args.scale_baseline),
+                load(args.scale_candidate),
+                args.scale_baseline,
+                args.scale_candidate,
+            )
+        if args.adapt_baseline:
+            failures += compare_adapt(
+                load(args.adapt_baseline),
+                load(args.adapt_candidate),
+                args.adapt_baseline,
+                args.adapt_candidate,
+            )
+    except MissingKeyError as e:
+        print(f"FAIL: {e}")
+        print("perf gate: could not run (structurally broken input)")
+        return 2
 
     for w in warnings:
         print(f"WARN: {w}")

@@ -13,6 +13,10 @@ their output into the two committed baseline files:
                     client count across sharding and aggregation topologies).
                     Deterministic; compared exactly per (clients, shards,
                     mode) row — a smoke run gates as a subset.
+  BENCH_adapt.json  fig_adapt adaptive-consistency points (three-phase mixed
+                    workload across polling / delegation / adaptive /
+                    adaptive-sharded). Deterministic; compared exactly per
+                    mode row — a smoke run gates as a subset.
 
 Usage:
   tools/bench/run_bench.py --build-dir build --out-dir .
@@ -95,6 +99,17 @@ def run_fig_scale(build_dir, out_path, smoke):
         return json.load(f)
 
 
+def run_fig_adapt(build_dir, out_path, smoke):
+    binary = os.path.join(build_dir, "bench", "fig_adapt")
+    cmd = [binary, "--check", "--json-out", out_path]
+    if smoke:
+        cmd.append("--smoke")
+    print(f"+ {' '.join(cmd)}", file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -116,6 +131,12 @@ def main():
         action="store_true",
         help="run only the small-N prefix of the fig_scale sweep (rows still "
         "gate exactly, as a subset of the committed baseline)",
+    )
+    ap.add_argument(
+        "--adapt-smoke",
+        action="store_true",
+        help="run only the single-server fig_adapt points (rows still gate "
+        "exactly, as a subset of the committed baseline)",
     )
     args = ap.parse_args()
 
@@ -150,6 +171,10 @@ def main():
     run_fig_scale(args.build_dir, scale_path, args.scale_smoke)
     print(f"wrote {scale_path}", file=sys.stderr)
 
+    adapt_path = os.path.join(args.out_dir, "BENCH_adapt.json")
+    run_fig_adapt(args.build_dir, adapt_path, args.adapt_smoke)
+    print(f"wrote {adapt_path}", file=sys.stderr)
+
     rt = core_rows.get("BM_SimulatedGetattrRoundTrip", {})
     print(
         f"roundtrip: {rt.get('items_per_second', 0) / 1e6:.2f}M sim-RPCs/s; "
@@ -177,6 +202,10 @@ def main():
                 os.path.join(args.gate_baseline_dir, "BENCH_scale.json"),
                 "--scale-candidate",
                 scale_path,
+                "--adapt-baseline",
+                os.path.join(args.gate_baseline_dir, "BENCH_adapt.json"),
+                "--adapt-candidate",
+                adapt_path,
                 "--wall-mode",
                 args.wall_mode,
             ]

@@ -454,6 +454,70 @@ void CheckInvCoverage(const Tree& tree, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// migrate-coverage
+// ---------------------------------------------------------------------------
+
+void CheckMigrateCoverage(const Tree& tree, std::vector<Finding>& out) {
+  // The adaptive engine's safety argument is the drain-before-switch chain:
+  // a MIGRATE reply may only switch a file's mode after the server has
+  // recalled conflicting delegations and delivered the caller's buffered
+  // invalidations for that file, and the client may only issue a MIGRATE
+  // after flushing and dropping its own delegation state. TraceChecker
+  // invariant 6 observes violations at runtime; this rule proves at lint
+  // time that the code path producing the handshake still exists.
+  const FileUnit* server = FindUnit(tree, "src/gvfs/proxy_server.cpp");
+  if (server != nullptr) {
+    Span migrate = FunctionBody(server->lex, "HandleMigrate");
+    if (migrate.ok()) {
+      if (!SpanContains(migrate, "DrainInvEntries")) {
+        Add(out, "migrate-coverage", *server, migrate.line,
+            "HandleMigrate() never calls DrainInvEntries(); a mutation "
+            "buffered before the mode switch becomes invisible after it");
+      }
+      if (!SpanContains(migrate, "RecallConflicts")) {
+        Add(out, "migrate-coverage", *server, migrate.line,
+            "HandleMigrate() never calls RecallConflicts(); a migration can "
+            "switch modes under a live conflicting delegation");
+      }
+    }
+    Span drain = FunctionBody(server->lex, "DrainInvEntries");
+    if (drain.ok()) {
+      if (!SpanContains(drain, "erase")) {
+        Add(out, "migrate-coverage", *server, drain.line,
+            "DrainInvEntries() never erases buffer entries; drained "
+            "invalidations would be delivered twice");
+      }
+      if (!SpanContains(drain, "kInvPoll")) {
+        Add(out, "migrate-coverage", *server, drain.line,
+            "DrainInvEntries() does not trace its deliveries as kInvPoll; "
+            "TraceChecker invariant 6 cannot credit the drain");
+      }
+    } else if (migrate.ok()) {
+      Add(out, "migrate-coverage", *server, migrate.line,
+          "DrainInvEntries() definition not found; the MIGRATE handshake "
+          "has no drain step");
+    }
+  }
+
+  const FileUnit* client = FindUnit(tree, "src/gvfs/proxy_client.cpp");
+  if (client != nullptr) {
+    Span migrate = FunctionBody(client->lex, "MigrateMode");
+    if (migrate.ok()) {
+      if (!SpanContains(migrate, "FlushFile")) {
+        Add(out, "migrate-coverage", *client, migrate.line,
+            "MigrateMode() never calls FlushFile(); dirty data can be "
+            "stranded behind a delegation the switch abandons");
+      }
+      if (!SpanContains(migrate, "DropDelegation")) {
+        Add(out, "migrate-coverage", *client, migrate.line,
+            "MigrateMode() never calls DropDelegation(); stale client "
+            "delegation state survives the mode switch");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // trace-coverage
 // ---------------------------------------------------------------------------
 

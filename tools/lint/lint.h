@@ -84,8 +84,9 @@ const std::vector<RuleInfo>& AllRules();
 bool IsKnownRule(const std::string& id);
 
 /// Path scopes shared by several rules.
-bool InProtocolDirs(const std::string& rel_path);  // gvfs/rpc/nfs3/sim
+bool InProtocolDirs(const std::string& rel_path);  // gvfs/rpc/nfs3/fleet/policy/sim
 bool InSrc(const std::string& rel_path);
+bool InSrcOrBench(const std::string& rel_path);
 
 // ---------------------------------------------------------------------------
 // Driver

@@ -323,6 +323,22 @@ TEST_F(CoverageTest, UntracedAggregatorFanoutIsCaught) {
   EXPECT_GE(CountRule(findings, "trace-coverage"), 2) << FormatText(findings);
 }
 
+TEST_F(CoverageTest, MissingMigrateDrainIsCaught) {
+  // HandleMigrate() still recalls conflicts but skipped the buffered-
+  // invalidation drain: the exact bug TraceChecker invariant 6 observes at
+  // runtime, caught here at lint time.
+  const auto findings = LintVariant("missing_drain");
+  EXPECT_GE(CountRule(findings, "migrate-coverage"), 1)
+      << FormatText(findings);
+}
+
+TEST_F(CoverageTest, MissingMigrateFlushIsCaught) {
+  // Client-side twin: MigrateMode() drops the delegation without flushing.
+  const auto findings = LintVariant("missing_migrate_flush");
+  EXPECT_GE(CountRule(findings, "migrate-coverage"), 1)
+      << FormatText(findings);
+}
+
 TEST_F(CoverageTest, MissingEventTypeNameIsCaught) {
   const auto findings = LintVariant("missing_event_name");
   EXPECT_GE(CountRule(findings, "trace-coverage"), 1) << FormatText(findings);

@@ -264,10 +264,15 @@ void CheckBadSuppression(const FileUnit& unit, std::vector<Finding>& out) {
 bool InProtocolDirs(const std::string& rel_path) {
   return StartsWith(rel_path, "src/gvfs/") || StartsWith(rel_path, "src/rpc/") ||
          StartsWith(rel_path, "src/nfs3/") || StartsWith(rel_path, "src/sim/") ||
-         StartsWith(rel_path, "src/fleet/");
+         StartsWith(rel_path, "src/fleet/") ||
+         StartsWith(rel_path, "src/policy/");
 }
 
 bool InSrc(const std::string& rel_path) { return StartsWith(rel_path, "src/"); }
+
+bool InSrcOrBench(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/") || StartsWith(rel_path, "bench/");
+}
 
 bool InHotPathDirs(const std::string& rel_path) {
   return StartsWith(rel_path, "src/sim/") || StartsWith(rel_path, "src/rpc/");
@@ -289,6 +294,7 @@ bool NotRngHeader(const std::string& rel_path) {
 void CheckProcCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckStatsNameCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckInvCoverage(const Tree& tree, std::vector<Finding>& out);
+void CheckMigrateCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckTraceCoverage(const Tree& tree, std::vector<Finding>& out);
 
 const std::vector<RuleInfo>& AllRules() {
@@ -304,10 +310,10 @@ const std::vector<RuleInfo>& AllRules() {
        CheckBannedInclude, nullptr, NotRngHeader},
       {"unordered-container",
        "Hash containers iterate in nondeterministic order",
-       CheckUnorderedContainer, nullptr, InSrc},
+       CheckUnorderedContainer, nullptr, InSrcOrBench},
       {"pointer-order",
        "Ordering/hashing by pointer value varies run to run",
-       CheckPointerOrder, nullptr, InSrc},
+       CheckPointerOrder, nullptr, InSrcOrBench},
       {"throw-in-protocol",
        "Protocol paths return Expected<>; exceptions must not cross "
        "coroutine frames",
@@ -334,6 +340,10 @@ const std::vector<RuleInfo>& AllRules() {
        "Mutating procs and the aggregation tier must append invalidation "
        "entries",
        nullptr, CheckInvCoverage, nullptr},
+      {"migrate-coverage",
+       "The MIGRATE handshake must drain invalidations and recall conflicts "
+       "before switching modes",
+       nullptr, CheckMigrateCoverage, nullptr},
       {"trace-coverage",
        "Invalidation appends must be traced; every EventType needs a name",
        nullptr, CheckTraceCoverage, nullptr},

@@ -7,6 +7,7 @@ const char* GvfsProcName(GvfsProc proc) {
     case kGetInv: return "GETINV";
     case kCallback: return "CALLBACK";
     case kRecovery: return "RECOVERY";
+    case kMigrate: return "MIGRATE";
   }
   return "UNKNOWN";
 }

@@ -9,6 +9,7 @@ enum GvfsProc : std::uint32_t {
   kGetInv = 1,
   kCallback = 2,
   kRecovery = 3,
+  kMigrate = 4,
 };
 
 const char* GvfsProcName(GvfsProc proc);

@@ -1,7 +1,5 @@
-// Coverage fixture: a structurally faithful skeleton of the proxy server's
-// dispatch — the kProcs registration table, Classify(), the mutating gate in
-// HandleNfs(), and the traced invalidation-buffer append. The cross-file
-// rules anchor on exactly these shapes.
+// Seeded violation: HandleMigrate() recalls conflicting delegations but no
+// longer drains the caller's buffered invalidations before the mode switch.
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -93,12 +91,8 @@ void ProxyServer::HandleNfs(Request& req) {
   Forward(req);
 }
 
-// The migrate-coverage rule anchors on this drain-before-switch chain:
-// recall conflicting delegations, deliver the caller's buffered entries
-// for the file, and only then switch the mode.
 void ProxyServer::HandleMigrate(Request& req) {
   RecallConflicts(req.client, req.fh);
-  DrainInvEntries(req.client, req.fh);
 }
 
 std::uint64_t ProxyServer::DrainInvEntries(int client, const Fh& fh) {

@@ -1,5 +1,5 @@
-// Coverage fixture: the client side registers the server-initiated procs
-// (CALLBACK for delegation breaks, RECOVERY for post-crash re-sync).
+// Seeded violation: MigrateMode() drops the delegation but no longer
+// flushes dirty blocks first, stranding writes behind the abandoned grant.
 #include "proto.h"
 
 namespace gvfs {
@@ -22,10 +22,7 @@ void ProxyClient::Start() {
   RegisterHandler(kRecovery, HandleRecovery);
 }
 
-// The migrate-coverage rule anchors here: flush dirty state and drop the
-// local delegation before asking the server to switch modes.
 bool ProxyClient::MigrateMode(int fh, int from, int to) {
-  FlushFile(fh);
   DropDelegation(fh);
   return Call(kMigrate, fh, from, to) == 0;
 }
