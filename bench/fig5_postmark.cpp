@@ -326,6 +326,46 @@ int RunMetrics(const std::string& prefix, Duration period) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Dump mode (--dump-out): the polling staleness workload under the full
+/// diagnosis stack (tracing + watchdog + flight recorder); writes a
+/// .gvfsdump at end of run so gvfs-doctor has a healthy reference input.
+int RunDump(const std::string& path) {
+  const Duration poll_period = Seconds(5);
+  TestbedConfig net_config;  // paper 40 ms WAN
+  Testbed bed(net_config);
+  bed.AddWanClient();
+  bed.AddWanClient();
+  bed.EnableTracing(1 << 18);
+  bed.EnableDiagnosis();
+  bed.recorder()->SetMaxTraceEvents(1 << 18);  // keep the whole run
+
+  kclient::MountOptions noac;
+  noac.noac = true;
+  proxy::SessionConfig poll_config;
+  poll_config.model = proxy::ConsistencyModel::kInvalidationPolling;
+  poll_config.poll_period = poll_period;
+  poll_config.poll_max_period = poll_period;
+  auto& polling = bed.CreateSession(poll_config, {0, 1}, noac);
+
+  Drive(bed.sched(), PollingStalenessWorkload(bed.sched(), polling));
+  Drive(bed.sched(), polling.Shutdown());
+  bed.watchdog()->ScanNow();  // final detector pass over the run's end state
+
+  if (!bed.recorder()->Dump(path, "fig5: end of polling staleness run")) {
+    return 1;
+  }
+  const auto found = trace::TraceChecker(proxy::NfsTraceCheckerConfig())
+                         .Check(*bed.trace_buffer());
+  if (!found.empty()) {
+    std::fprintf(stderr, "%s", trace::FormatViolations(found).c_str());
+  }
+  std::printf("wrote %s (%llu trace events, %zu anomalies, %zu violations)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(bed.trace_buffer()->recorded()),
+              bed.watchdog()->anomalies().size(), found.size());
+  return (found.empty() && bed.watchdog()->anomalies().empty()) ? 0 : 1;
+}
+
 void Main(const std::optional<std::string>& json_out) {
   PrintHeader("Figure 5: PostMark transaction-phase runtime (seconds) vs RTT");
   std::printf("%-10s %10s %10s %10s\n", "RTT (ms)", "NFS", "GVFS1", "GVFS2");
@@ -389,6 +429,9 @@ int main(int argc, char** argv) {
   if (const auto metrics_out = FlagValue(argc, argv, "--metrics-out")) {
     return gvfs::bench::RunMetrics(*metrics_out,
                                    gvfs::bench::MetricsPeriod(argc, argv));
+  }
+  if (const auto dump_out = FlagValue(argc, argv, "--dump-out")) {
+    return gvfs::bench::RunDump(*dump_out);
   }
   gvfs::bench::Main(FlagValue(argc, argv, "--json-out"));
   return 0;

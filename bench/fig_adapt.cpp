@@ -33,11 +33,13 @@
 // full run adds the 2-shard fleet point (MIGRATE routed to the owning
 // shard).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/anomaly.h"
 #include "trace/checker.h"
 #include "trace/export.h"
 #include "workloads/testbed.h"
@@ -110,6 +112,11 @@ struct Point {
   std::uint64_t callbacks = 0;
   std::uint64_t getinv = 0;
   std::uint64_t applied = 0;      // invalidations applied across clients
+
+  // Staleness-probe read-out for the SLO gate (printed under --check, kept
+  // out of the JSON so BENCH_adapt.json stays byte-identical).
+  std::uint64_t staleness_count = 0;
+  std::uint64_t staleness_p99_us = 0;
 };
 
 template <typename Session>
@@ -269,7 +276,6 @@ bool RunOne(Mode mode, Point* out) {
                          (g_metrics_prefix.has_value() || g_trace_out.has_value());
   metrics::Registry& registry =
       bed.EnableMetrics(artifacts ? g_metrics_period : Seconds(5));
-  (void)registry;
 
   Point point;
   point.mode = mode;
@@ -294,6 +300,17 @@ bool RunOne(Mode mode, Point* out) {
   point.phase2_s = ToSeconds(times.p2_end - times.p1_end);
   point.phase3_s = ToSeconds(times.p3_end - times.p2_end);
   point.total_s = ToSeconds(times.p3_end - times.start);
+
+  // Staleness probe read-out: the testbed registers the session histogram as
+  // s0.staleness_us (f0.staleness_us for the fleet point).
+  const std::string staleness_key =
+      std::string(mode == Mode::kAdaptiveSharded ? "f0" : "s0") +
+      ".staleness_us";
+  auto hist_it = registry.histograms().find(staleness_key);
+  if (hist_it != registry.histograms().end()) {
+    point.staleness_count = hist_it->second.hist().count();
+    point.staleness_p99_us = hist_it->second.hist().Percentile(99);
+  }
 
   if (artifacts && g_metrics_prefix.has_value()) {
     FinishMetrics(*g_metrics_prefix, ModeKey(mode), bed.metrics_registry(),
@@ -410,6 +427,110 @@ bool CheckClaims(const std::vector<Point>& points) {
   return ok;
 }
 
+/// Staleness-SLO gate (runs under --check): every polling-path point must
+/// keep its p99 cached-read staleness within the paper's proven
+/// poll_period + 2*RTT budget, and the probe must actually have sampled
+/// (count > 0) — a vacuously-passing gate would hide a dead probe. Static
+/// delegation has no polling path to bound, so it is exempt.
+bool CheckStaleness(const std::vector<Point>& points) {
+  const Duration budget =
+      kPollPeriod + 4 * workloads::TestbedConfig{}.wan.one_way_latency;
+  const auto budget_us = static_cast<std::uint64_t>(ToSeconds(budget) * 1e6);
+  bool ok = true;
+  for (const Point& p : points) {
+    if (p.mode == Mode::kDelegation) continue;
+    if (p.staleness_count == 0) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: staleness probe recorded no samples at "
+                   "mode=%s (dead probe?)\n",
+                   ModeKey(p.mode));
+      ok = false;
+      continue;
+    }
+    std::printf("staleness SLO: mode=%-16s p99 %8llu us <= %llu us budget "
+                "(%llu samples)\n",
+                ModeKey(p.mode),
+                static_cast<unsigned long long>(p.staleness_p99_us),
+                static_cast<unsigned long long>(budget_us),
+                static_cast<unsigned long long>(p.staleness_count));
+    if (p.staleness_p99_us > budget_us) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: p99 staleness %llu us exceeds the "
+                   "poll_period + 2*RTT budget (%llu us) at mode=%s\n",
+                   static_cast<unsigned long long>(p.staleness_p99_us),
+                   static_cast<unsigned long long>(budget_us), ModeKey(p.mode));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// --dump-on-anomaly: a dedicated recall-storm run for the diagnosis layer.
+/// Runs the adaptive point with the online watchdog armed at a deliberately
+/// low recall threshold (mirrored into the policy engine's own storm
+/// breaker), so the phase-3 contention rounds trip the recall-storm detector
+/// mid-run and the flight recorder snapshots the session into `dump_path`.
+/// Exits 0 iff the detector fired AND the dump was written — the doctor tier
+/// then round-trips that dump through gvfs-doctor and expects the same
+/// recall-storm verdict back.
+int RunStorm(const std::string& dump_path, std::uint64_t storm_threshold) {
+  Testbed bed;
+  for (int i = 0; i < kClients; ++i) bed.AddWanClient();
+
+  trace::TraceBuffer& trace = bed.EnableTracing(1 << 21);
+  obs::ObsConfig obs;
+  obs.watch_period = Seconds(1);
+  obs.recall_storm_threshold = storm_threshold;
+  bed.EnableDiagnosis(obs);
+  bed.DumpOnAnomaly(dump_path);
+
+  proxy::SessionConfig config = SessionFor(Mode::kAdaptive);
+  config.policy_storm_recalls = static_cast<std::uint32_t>(storm_threshold);
+  GvfsSession& session = bed.CreateSession(config, {0, 1, 2}, MountFor());
+
+  PhaseTimes times;
+  Drive(bed.sched(), Workload(bed, session, &times));
+  Drive(bed.sched(), session.Shutdown());
+  bed.watchdog()->ScanNow();  // flush the tail window
+
+  if (trace.dropped() != 0) {
+    std::fprintf(stderr, "FAIL: trace ring overflowed (%llu dropped)\n",
+                 static_cast<unsigned long long>(trace.dropped()));
+    return 1;
+  }
+  trace::TraceChecker checker(proxy::NfsTraceCheckerConfig());
+  const auto violations = checker.Check(trace);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "FAIL: trace checker\n%s",
+                 trace::FormatViolations(violations).c_str());
+    return 1;
+  }
+
+  std::uint64_t storms = 0;
+  for (const obs::Anomaly& a : bed.watchdog()->anomalies()) {
+    if (a.kind == obs::AnomalyKind::kRecallStorm) ++storms;
+  }
+  if (storms == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no recall-storm anomaly fired (threshold %llu)\n",
+                 static_cast<unsigned long long>(storm_threshold));
+    return 1;
+  }
+  std::FILE* dump = std::fopen(dump_path.c_str(), "rb");
+  if (dump == nullptr) {
+    std::fprintf(stderr, "FAIL: anomaly fired but no dump at %s\n",
+                 dump_path.c_str());
+    return 1;
+  }
+  std::fclose(dump);
+  std::printf("recall storm: %llu firing(s) at threshold %llu, dump written: "
+              "%s\n",
+              static_cast<unsigned long long>(storms),
+              static_cast<unsigned long long>(storm_threshold),
+              dump_path.c_str());
+  return 0;
+}
+
 int Main(bool smoke, bool check, const std::optional<std::string>& json_out) {
   const std::vector<Mode> modes =
       smoke ? std::vector<Mode>{Mode::kPolling, Mode::kDelegation, Mode::kAdaptive}
@@ -453,10 +574,13 @@ int Main(bool smoke, bool check, const std::optional<std::string>& json_out) {
     }
   }
 
-  if (check && !CheckClaims(points)) return 1;
   if (check) {
+    bool ok = CheckClaims(points);
+    ok = CheckStaleness(points) && ok;
+    if (!ok) return 1;
     std::printf("CHECK OK: adaptive migration beats both static models end "
-                "to end (and each static model loses one phase)\n");
+                "to end (and every polling-path point held its staleness "
+                "SLO)\n");
   }
   return 0;
 }
@@ -465,6 +589,17 @@ int Main(bool smoke, bool check, const std::optional<std::string>& json_out) {
 }  // namespace gvfs::bench
 
 int main(int argc, char** argv) {
+  if (auto dump = gvfs::bench::FlagValue(argc, argv, "--dump-on-anomaly")) {
+    std::uint64_t threshold = 2;
+    if (auto t = gvfs::bench::FlagValue(argc, argv, "--storm-threshold")) {
+      threshold = std::strtoull(t->c_str(), nullptr, 10);
+    }
+    if (threshold == 0) {
+      std::fprintf(stderr, "--storm-threshold must be positive\n");
+      return 2;
+    }
+    return gvfs::bench::RunStorm(*dump, threshold);
+  }
   gvfs::bench::g_metrics_prefix =
       gvfs::bench::FlagValue(argc, argv, "--metrics-out");
   gvfs::bench::g_metrics_period = gvfs::bench::MetricsPeriod(argc, argv);

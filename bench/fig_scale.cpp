@@ -73,6 +73,11 @@ struct Point {
   std::uint64_t agg_delivered = 0;
   std::uint64_t agg_inv_peak = 0;
 
+  // Staleness-probe read-out for the SLO gate (printed under --check, kept
+  // out of the JSON so BENCH_scale.json stays byte-identical).
+  std::uint64_t staleness_count = 0;
+  std::uint64_t staleness_p99_us = 0;
+
   /// Per-shard observatory gauges, sampled at collection time.
   struct ShardGauges {
     double inv_buffer_entries = 0;
@@ -172,6 +177,11 @@ bool RunOne(int clients, const Topology& topo, Point* out) {
     point.agg_fanned_out = a.handles_fanned_out;
     point.agg_delivered = a.handles_delivered;
     point.agg_inv_peak = a.inv_entries_peak;
+  }
+  auto hist_it = registry.histograms().find("f0.staleness_us");
+  if (hist_it != registry.histograms().end()) {
+    point.staleness_count = hist_it->second.hist().count();
+    point.staleness_p99_us = hist_it->second.hist().Percentile(99);
   }
   Drive(bed.sched(), session.Shutdown());
 
@@ -290,6 +300,38 @@ bool CheckClaims(const std::vector<Point>& points, int top) {
   return ok;
 }
 
+/// Passive staleness-SLO gate (runs under --check): any point whose probe
+/// recorded samples must hold the poll_period + 2*RTT budget. The sweep has
+/// a single writer and active mount, so most points legitimately record no
+/// cross-client cached reads — those pass vacuously, but the sample count is
+/// printed so a silently-dead probe is still visible in the logs.
+bool CheckStaleness(const std::vector<Point>& points) {
+  const Duration budget =
+      kPollPeriod + 4 * workloads::TestbedConfig{}.wan.one_way_latency;
+  const auto budget_us = static_cast<std::uint64_t>(ToSeconds(budget) * 1e6);
+  std::uint64_t sampled_points = 0;
+  bool ok = true;
+  for (const Point& p : points) {
+    if (p.staleness_count == 0) continue;
+    ++sampled_points;
+    if (p.staleness_p99_us > budget_us) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: p99 staleness %llu us exceeds the "
+                   "poll_period + 2*RTT budget (%llu us) at clients=%d "
+                   "shards=%u mode=%s\n",
+                   static_cast<unsigned long long>(p.staleness_p99_us),
+                   static_cast<unsigned long long>(budget_us), p.clients,
+                   p.shards, ModeName(p.aggregate));
+      ok = false;
+    }
+  }
+  std::printf("staleness SLO: %llu/%zu points sampled the probe, budget "
+              "%llu us\n",
+              static_cast<unsigned long long>(sampled_points), points.size(),
+              static_cast<unsigned long long>(budget_us));
+  return ok;
+}
+
 int Main(bool smoke, bool check, const std::optional<std::string>& json_out) {
   const std::vector<int> sweep =
       smoke ? std::vector<int>{6, 64}
@@ -333,7 +375,11 @@ int Main(bool smoke, bool check, const std::optional<std::string>& json_out) {
     }
   }
 
-  if (check && !CheckClaims(points, sweep.back())) return 1;
+  if (check) {
+    bool ok = CheckClaims(points, sweep.back());
+    ok = CheckStaleness(points) && ok;
+    if (!ok) return 1;
+  }
   if (check) {
     std::printf("CHECK OK: aggregation and sharding reduce server-side "
                 "GETINV load and per-shard buffer peaks at N=%d\n",

@@ -1,0 +1,316 @@
+#include "common/json_value.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gvfs {
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+std::uint64_t JsonValue::AsU64(std::uint64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  // Integer tokens (no '.', 'e', '-') parse exactly; anything else goes
+  // through the double.
+  if (scalar_.find_first_of(".eE-") == std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(scalar_.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') return v;
+  }
+  if (number_ < 0) return fallback;
+  return static_cast<std::uint64_t>(number_);
+}
+
+std::int64_t JsonValue::AsI64(std::int64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  if (scalar_.find_first_of(".eE") == std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(scalar_.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') return v;
+  }
+  return static_cast<std::int64_t>(number_);
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string kEmpty;
+  return kind_ == Kind::kString ? scalar_ : kEmpty;
+}
+
+const JsonValue& JsonValue::Null() {
+  static const JsonValue null;
+  return null;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return Null();
+  auto it = object_.find(key);
+  return it != object_.end() ? it->second : Null();
+}
+
+const JsonValue& JsonValue::At(std::size_t i) const {
+  if (kind_ != Kind::kArray || i >= array_.size()) return Null();
+  return array_[i];
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return kind_ == Kind::kObject && object_.find(key) != object_.end();
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+JsonValue JsonParser::Parse(const std::string& text) {
+  data_ = text.data();
+  size_ = text.size();
+  pos_ = 0;
+  depth_ = 0;
+  error_.clear();
+  error_offset_ = 0;
+
+  JsonValue root;
+  if (!ParseValue(root)) return JsonValue();
+  SkipSpace();
+  if (pos_ != size_) {
+    Fail("trailing characters after JSON value");
+    return JsonValue();
+  }
+  return root;
+}
+
+void JsonParser::SkipSpace() {
+  while (pos_ < size_) {
+    const char c = data_[pos_];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+    ++pos_;
+  }
+}
+
+bool JsonParser::Expect(char c) {
+  SkipSpace();
+  if (pos_ < size_ && data_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  Fail(std::string("expected '") + c + "'");
+  return false;
+}
+
+void JsonParser::Fail(const std::string& message) {
+  if (error_.empty()) {
+    error_ = message;
+    error_offset_ = pos_;
+  }
+}
+
+bool JsonParser::ParseString(std::string& out) {
+  if (!Expect('"')) return false;
+  out.clear();
+  while (pos_ < size_) {
+    const char c = data_[pos_++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos_ >= size_) break;
+    const char esc = data_[pos_++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos_ + 4 > size_) {
+          Fail("truncated \\u escape");
+          return false;
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = data_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else {
+            Fail("bad hex digit in \\u escape");
+            return false;
+          }
+        }
+        // UTF-8 encode the BMP code point (the writer only emits \u00xx for
+        // control characters, but accept the full range).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xc0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+          out += static_cast<char>(0xe0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+          out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+        break;
+      }
+      default:
+        Fail("unknown escape sequence");
+        return false;
+    }
+  }
+  Fail("unterminated string");
+  return false;
+}
+
+bool JsonParser::ParseNumber(JsonValue& out) {
+  const std::size_t start = pos_;
+  if (pos_ < size_ && data_[pos_] == '-') ++pos_;
+  while (pos_ < size_ && data_[pos_] >= '0' && data_[pos_] <= '9') ++pos_;
+  if (pos_ < size_ && data_[pos_] == '.') {
+    ++pos_;
+    while (pos_ < size_ && data_[pos_] >= '0' && data_[pos_] <= '9') ++pos_;
+  }
+  if (pos_ < size_ && (data_[pos_] == 'e' || data_[pos_] == 'E')) {
+    ++pos_;
+    if (pos_ < size_ && (data_[pos_] == '+' || data_[pos_] == '-')) ++pos_;
+    while (pos_ < size_ && data_[pos_] >= '0' && data_[pos_] <= '9') ++pos_;
+  }
+  if (pos_ == start) {
+    Fail("expected a number");
+    return false;
+  }
+  out.kind_ = JsonValue::Kind::kNumber;
+  out.scalar_.assign(data_ + start, pos_ - start);
+  out.number_ = std::strtod(out.scalar_.c_str(), nullptr);
+  return true;
+}
+
+bool JsonParser::ParseValue(JsonValue& out) {
+  SkipSpace();
+  if (pos_ >= size_) {
+    Fail("unexpected end of input");
+    return false;
+  }
+  if (++depth_ > kMaxDepth) {
+    Fail("nesting too deep");
+    return false;
+  }
+  bool ok = false;
+  const char c = data_[pos_];
+  if (c == '{') {
+    ++pos_;
+    out.kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (pos_ < size_ && data_[pos_] == '}') {
+      ++pos_;
+      ok = true;
+    } else {
+      while (true) {
+        std::string key;
+        if (!ParseString(key)) break;
+        if (!Expect(':')) break;
+        JsonValue member;
+        if (!ParseValue(member)) break;
+        out.object_[key] = std::move(member);
+        SkipSpace();
+        if (pos_ < size_ && data_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        ok = Expect('}');
+        break;
+      }
+    }
+  } else if (c == '[') {
+    ++pos_;
+    out.kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (pos_ < size_ && data_[pos_] == ']') {
+      ++pos_;
+      ok = true;
+    } else {
+      while (true) {
+        JsonValue element;
+        if (!ParseValue(element)) break;
+        out.array_.push_back(std::move(element));
+        SkipSpace();
+        if (pos_ < size_ && data_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        ok = Expect(']');
+        break;
+      }
+    }
+  } else if (c == '"') {
+    out.kind_ = JsonValue::Kind::kString;
+    ok = ParseString(out.scalar_);
+  } else if (c == 't') {
+    if (size_ - pos_ >= 4 && std::memcmp(data_ + pos_, "true", 4) == 0) {
+      pos_ += 4;
+      out.kind_ = JsonValue::Kind::kBool;
+      out.bool_ = true;
+      ok = true;
+    } else {
+      Fail("bad literal");
+    }
+  } else if (c == 'f') {
+    if (size_ - pos_ >= 5 && std::memcmp(data_ + pos_, "false", 5) == 0) {
+      pos_ += 5;
+      out.kind_ = JsonValue::Kind::kBool;
+      out.bool_ = false;
+      ok = true;
+    } else {
+      Fail("bad literal");
+    }
+  } else if (c == 'n') {
+    if (size_ - pos_ >= 4 && std::memcmp(data_ + pos_, "null", 4) == 0) {
+      pos_ += 4;
+      out.kind_ = JsonValue::Kind::kNull;
+      ok = true;
+    } else {
+      Fail("bad literal");
+    }
+  } else {
+    ok = ParseNumber(out);
+  }
+  --depth_;
+  return ok;
+}
+
+JsonValue ReadJsonFile(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return JsonValue();
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  JsonParser parser;
+  JsonValue doc = parser.Parse(text.str());
+  if (!parser.ok() && error != nullptr) {
+    *error = path + ": " + parser.error() + " at offset " +
+             std::to_string(parser.error_offset());
+  }
+  return doc;
+}
+
+}  // namespace gvfs

@@ -1,0 +1,104 @@
+// Minimal recursive-descent JSON reader for the diagnosis tooling: flight
+// recorder dumps (.gvfsdump), exported Chrome traces and metrics time series
+// are all JSON documents that gvfs-doctor has to read back. The writer side
+// lives in json_writer.h; this is the matching consumer.
+//
+// Design notes:
+//  - Values are an ordered tree (std::map for objects) so iteration order is
+//    deterministic, matching the repo-wide ban on unordered containers.
+//  - Numbers keep their raw token text alongside the parsed double, so
+//    64-bit integers written by JsonObject::Add(uint64) round-trip exactly
+//    (a double only carries 53 bits of mantissa).
+//  - This is offline tooling, not protocol code: parse errors surface as a
+//    (position, message) pair on the parser, not Expected<>.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gvfs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Scalar accessors; return the fallback when the kind does not match.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  /// Exact unsigned 64-bit read from the raw number token (strtoull); falls
+  /// back to a double cast for scientific notation, then to `fallback`.
+  std::uint64_t AsU64(std::uint64_t fallback = 0) const;
+  std::int64_t AsI64(std::int64_t fallback = 0) const;
+  const std::string& AsString() const;  // empty string when not a string
+
+  /// Object/array accessors. Get/operator[] return a shared null sentinel for
+  /// missing keys / wrong kinds, so lookups chain without null checks:
+  /// doc["trace"]["events"][0]["type"].AsString().
+  const JsonValue& Get(const std::string& key) const;
+  const JsonValue& operator[](const std::string& key) const { return Get(key); }
+  const JsonValue& At(std::size_t i) const;
+  const JsonValue& operator[](std::size_t i) const { return At(i); }
+  bool Has(const std::string& key) const;
+  std::size_t size() const;  // elements (array) or members (object)
+
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::string& raw_number() const { return scalar_; }
+
+  static const JsonValue& Null();
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string scalar_;  // string value or raw number token
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+class JsonParser {
+ public:
+  /// Parses a complete document. On failure returns a null value and records
+  /// error()/error_offset(); trailing garbage after the root value is an
+  /// error too.
+  JsonValue Parse(const std::string& text);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  std::size_t error_offset() const { return error_offset_; }
+
+ private:
+  bool ParseValue(JsonValue& out);
+  bool ParseString(std::string& out);
+  bool ParseNumber(JsonValue& out);
+  void SkipSpace();
+  bool Expect(char c);
+  void Fail(const std::string& message);
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+  std::size_t error_offset_ = 0;
+};
+
+/// Reads and parses a whole file. Returns a null value (and sets *error when
+/// given) if the file is unreadable or malformed.
+JsonValue ReadJsonFile(const std::string& path, std::string* error = nullptr);
+
+}  // namespace gvfs

@@ -192,6 +192,41 @@ void ProxyClient::AttachMetrics(metrics::Registry& registry,
   if (policy_ != nullptr) policy_->AttachMetrics(registry, prefix);
 }
 
+JsonObject ProxyClient::SnapshotState() const {
+  JsonObject snap;
+  snap.Add("role", "proxy_client");
+  snap.Add("running", running_);
+  snap.Add("poll_period_ns", static_cast<std::uint64_t>(poll_period_));
+  snap.Add("cache_bytes", cache_.CachedBytes());
+  snap.Add("cache_attrs", static_cast<std::uint64_t>(cache_.AttrCount()));
+  snap.Add("dirty_blocks",
+           static_cast<std::uint64_t>(cache_.TotalDirtyBlocks()));
+
+  std::vector<JsonObject> targets;
+  for (const PollTarget& t : poll_targets_) {
+    JsonObject o;
+    o.Add("host", static_cast<std::uint64_t>(t.addr.host));
+    o.Add("port", static_cast<std::uint64_t>(t.addr.port));
+    o.Add("timestamp", t.timestamp);
+    targets.push_back(o);
+  }
+  snap.Add("poll_targets", targets);
+
+  std::vector<JsonObject> delegations;
+  for (const auto& [fh, d] : delegations_) {
+    if (d.type == DelegationType::kNone) continue;
+    JsonObject o;
+    o.Add("fh", std::to_string(fh.fsid) + ":" + std::to_string(fh.ino));
+    o.Add("type", d.type == DelegationType::kWrite ? "write" : "read");
+    o.Add("refreshed_at_ns", static_cast<std::uint64_t>(d.refreshed_at));
+    delegations.push_back(o);
+  }
+  snap.Add("delegations", delegations);
+
+  if (policy_ != nullptr) snap.Add("policy", policy_->SnapshotState());
+  return snap;
+}
+
 // ---------------------------------------------------------------------------
 // Upstream forwarding
 // ---------------------------------------------------------------------------

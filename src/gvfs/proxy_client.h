@@ -26,6 +26,7 @@
 #include <set>
 #include <utility>
 
+#include "common/json_writer.h"
 #include "gvfs/disk_cache.h"
 #include "gvfs/proto.h"
 #include "gvfs/session.h"
@@ -103,6 +104,11 @@ class ProxyClient {
   /// Adaptive sessions only (null otherwise): the per-file policy engine
   /// driving runtime migrations between polling and delegation.
   policy::PolicyEngine* policy() { return policy_.get(); }
+
+  /// Protocol-state snapshot for the flight recorder (obs/recorder.h): held
+  /// delegations, poll-target timestamps, cache/write-back occupancy and
+  /// the policy engine's per-file FSM states when adaptive.
+  JsonObject SnapshotState() const;
 
   /// Switches `fh` between consistency modes with the owning shard:
   /// drains/flushes under the old mode, sends MIGRATE, applies any drained

@@ -894,4 +894,87 @@ void ProxyServer::AttachMetrics(metrics::Registry& registry,
   });
 }
 
+JsonObject ProxyServer::SnapshotState() const {
+  JsonObject snap;
+  snap.Add("role", "proxy_server");
+  snap.Add("inv_clock", inv_clock_);
+  snap.Add("inv_entries", static_cast<std::uint64_t>(inv_entries_));
+  snap.Add("in_grace", in_grace_);
+  snap.Add("recalls_in_flight", recalls_in_flight_);
+  snap.Add("known_clients", static_cast<std::uint64_t>(
+                                persistent_clients_.size()));
+
+  // Shard map (empty for single-server sessions).
+  if (!config_.shard_addrs.empty()) {
+    JsonObject shards;
+    shards.Add("shard_index",
+               static_cast<std::uint64_t>(config_.shard_index));
+    std::string addrs = "[";
+    for (std::size_t i = 0; i < config_.shard_addrs.size(); ++i) {
+      if (i > 0) addrs += ',';
+      addrs += "{\"host\":" + std::to_string(config_.shard_addrs[i].host) +
+               ",\"port\":" + std::to_string(config_.shard_addrs[i].port) +
+               "}";
+    }
+    addrs += ']';
+    shards.AddRaw("shard_addrs", addrs);
+    snap.Add("shard_map", shards);
+  }
+
+  // Per-client invalidation buffers.
+  std::vector<JsonObject> inv_clients;
+  for (const auto& [addr, state] : inv_clients_) {
+    JsonObject c;
+    c.Add("host", static_cast<std::uint64_t>(addr.host));
+    c.Add("port", static_cast<std::uint64_t>(addr.port));
+    c.Add("buffered", static_cast<std::uint64_t>(state.buffer.size()));
+    c.Add("pending", static_cast<std::uint64_t>(state.pending.size()));
+    c.Add("last_acked", state.last_acked);
+    c.Add("overflowed", state.overflowed);
+    inv_clients.push_back(c);
+  }
+  snap.Add("inv_buffers", inv_clients);
+
+  // Active files only: anything holding a delegation, mid-recall, pending
+  // write-back, or migrated out of polling mode. Quiet files are counted.
+  constexpr std::size_t kMaxFiles = 256;
+  std::vector<JsonObject> files;
+  std::size_t active = 0;
+  for (const auto& [fh, state] : files_) {
+    bool interesting = state.recalling != 0 ||
+                       !state.pending_writeback.empty() ||
+                       state.mode != policy::FileMode::kPolling;
+    for (const auto& [addr, sharer] : state.sharers) {
+      interesting = interesting || sharer.granted != DelegationType::kNone;
+    }
+    if (!interesting) continue;
+    ++active;
+    if (files.size() >= kMaxFiles) continue;
+    JsonObject f;
+    f.Add("fh", std::to_string(fh.fsid) + ":" + std::to_string(fh.ino));
+    f.Add("mode", policy::FileModeName(state.mode));
+    f.Add("recalling", state.recalling);
+    f.Add("pending_writeback",
+          static_cast<std::uint64_t>(state.pending_writeback.size()));
+    std::vector<JsonObject> grants;
+    for (const auto& [addr, sharer] : state.sharers) {
+      if (sharer.granted == DelegationType::kNone) continue;
+      JsonObject g;
+      g.Add("host", static_cast<std::uint64_t>(addr.host));
+      g.Add("type", sharer.granted == DelegationType::kWrite ? "write"
+                                                             : "read");
+      g.Add("granted_at_ns", static_cast<std::uint64_t>(sharer.granted_at));
+      grants.push_back(g);
+    }
+    f.Add("grants", grants);
+    files.push_back(f);
+  }
+  snap.Add("files_tracked", static_cast<std::uint64_t>(files_.size()));
+  snap.Add("files_active", static_cast<std::uint64_t>(active));
+  snap.Add("files_omitted",
+           static_cast<std::uint64_t>(active - files.size()));
+  snap.Add("files", files);
+  return snap;
+}
+
 }  // namespace gvfs::proxy

@@ -25,6 +25,7 @@
 #include <set>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "gvfs/proto.h"
 #include "gvfs/session.h"
 #include "metrics/registry.h"
@@ -97,6 +98,12 @@ class ProxyServer {
   /// with the RPC's receipt time. `probe` may be null.
   void AttachMetrics(metrics::Registry& registry, const std::string& prefix,
                      metrics::StalenessProbe* probe);
+
+  /// Protocol-state snapshot for the flight recorder (obs/recorder.h):
+  /// delegation grants, invalidation-buffer occupancy, per-file consistency
+  /// modes and the shard map. Quiet files (no grants, no recalls, polling
+  /// mode) are summarized as a count rather than serialized.
+  JsonObject SnapshotState() const;
 
  private:
   struct InvEntry {

@@ -1,0 +1,69 @@
+// Flight recorder: serializes the run's observable state — trace ring,
+// metrics registry, registered protocol-state snapshots, recorded anomalies
+// and the watchdog configuration — into one .gvfsdump file (see dump.h).
+//
+// Protocol state reaches the recorder through provider callbacks registered
+// by the testbed (each returns a rendered JSON object), so this library does
+// not depend on src/gvfs. Dumps are written on demand: the testbed triggers
+// one on the first anomaly, a checker violation, or a failed bench gate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/registry.h"
+#include "obs/anomaly.h"
+#include "trace/trace.h"
+
+namespace gvfs::obs {
+
+class FlightRecorder {
+ public:
+  /// Newest trace events serialized per dump; older ones are counted in the
+  /// dump's "omitted" field. Bounds dump size on multi-million-event rings.
+  static constexpr std::size_t kDefaultMaxTraceEvents = 1 << 16;
+
+  void SetTrace(const trace::TraceBuffer* buffer) { trace_ = buffer; }
+  void SetRegistry(const metrics::Registry* registry) { registry_ = registry; }
+  void SetClock(const SimTime* clock) { clock_ = clock; }
+  /// Recorded anomalies and watchdog thresholds are embedded in the dump.
+  void SetWatchdog(const Watchdog* watchdog) { watchdog_ = watchdog; }
+  void SetMaxTraceEvents(std::size_t n) { max_trace_events_ = n; }
+
+  /// Registers a protocol-state snapshot; `render` returns a JSON object
+  /// (e.g. gvfs::proxy::ProxyServer::SnapshotState().Dump()), evaluated at
+  /// dump time.
+  void AddStateProvider(const std::string& name,
+                        std::function<std::string()> render) {
+    providers_.emplace_back(name, std::move(render));
+  }
+
+  /// Extra self-description merged into the dump's "config" section
+  /// (session parameters, workload name, ...). `rendered` must be valid
+  /// JSON.
+  void AddConfig(const std::string& key, const std::string& rendered) {
+    config_extra_.emplace_back(key, rendered);
+  }
+
+  /// Renders the dump document.
+  std::string Render(const std::string& reason) const;
+
+  /// Writes Render(reason) to `path`; returns false when the file cannot be
+  /// created.
+  bool Dump(const std::string& path, const std::string& reason) const;
+
+ private:
+  const trace::TraceBuffer* trace_ = nullptr;
+  const metrics::Registry* registry_ = nullptr;
+  const SimTime* clock_ = nullptr;
+  const Watchdog* watchdog_ = nullptr;
+  std::size_t max_trace_events_ = kDefaultMaxTraceEvents;
+  std::vector<std::pair<std::string, std::function<std::string()>>> providers_;
+  std::vector<std::pair<std::string, std::string>> config_extra_;
+};
+
+}  // namespace gvfs::obs

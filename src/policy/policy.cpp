@@ -201,4 +201,32 @@ void PolicyEngine::SetTracer(trace::Tracer tracer, HostId host) {
   host_ = host;
 }
 
+JsonObject PolicyEngine::SnapshotState() const {
+  JsonObject snap;
+  snap.Add("role", "policy_engine");
+  snap.Add("frozen", frozen_now_);
+  snap.Add("frozen_until_ns", static_cast<std::uint64_t>(frozen_until_));
+  snap.Add("decisions", decisions_);
+  snap.Add("promotions", promotions_);
+  snap.Add("demotions", demotions_);
+  snap.Add("storm_freezes", storm_freezes_);
+  std::vector<JsonObject> files;
+  for (const auto& [file, s] : files_) {
+    JsonObject f;
+    f.Add("fh", std::to_string(file.fsid) + ":" + std::to_string(file.ino));
+    f.Add("mode", FileModeName(s.mode));
+    f.Add("prev_target",
+          s.has_prev_target ? FileModeName(s.prev_target) : "none");
+    f.Add("migrated_at_ns", static_cast<std::uint64_t>(s.migrated_at));
+    f.Add("ever_migrated", s.ever_migrated);
+    f.Add("reads", static_cast<std::uint64_t>(s.reads));
+    f.Add("writes", static_cast<std::uint64_t>(s.writes));
+    f.Add("remote_invs", static_cast<std::uint64_t>(s.remote_invs));
+    f.Add("recalls", static_cast<std::uint64_t>(s.recalls));
+    files.push_back(f);
+  }
+  snap.Add("files", files);
+  return snap;
+}
+
 }  // namespace gvfs::policy

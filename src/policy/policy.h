@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/types.h"
 #include "metrics/registry.h"
 #include "trace/trace.h"
@@ -141,6 +142,11 @@ class PolicyEngine {
   std::uint64_t demotions() const { return demotions_; }
   std::uint64_t promotions_frozen() const { return promotions_frozen_; }
   std::uint64_t storm_freezes() const { return storm_freezes_; }
+
+  /// Per-file FSM snapshot for the flight recorder (obs/recorder.h): every
+  /// tracked file's mode, hysteresis target, dwell anchor and open-window
+  /// counters, plus the breaker state.
+  JsonObject SnapshotState() const;
 
  private:
   struct PolicyState {

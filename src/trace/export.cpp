@@ -115,6 +115,15 @@ std::string PayloadArgs(const TraceBuffer& buf, const Event& ev) {
                     FhString(p.fsid, p.ino).c_str(), p.from, p.to, p.flags);
       return out;
     }
+    case EventType::kAnomaly: {
+      const auto& a = ev.u.anomaly;
+      std::snprintf(out, sizeof(out),
+                    "{\"fh\":\"%s\",\"kind\":%u,\"value\":%.6g,"
+                    "\"threshold\":%.6g}",
+                    FhString(a.fsid, a.ino).c_str(), a.kind, a.value,
+                    a.threshold);
+      return out;
+    }
     default:
       return "{}";
   }
@@ -444,6 +453,15 @@ void WriteTimeline(const TraceBuffer& buffer, std::ostream& out,
                       FhString(p.fsid, p.ino).c_str(), p.from, p.to,
                       (p.flags & kPolicyFlagServerSide) != 0 ? " (server)" : "",
                       (p.flags & kPolicyFlagFrozen) != 0 ? " frozen" : "");
+        out << line;
+        break;
+      }
+      case EventType::kAnomaly: {
+        const auto& a = ev.u.anomaly;
+        std::snprintf(line, sizeof(line),
+                      " fh=%s kind=%u value=%.6g threshold=%.6g",
+                      FhString(a.fsid, a.ino).c_str(), a.kind, a.value,
+                      a.threshold);
         out << line;
         break;
       }

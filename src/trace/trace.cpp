@@ -60,6 +60,8 @@ const char* EventTypeName(EventType type) {
       return "POLICY_DECIDE";
     case EventType::kPolicyMigrate:
       return "POLICY_MIGRATE";
+    case EventType::kAnomaly:
+      return "ANOMALY";
   }
   return "?";
 }
@@ -174,6 +176,14 @@ void Tracer::Policy(EventType type, HostId host, std::uint64_t fsid,
   if (buffer_ == nullptr) return;
   Event ev = Stamp(type, host, 0);
   ev.u.policy = PolicyPayload{fsid, ino, from, to, flags};
+  buffer_->Push(ev);
+}
+
+void Tracer::Anomaly(HostId host, std::uint64_t fsid, std::uint64_t ino,
+                     std::uint32_t kind, double value, double threshold) const {
+  if (buffer_ == nullptr) return;
+  Event ev = Stamp(EventType::kAnomaly, host, 0);
+  ev.u.anomaly = AnomalyPayload{fsid, ino, kind, 0, value, threshold};
   buffer_->Push(ev);
 }
 

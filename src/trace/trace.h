@@ -70,6 +70,12 @@ enum class EventType : std::uint8_t {
   // (server side carries kPolicyFlagServerSide).
   kPolicyDecide,   // engine classified a file and chose a target mode
   kPolicyMigrate,  // MIGRATE completed (client) / served (server)
+  // Diagnosis layer (src/obs). An online anomaly detector crossed its
+  // threshold; the payload names the detector kind (obs::AnomalyKind), the
+  // observed value and the threshold it exceeded. File-scoped detectors
+  // (migration flap) carry the offending handle; fleet-scoped ones leave
+  // fsid/ino zero.
+  kAnomaly,
 };
 
 const char* EventTypeName(EventType type);
@@ -148,6 +154,15 @@ struct PolicyPayload {
   std::uint32_t flags = 0;
 };
 
+struct AnomalyPayload {
+  std::uint64_t fsid = 0;  // offending file for file-scoped detectors
+  std::uint64_t ino = 0;
+  std::uint32_t kind = 0;  // obs::AnomalyKind as integer
+  std::uint32_t reserved = 0;
+  double value = 0;      // observed measurement that fired the detector
+  double threshold = 0;  // configured limit it crossed
+};
+
 struct Event {
   SimTime time = 0;
   EventType type = EventType::kRpcSend;
@@ -160,6 +175,7 @@ struct Event {
     DelegPayload deleg;
     InvPayload inv;
     PolicyPayload policy;
+    AnomalyPayload anomaly;
     Payload() : rpc() {}
   } u;
 };
@@ -225,6 +241,8 @@ class Tracer {
   void Policy(EventType type, HostId host, std::uint64_t fsid,
               std::uint64_t ino, std::uint32_t from, std::uint32_t to,
               std::uint32_t flags) const;
+  void Anomaly(HostId host, std::uint64_t fsid, std::uint64_t ino,
+               std::uint32_t kind, double value, double threshold) const;
   void Node(EventType type, HostId host) const;
 
  private:

@@ -35,6 +35,40 @@ metrics::Registry& Testbed::EnableMetrics(Duration period) {
   return *metrics_registry_;
 }
 
+obs::Watchdog& Testbed::EnableDiagnosis(obs::ObsConfig config) {
+  if (watchdog_ == nullptr) {
+    metrics::Registry& registry = EnableMetrics();
+    watchdog_ = std::make_unique<obs::Watchdog>(sched_, config);
+    watchdog_->WatchRegistry(&registry);
+    watchdog_->AttachMetrics(registry);
+    if (trace_buffer_ != nullptr) {
+      watchdog_->WatchTrace(trace_buffer_.get());
+      watchdog_->SetTracer(
+          trace::Tracer(trace_buffer_.get(), sched_.NowPtr()), server_host_);
+    }
+    watchdog_->Start();
+
+    recorder_ = std::make_unique<obs::FlightRecorder>();
+    recorder_->SetRegistry(&registry);
+    recorder_->SetClock(sched_.NowPtr());
+    recorder_->SetWatchdog(watchdog_.get());
+    if (trace_buffer_ != nullptr) recorder_->SetTrace(trace_buffer_.get());
+  }
+  return *watchdog_;
+}
+
+void Testbed::DumpOnAnomaly(const std::string& path) {
+  EnableDiagnosis();
+  dump_path_ = path;
+  watchdog_->SetOnAnomaly([this](const obs::Anomaly& anomaly) {
+    if (dump_written_ || dump_path_.empty()) return;
+    dump_written_ = true;
+    recorder_->Dump(dump_path_, std::string("anomaly: ") +
+                                    obs::AnomalyKindName(anomaly.kind) +
+                                    " — " + anomaly.detail);
+  });
+}
+
 trace::TraceBuffer& Testbed::EnableTracing(std::size_t capacity) {
   if (trace_buffer_ == nullptr) {
     trace_buffer_ = std::make_unique<trace::TraceBuffer>(capacity);
@@ -113,6 +147,21 @@ GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
     });
   }
 
+  if (watchdog_ != nullptr) {
+    // Staleness SLO: polling-path sessions carry the paper's proven
+    // poll_period + 2*RTT bound (adaptive sessions start in polling mode).
+    if (config.model == proxy::ConsistencyModel::kInvalidationPolling ||
+        config.adaptive) {
+      watchdog_->AddStalenessSlo(
+          session_tag + ".staleness_us",
+          config.poll_period + 4 * config_.wan.one_way_latency);
+    }
+    proxy::ProxyServer* server = session.server;
+    recorder_->AddStateProvider(session_tag + ".server", [server] {
+      return server->SnapshotState().Dump();
+    });
+  }
+
   for (int index : clients) {
     HostId host = client_hosts_.at(index);
     // Proxy client: serves the local kernel client, calls the proxy server
@@ -127,6 +176,11 @@ GvfsSession& Testbed::CreateSession(const proxy::SessionConfig& config,
       proxy->AttachMetrics(
           *metrics_registry_,
           session_tag + ".c" + std::to_string(host) + ".", probe);
+    }
+    if (watchdog_ != nullptr) {
+      recorder_->AddStateProvider(
+          session_tag + ".c" + std::to_string(host),
+          [proxy] { return proxy->SnapshotState().Dump(); });
     }
     proxy->Start();
     session.proxies.push_back(proxy);
@@ -179,6 +233,24 @@ FleetSession& Testbed::CreateFleetSession(const FleetConfig& config,
     });
   }
 
+  if (watchdog_ != nullptr) {
+    if (config.session.model == proxy::ConsistencyModel::kInvalidationPolling ||
+        config.session.adaptive) {
+      watchdog_->AddStalenessSlo(
+          tag + ".staleness_us",
+          config.session.poll_period + 4 * config_.wan.one_way_latency);
+    }
+    if (shard_count >= 2) {
+      std::vector<std::string> occupancy;
+      occupancy.reserve(shard_count);
+      for (std::uint32_t k = 0; k < shard_count; ++k) {
+        occupancy.push_back(tag + ".s" + std::to_string(k) +
+                            ".inv_buffer_entries");
+      }
+      watchdog_->WatchShardGroup(tag, occupancy);
+    }
+  }
+
   // Shards, all beside the kernel NFS server (loopback upstream). Each owns
   // the ShardOf slice at its index; foreign-handle mutations are forwarded
   // with NOTIFYINV.
@@ -195,6 +267,12 @@ FleetSession& Testbed::CreateFleetSession(const FleetConfig& config,
     if (metrics_registry_ != nullptr) {
       session.shards.back()->AttachMetrics(
           *metrics_registry_, tag + ".s" + std::to_string(k) + ".", probe);
+    }
+    if (watchdog_ != nullptr) {
+      proxy::ProxyServer* shard = session.shards.back();
+      recorder_->AddStateProvider(tag + ".s" + std::to_string(k), [shard] {
+        return shard->SnapshotState().Dump();
+      });
     }
   }
 
@@ -238,6 +316,12 @@ FleetSession& Testbed::CreateFleetSession(const FleetConfig& config,
     if (metrics_registry_ != nullptr) {
       proxy->AttachMetrics(*metrics_registry_,
                            tag + ".c" + std::to_string(host) + ".", probe);
+    }
+    // Providers only for active mounts: a 4096-member poll-only fleet would
+    // otherwise dominate every dump with idle client snapshots.
+    if (watchdog_ != nullptr && i < active_mounts) {
+      recorder_->AddStateProvider(tag + ".c" + std::to_string(host),
+                                  [proxy] { return proxy->SnapshotState().Dump(); });
     }
     proxy->Start();
     session.proxies.push_back(proxy);

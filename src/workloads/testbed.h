@@ -25,6 +25,8 @@
 #include "metrics/staleness.h"
 #include "net/network.h"
 #include "nfs3/server.h"
+#include "obs/anomaly.h"
+#include "obs/recorder.h"
 #include "rpc/rpc.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
@@ -176,6 +178,25 @@ class Testbed {
   metrics::Registry* metrics_registry() { return metrics_registry_.get(); }
   metrics::Sampler* metrics_sampler() { return metrics_sampler_.get(); }
 
+  /// Turns on the diagnosis layer (src/obs): an online anomaly watchdog
+  /// polling the observatory every `config.watch_period`, plus a flight
+  /// recorder that can snapshot the whole run into a .gvfsdump. Implies
+  /// EnableMetrics; call EnableTracing first for trace-fed detectors
+  /// (migration flap) and ring capture in dumps. Sessions created after this
+  /// call register their staleness SLOs, shard-imbalance groups and
+  /// protocol-state providers. Strictly opt-in: runs that never call this
+  /// are byte-identical to pre-diagnosis builds. Idempotent (first config
+  /// wins).
+  obs::Watchdog& EnableDiagnosis(obs::ObsConfig config = {});
+
+  /// Arms dump-on-anomaly: the first detector firing writes a flight-
+  /// recorder snapshot to `path` (once per run). Implies EnableDiagnosis.
+  void DumpOnAnomaly(const std::string& path);
+
+  /// The diagnosis components, or nullptr when never enabled.
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+  obs::FlightRecorder* recorder() { return recorder_.get(); }
+
  private:
   TestbedConfig config_;
   sim::Scheduler sched_;
@@ -205,6 +226,10 @@ class Testbed {
   std::unique_ptr<metrics::Sampler> metrics_sampler_;
   /// Per-session staleness probes (stable addresses; indexed by session).
   std::deque<metrics::StalenessProbe> staleness_probes_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::string dump_path_;
+  bool dump_written_ = false;
 };
 
 }  // namespace gvfs::workloads

@@ -1,0 +1,400 @@
+// Unit tests for the diagnosis layer (src/obs): watchdog detectors driven
+// deterministically through ScanNow(), the detector table's internal
+// consistency, the dump format's event round-trip, and the JSON reader the
+// doctor is built on. End-to-end dump/doctor coverage lives in the doctor
+// ctest tier (tools/doctor/doctor_check.py); these tests pin the pieces.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json_value.h"
+#include "metrics/registry.h"
+#include "obs/anomaly.h"
+#include "obs/dump.h"
+#include "sim/scheduler.h"
+#include "trace/trace.h"
+
+namespace gvfs {
+namespace {
+
+using obs::Anomaly;
+using obs::AnomalyKind;
+using obs::ObsConfig;
+using obs::Watchdog;
+
+// ---------------------------------------------------------------------------
+// Detector table consistency
+// ---------------------------------------------------------------------------
+
+TEST(DetectorTable, EnumeratorsNamesAndRegistryAgree) {
+  // Raise() indexes the per-kind counters by static_cast<size_t>(kind) while
+  // AttachMetrics() fills them in kDetectors order, so the registry must be
+  // in enum order with every name round-tripping.
+  for (std::size_t i = 0; i < obs::kDetectorCount; ++i) {
+    const obs::DetectorInfo& d = obs::kDetectors[i];
+    EXPECT_EQ(static_cast<std::size_t>(d.kind), i);
+    EXPECT_STREQ(obs::AnomalyKindName(d.kind), d.name);
+    AnomalyKind parsed = AnomalyKind::kRecallStorm;
+    EXPECT_TRUE(obs::AnomalyKindFromName(d.name, &parsed));
+    EXPECT_EQ(parsed, d.kind);
+  }
+  AnomalyKind parsed = AnomalyKind::kRecallStorm;
+  EXPECT_FALSE(obs::AnomalyKindFromName("no-such-detector", &parsed));
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog detectors (synchronous ScanNow passes; no scheduler run needed)
+// ---------------------------------------------------------------------------
+
+std::vector<AnomalyKind> Kinds(const Watchdog& dog) {
+  std::vector<AnomalyKind> kinds;
+  for (const Anomaly& a : dog.anomalies()) kinds.push_back(a.kind);
+  return kinds;
+}
+
+TEST(Watchdog, RecallStormFiresPerWindowDelta) {
+  sim::Scheduler sched;
+  metrics::Registry registry;
+  double reads = 0, writes = 0;
+  registry.AddProbe("s0.recalls_read", [&] { return reads; });
+  registry.AddProbe("s0.recalls_write", [&] { return writes; });
+
+  ObsConfig config;
+  config.recall_storm_threshold = 64;
+  Watchdog dog(sched, config);
+  dog.WatchRegistry(&registry);
+  dog.AttachMetrics(registry);
+
+  // First window: 40 + 23 = 63 recalls, under the threshold.
+  reads = 40;
+  writes = 23;
+  dog.ScanNow();
+  EXPECT_TRUE(dog.anomalies().empty());
+
+  // Second window: +64 recalls. The detector gates on the per-window delta,
+  // not the absolute total.
+  reads += 30;
+  writes += 34;
+  dog.ScanNow();
+  ASSERT_EQ(dog.anomalies().size(), 1u);
+  EXPECT_EQ(dog.anomalies()[0].kind, AnomalyKind::kRecallStorm);
+  EXPECT_EQ(dog.anomalies()[0].value, 64.0);
+  EXPECT_EQ(dog.anomalies()[0].threshold, 64.0);
+
+  // Quiet window: no new firing, and the counters reflect exactly one.
+  dog.ScanNow();
+  EXPECT_EQ(dog.anomalies().size(), 1u);
+  EXPECT_EQ(registry.GetCounter("obs.anomalies").value(), 1u);
+  EXPECT_EQ(registry.GetCounter("obs.anomaly.recall-storm").value(), 1u);
+}
+
+TEST(Watchdog, StalenessSloLatchesUntilRecovery) {
+  sim::Scheduler sched;
+  metrics::Registry registry;
+  registry.GetHistogram("s0.staleness_us").Record(50'000'000);  // 50 s
+
+  Watchdog dog(sched);
+  dog.WatchRegistry(&registry);
+  dog.AddStalenessSlo("s0.staleness_us", Seconds(10));
+
+  dog.ScanNow();
+  ASSERT_EQ(dog.anomalies().size(), 1u);
+  EXPECT_EQ(dog.anomalies()[0].kind, AnomalyKind::kStalenessSlo);
+  EXPECT_NE(dog.anomalies()[0].detail.find("s0.staleness_us"),
+            std::string::npos);
+
+  // A p99 still over budget must not re-fire every window: the SLO latches
+  // until the histogram recovers.
+  dog.ScanNow();
+  EXPECT_EQ(dog.anomalies().size(), 1u);
+}
+
+TEST(Watchdog, InvOverflowFiresOnWrapAndOnRisingOccupancy) {
+  sim::Scheduler sched;
+  metrics::Registry registry;
+  double wraps = 0, entries = 0;
+  registry.AddProbe("s0.inv_wraps", [&] { return wraps; });
+  registry.AddProbe("s0.inv_buffer_entries", [&] { return entries; });
+
+  ObsConfig config;
+  config.occupancy_trend_windows = 3;
+  config.occupancy_floor = 1024.0;
+  Watchdog dog(sched, config);
+  dog.WatchRegistry(&registry);
+
+  // Steady state below the floor: nothing fires.
+  entries = 500;
+  dog.ScanNow();
+  dog.ScanNow();
+  EXPECT_TRUE(dog.anomalies().empty());
+
+  // One buffer wrap in a window fires immediately.
+  wraps = 1;
+  dog.ScanNow();
+  ASSERT_EQ(dog.anomalies().size(), 1u);
+  EXPECT_EQ(dog.anomalies()[0].kind, AnomalyKind::kInvOverflow);
+
+  // Occupancy rising above the floor for three consecutive windows fires
+  // the trend arm (the wrap counter stays flat from here on).
+  entries = 2000;
+  dog.ScanNow();
+  entries = 3000;
+  dog.ScanNow();
+  EXPECT_EQ(dog.anomalies().size(), 1u);  // two rising windows: not yet
+  entries = 4000;
+  dog.ScanNow();
+  ASSERT_EQ(dog.anomalies().size(), 2u);
+  EXPECT_EQ(dog.anomalies()[1].kind, AnomalyKind::kInvOverflow);
+  EXPECT_EQ(dog.anomalies()[1].value, 4000.0);
+}
+
+TEST(Watchdog, ShardImbalanceNeedsRatioAndAbsoluteLoad) {
+  sim::Scheduler sched;
+  metrics::Registry registry;
+  std::vector<double> load = {100, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    registry.AddProbe("shard" + std::to_string(i) + ".inv_buffer_entries",
+                      [&load, i] { return load[i]; });
+  }
+  Watchdog dog(sched);  // defaults: ratio 4.0, min 256 entries
+  dog.WatchRegistry(&registry);
+  dog.WatchShardGroup("servers",
+                      {"shard0.inv_buffer_entries", "shard1.inv_buffer_entries",
+                       "shard2.inv_buffer_entries", "shard3.inv_buffer_entries",
+                       "shard4.inv_buffer_entries"});
+
+  // Ratio 5x but only 100 entries: below imbalance_min, stays quiet.
+  dog.ScanNow();
+  EXPECT_TRUE(dog.anomalies().empty());
+
+  // 10000 vs mean 2000: fires once, then latches while it persists.
+  load[0] = 10000;
+  dog.ScanNow();
+  dog.ScanNow();
+  ASSERT_EQ(dog.anomalies().size(), 1u);
+  EXPECT_EQ(dog.anomalies()[0].kind, AnomalyKind::kShardImbalance);
+  EXPECT_EQ(dog.anomalies()[0].value, 5.0);
+
+  // Rebalanced, then skewed again: the latch re-arms.
+  load = {2000, 2000, 2000, 2000, 2000};
+  dog.ScanNow();
+  load = {10000, 100, 100, 100, 100};
+  dog.ScanNow();
+  EXPECT_EQ(dog.anomalies().size(), 2u);
+}
+
+TEST(Watchdog, MigrationFlapCountsClientSideCompletions) {
+  sim::Scheduler sched;
+  SimTime clock = 0;
+  trace::TraceBuffer buffer(256);
+  trace::Tracer tracer(&buffer, &clock);
+
+  ObsConfig config;
+  config.flap_threshold = 3;
+  config.flap_window = Seconds(30);
+  Watchdog dog(sched, config);
+  dog.WatchTrace(&buffer);
+
+  // Two client-side migrations of file 5:77 plus a server-side record (which
+  // must not double-count) stay under the threshold...
+  clock = Seconds(1);
+  tracer.Policy(trace::EventType::kPolicyMigrate, 4, 5, 77, 0, 1, 0);
+  clock = Seconds(2);
+  tracer.Policy(trace::EventType::kPolicyMigrate, 4, 5, 77, 1, 0,
+                trace::kPolicyFlagServerSide);
+  tracer.Policy(trace::EventType::kPolicyMigrate, 4, 5, 77, 1, 0, 0);
+  // ...and a third migration of a different file does not conflate.
+  clock = Seconds(3);
+  tracer.Policy(trace::EventType::kPolicyMigrate, 4, 5, 99, 0, 1, 0);
+  dog.ScanNow();
+  EXPECT_TRUE(dog.anomalies().empty());
+
+  // The third flip of 5:77 inside the window crosses the threshold.
+  clock = Seconds(4);
+  tracer.Policy(trace::EventType::kPolicyMigrate, 4, 5, 77, 0, 1, 0);
+  dog.ScanNow();
+  ASSERT_EQ(Kinds(dog), std::vector{AnomalyKind::kMigrationFlap});
+  EXPECT_EQ(dog.anomalies()[0].fsid, 5u);
+  EXPECT_EQ(dog.anomalies()[0].ino, 77u);
+  EXPECT_EQ(dog.anomalies()[0].host, 4u);
+}
+
+TEST(Watchdog, FiringEmitsTraceEventAndInvokesHook) {
+  sim::Scheduler sched;
+  metrics::Registry registry;
+  double reads = 100;
+  registry.AddProbe("s0.recalls_read", [&] { return reads; });
+
+  SimTime clock = 0;
+  trace::TraceBuffer buffer(64);
+
+  ObsConfig config;
+  config.recall_storm_threshold = 64;
+  Watchdog dog(sched, config);
+  dog.WatchRegistry(&registry);
+  dog.SetTracer(trace::Tracer(&buffer, &clock), /*host=*/7);
+  std::vector<Anomaly> hooked;
+  dog.SetOnAnomaly([&](const Anomaly& a) { hooked.push_back(a); });
+
+  dog.ScanNow();  // first window total 100 >= 64
+  ASSERT_EQ(dog.anomalies().size(), 1u);
+  ASSERT_EQ(hooked.size(), 1u);
+  EXPECT_EQ(hooked[0].kind, AnomalyKind::kRecallStorm);
+
+  ASSERT_EQ(buffer.size(), 1u);
+  const trace::Event& ev = buffer.at(0);
+  EXPECT_EQ(ev.type, trace::EventType::kAnomaly);
+  EXPECT_EQ(ev.host, 7u);  // fleet-scoped firing attributed to the server
+  EXPECT_EQ(ev.u.anomaly.kind,
+            static_cast<std::uint32_t>(AnomalyKind::kRecallStorm));
+  EXPECT_EQ(ev.u.anomaly.value, 100.0);
+  EXPECT_EQ(ev.u.anomaly.threshold, 64.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dump format: EventToJson / EventFromJson round-trip
+// ---------------------------------------------------------------------------
+
+/// Serializes `ev` out of `src` and parses it back into `dst`.
+trace::Event RoundTrip(const trace::TraceBuffer& src, const trace::Event& ev,
+                       trace::TraceBuffer& dst) {
+  const std::string json = obs::EventToJson(src, ev);
+  JsonParser parser;
+  const JsonValue doc = parser.Parse(json);
+  EXPECT_TRUE(parser.ok()) << parser.error() << " in " << json;
+  trace::Event out;
+  EXPECT_TRUE(obs::EventFromJson(doc, dst, &out)) << json;
+  EXPECT_EQ(out.time, ev.time);
+  EXPECT_EQ(out.type, ev.type);
+  EXPECT_EQ(out.host, ev.host);
+  EXPECT_EQ(out.port, ev.port);
+  return out;
+}
+
+TEST(DumpFormat, EveryPayloadFamilyRoundTrips) {
+  SimTime clock = Seconds(12);
+  trace::TraceBuffer src(64);
+  trace::Tracer tracer(&src, &clock);
+  tracer.Rpc(trace::EventType::kRpcSend, 1, 2049, 2, 800, 42, 100003, 6,
+             "READ", 7, 8, 9);
+  tracer.Cache(trace::EventType::kCacheHit, 1, 5, 10, 32768, "read");
+  tracer.Deleg(trace::EventType::kDelegGrant, 2, 5, 88, 1, 7, 0, 4096);
+  tracer.Inv(trace::EventType::kInvAppend, 3, 5, 77, 123456789, 4, 9);
+  tracer.Policy(trace::EventType::kPolicyMigrate, 4, 5, 99, 0, 1,
+                trace::kPolicyFlagServerSide);
+  tracer.Anomaly(1, 5, 100, 0, 65.0, 64.0);
+  tracer.Node(trace::EventType::kNodeCrash, 6);
+  ASSERT_EQ(src.size(), 7u);
+
+  trace::TraceBuffer dst(64);
+
+  const trace::Event rpc = RoundTrip(src, src.at(0), dst);
+  EXPECT_EQ(rpc.u.rpc.peer_host, 2u);
+  EXPECT_EQ(rpc.u.rpc.peer_port, 800u);
+  EXPECT_EQ(rpc.u.rpc.xid, 42u);
+  EXPECT_EQ(rpc.u.rpc.proc, 6u);
+  EXPECT_EQ(rpc.u.rpc.trace_id, 7u);
+  EXPECT_EQ(rpc.u.rpc.span_id, 8u);
+  EXPECT_EQ(rpc.u.rpc.parent_span_id, 9u);
+  // Labels are re-interned into the destination buffer, so ids may differ
+  // while the text must survive.
+  EXPECT_EQ(dst.LabelName(rpc.u.rpc.label), "READ");
+
+  const trace::Event cache = RoundTrip(src, src.at(1), dst);
+  EXPECT_EQ(cache.u.cache.offset, 32768u);
+  EXPECT_EQ(dst.LabelName(cache.u.cache.label), "read");
+
+  const trace::Event deleg = RoundTrip(src, src.at(2), dst);
+  EXPECT_EQ(deleg.u.deleg.ino, 88u);
+  EXPECT_EQ(deleg.u.deleg.deleg_type, 1u);
+  EXPECT_EQ(deleg.u.deleg.peer_host, 7u);
+  EXPECT_EQ(deleg.u.deleg.wanted_offset, 4096u);
+
+  const trace::Event inv = RoundTrip(src, src.at(3), dst);
+  EXPECT_EQ(inv.u.inv.fsid, 5u);
+  EXPECT_EQ(inv.u.inv.ino, 77u);
+  EXPECT_EQ(inv.u.inv.timestamp, 123456789u);
+  EXPECT_EQ(inv.u.inv.count, 4u);
+  EXPECT_EQ(inv.u.inv.peer_host, 9u);
+
+  const trace::Event policy = RoundTrip(src, src.at(4), dst);
+  EXPECT_EQ(policy.u.policy.ino, 99u);
+  EXPECT_EQ(policy.u.policy.from, 0u);
+  EXPECT_EQ(policy.u.policy.to, 1u);
+  EXPECT_EQ(policy.u.policy.flags, trace::kPolicyFlagServerSide);
+
+  const trace::Event anomaly = RoundTrip(src, src.at(5), dst);
+  EXPECT_EQ(anomaly.u.anomaly.ino, 100u);
+  EXPECT_EQ(anomaly.u.anomaly.value, 65.0);
+  EXPECT_EQ(anomaly.u.anomaly.threshold, 64.0);
+
+  RoundTrip(src, src.at(6), dst);  // kNodeCrash: header fields only
+}
+
+TEST(DumpFormat, RejectsUnknownEventType) {
+  JsonParser parser;
+  const JsonValue doc =
+      parser.Parse(R"({"t":0,"type":"NOT_A_REAL_EVENT","host":1})");
+  ASSERT_TRUE(parser.ok());
+  trace::TraceBuffer buffer(8);
+  trace::Event out;
+  EXPECT_FALSE(obs::EventFromJson(doc, buffer, &out));
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(DumpFormat, EventTypeNamesRoundTripThroughTheInverse) {
+  // EventTypeFromName is the dump reader's inverse of EventTypeName; it must
+  // cover every enumerator or ReadDump silently drops that event family.
+  for (int i = 0; i <= static_cast<int>(trace::EventType::kAnomaly); ++i) {
+    const auto type = static_cast<trace::EventType>(i);
+    trace::EventType parsed = trace::EventType::kRpcSend;
+    ASSERT_TRUE(obs::EventTypeFromName(trace::EventTypeName(type), &parsed))
+        << trace::EventTypeName(type);
+    EXPECT_EQ(parsed, type);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------------
+
+TEST(JsonReader, ParsesNestedDocumentsWithChainedLookups) {
+  JsonParser parser;
+  const JsonValue doc = parser.Parse(
+      R"({"trace":{"events":[{"type":"INV_APPEND","t":5},)"
+      R"({"type":"RPC_SEND","t":6}]},"healthy":false,"pi":3.5})");
+  ASSERT_TRUE(parser.ok()) << parser.error();
+  EXPECT_EQ(doc["trace"]["events"].size(), 2u);
+  EXPECT_EQ(doc["trace"]["events"][1]["type"].AsString(), "RPC_SEND");
+  EXPECT_EQ(doc["healthy"].AsBool(true), false);
+  EXPECT_EQ(doc["pi"].AsDouble(), 3.5);
+  // Missing keys chain to the null sentinel instead of crashing.
+  EXPECT_TRUE(doc["trace"]["missing"][3]["nope"].is_null());
+  EXPECT_EQ(doc["trace"]["missing"].AsU64(17), 17u);
+}
+
+TEST(JsonReader, PreservesSixtyFourBitIntegersExactly) {
+  // 2^63 + 1 is not representable as a double; the raw token must carry it.
+  JsonParser parser;
+  const JsonValue doc = parser.Parse(R"({"t":9223372036854775809})");
+  ASSERT_TRUE(parser.ok());
+  EXPECT_EQ(doc["t"].AsU64(), 9223372036854775809ull);
+  EXPECT_EQ(doc["t"].raw_number(), "9223372036854775809");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",  "{",  "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "\"unterminated",
+      "1 2",  // trailing garbage after the root value
+  };
+  for (const char* text : bad) {
+    JsonParser parser;
+    const JsonValue doc = parser.Parse(text);
+    EXPECT_FALSE(parser.ok()) << "accepted: " << text;
+    EXPECT_TRUE(doc.is_null());
+  }
+}
+
+}  // namespace
+}  // namespace gvfs

@@ -275,6 +275,115 @@ TEST_F(CheckerFixture, FormatViolationsNamesInvariant) {
 }
 
 // ---------------------------------------------------------------------------
+// Ring wraparound and truncation reporting
+// ---------------------------------------------------------------------------
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// Overflows a small ring with `total` node events stamped 0..total-1.
+void Overflow(TraceBuffer& buffer, int total) {
+  SimTime now = 0;
+  Tracer tracer(&buffer, &now);
+  for (int i = 0; i < total; ++i) {
+    now = i;
+    tracer.Node(EventType::kNodeCrash, static_cast<HostId>(i % 7));
+  }
+}
+
+TEST(TraceBuffer, SustainedOverflowAccountsEveryDrop) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr int kTotal = 1000;
+  TraceBuffer buffer(kCapacity);
+  Overflow(buffer, kTotal);
+
+  // Exact accounting across many wraps: every push beyond capacity is one
+  // drop, never more, never fewer.
+  EXPECT_EQ(buffer.size(), kCapacity);
+  EXPECT_EQ(buffer.recorded(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(buffer.dropped(), buffer.recorded() - kCapacity);
+  // The survivors are the newest kCapacity events, still in order.
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer.at(i).time,
+              static_cast<SimTime>(kTotal - kCapacity + i));
+  }
+
+  // Clear resets both counters, so a reused ring cannot inherit stale
+  // truncation state.
+  buffer.Clear();
+  EXPECT_EQ(buffer.recorded(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  Overflow(buffer, static_cast<int>(kCapacity));
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceTruncation, ExporterEmitsOneTruncationInstantPerAdd) {
+  TraceBuffer buffer(4);
+  Overflow(buffer, 10);
+
+  ChromeTraceWriter writer;
+  writer.Add(buffer, {});
+  std::ostringstream once;
+  writer.Write(once);
+  EXPECT_EQ(CountOccurrences(once.str(), "TRACE_TRUNCATED"), 1u);
+  // The instant carries the exact drop count, machine-readable.
+  EXPECT_NE(once.str().find("\"dropped_events\":6"), std::string::npos);
+
+  // A second Add (merging another buffer view) reports its own truncation:
+  // one instant per truncated buffer added, not one per writer.
+  writer.Add(buffer, {});
+  std::ostringstream twice;
+  writer.Write(twice);
+  EXPECT_EQ(CountOccurrences(twice.str(), "TRACE_TRUNCATED"), 2u);
+}
+
+TEST(TraceTruncation, ExporterStaysSilentWithoutOverflow) {
+  TraceBuffer buffer(16);
+  Overflow(buffer, 10);
+  ChromeTraceWriter writer;
+  writer.Add(buffer, {});
+  std::ostringstream out;
+  writer.Write(out);
+  EXPECT_EQ(CountOccurrences(out.str(), "TRACE_TRUNCATED"), 0u);
+}
+
+TEST(TraceTruncation, TimelineWarnsOncePerCall) {
+  TraceBuffer buffer(4);
+  Overflow(buffer, 10);
+  std::ostringstream out;
+  WriteTimeline(buffer, out, {});
+  EXPECT_EQ(CountOccurrences(out.str(), "WARNING: trace buffer overflowed"),
+            1u);
+  EXPECT_NE(out.str().find("6 oldest events dropped"), std::string::npos);
+
+  // The warning precedes the surviving events, so a reader sees the caveat
+  // before trusting the timeline.
+  EXPECT_LT(out.str().find("WARNING"), out.str().find("NODE_CRASH"));
+}
+
+TEST(TraceTruncation, CheckerRecordsExactlyOneTruncationWarning) {
+  TraceBuffer buffer(4);
+  Overflow(buffer, 10);
+  TraceChecker checker(proxy::NfsTraceCheckerConfig());
+  (void)checker.Check(buffer);
+  ASSERT_EQ(checker.warnings().size(), 1u);
+  EXPECT_NE(checker.warnings()[0].find("6 oldest events dropped"),
+            std::string::npos);
+
+  // Re-running the same checker must not accumulate duplicates: warnings
+  // describe the latest Check, not the checker's lifetime.
+  (void)checker.Check(buffer);
+  EXPECT_EQ(checker.warnings().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Seeded violation, end to end
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,105 @@
+// gvfs-doctor CLI. See doctor.h for the diagnosis pipeline.
+//
+//   gvfs-doctor <run.gvfsdump> [--json-out report.json]
+//   gvfs-doctor --trace chrome_trace.json [--json-out report.json]
+//   gvfs-doctor --metrics series.json [--staleness-budget-ms N] [...]
+//
+// Exit codes: 0 healthy, 1 findings (invariant violations or anomalies),
+// 2 unusable input / bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/json_writer.h"
+#include "doctor.h"
+
+namespace {
+
+std::optional<std::string> FlagValue(int argc, char** argv,
+                                     const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i] && i + 1 < argc) return std::string(argv[i + 1]);
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gvfs-doctor <run.gvfsdump> [--json-out report.json]\n"
+      "       gvfs-doctor --trace chrome_trace.json [--json-out ...]\n"
+      "       gvfs-doctor --metrics series.json [--staleness-budget-ms N]\n");
+  return 2;
+}
+
+/// The first non-flag argument (skipping flag values), or nullopt.
+std::optional<std::string> Positional(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      // "--flag value" consumes the next argument unless written as
+      // "--flag=value".
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc) ++i;
+      continue;
+    }
+    return std::string(argv[i]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using gvfs::obs::DumpFile;
+
+  const auto trace_path = FlagValue(argc, argv, "--trace");
+  const auto metrics_path = FlagValue(argc, argv, "--metrics");
+  const auto json_out = FlagValue(argc, argv, "--json-out");
+  const auto dump_path = Positional(argc, argv);
+
+  gvfs::Duration budget = 0;
+  if (const auto ms = FlagValue(argc, argv, "--staleness-budget-ms")) {
+    budget = gvfs::Milliseconds(std::atol(ms->c_str()));
+  }
+
+  DumpFile dump;
+  std::string source;
+  std::string error;
+  bool loaded = false;
+  if (trace_path.has_value()) {
+    source = *trace_path;
+    loaded = gvfs::doctor::ReadChromeTrace(*trace_path, &dump, &error);
+  } else if (metrics_path.has_value()) {
+    source = *metrics_path;
+    loaded = gvfs::doctor::ReadMetricsSeries(*metrics_path, budget, &dump,
+                                             &error);
+  } else if (dump_path.has_value()) {
+    source = *dump_path;
+    loaded = gvfs::obs::ReadDump(*dump_path, &dump, &error);
+  } else {
+    return Usage();
+  }
+  if (!loaded) {
+    std::fprintf(stderr, "gvfs-doctor: %s\n",
+                 error.empty() ? "unreadable input" : error.c_str());
+    return 2;
+  }
+
+  gvfs::doctor::DoctorReport report = gvfs::doctor::Diagnose(dump);
+  report.source = source;
+
+  std::printf("%s", gvfs::doctor::RenderHuman(report).c_str());
+  if (json_out.has_value()) {
+    if (!gvfs::WriteTextFile(*json_out,
+                             gvfs::doctor::RenderJson(report))) {
+      return 2;
+    }
+    std::printf("\nwrote %s\n", json_out->c_str());
+  }
+  return report.healthy() ? 0 : 1;
+}

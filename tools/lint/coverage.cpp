@@ -18,6 +18,10 @@
 //   trace-coverage       the append is traced (kInvAppend; kAggIngest /
 //                        kAggFanout in the aggregation tier), and every
 //                        trace::EventType has an EventTypeName entry.
+//   anomaly-coverage     every obs::AnomalyKind is registered in kDetectors,
+//                        named by AnomalyKindName, and given a remedy by the
+//                        doctor's VerdictFor — detectors stay actionable
+//                        from the online firing to the offline post-mortem.
 //
 // All parsing is over the lexer's token stream; the helpers below understand
 // just enough C++ structure (enum bodies, function bodies, case labels) to
@@ -206,17 +210,22 @@ const CaseGroup* GroupFor(const std::vector<CaseGroup>& groups,
 }
 
 /// Identifiers of an initializer list `name[] = { ... }` (the kProcs table).
+/// Plain uses of the name (range-fors, indexing) are skipped: only a brace
+/// init introduced by `=` matches, so the table can be defined after its
+/// first use in the file.
 std::vector<std::string> ArrayInitIdents(const Lexed& lex,
                                          std::string_view name, int* line_out) {
   const auto& toks = lex.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (!IsIdent(toks[i], name)) continue;
     std::size_t j = i;
+    bool saw_eq = false;
     while (j < toks.size() && !Is(toks[j], "{")) {
       if (Is(toks[j], ";")) break;
+      if (Is(toks[j], "=")) saw_eq = true;
       ++j;
     }
-    if (j >= toks.size() || !Is(toks[j], "{")) continue;
+    if (j >= toks.size() || !Is(toks[j], "{") || !saw_eq) continue;
     if (line_out != nullptr) *line_out = toks[i].line;
     std::vector<std::string> idents;
     int depth = 1;
@@ -331,7 +340,7 @@ namespace {
 void CheckNameTable(const Tree& tree, const char* rule,
                     std::string_view enum_file, std::string_view enum_name,
                     std::string_view impl_file, std::string_view func,
-                    std::vector<Finding>& out) {
+                    std::string_view consequence, std::vector<Finding>& out) {
   const FileUnit* decl = FindUnit(tree, enum_file);
   const FileUnit* impl = FindUnit(tree, impl_file);
   if (decl == nullptr || impl == nullptr) return;
@@ -342,16 +351,16 @@ void CheckNameTable(const Tree& tree, const char* rule,
   Span body = FunctionBody(impl->lex, func);
   if (!body.ok()) {
     Add(out, rule, *impl, 1,
-        std::string(func) + "() definition not found; per-proc stats and "
-        "trace labels need it");
+        std::string(func) + "() definition not found; " +
+        std::string(consequence));
     return;
   }
   std::vector<CaseGroup> cases = CaseGroups(body);
   for (const std::string& value : values) {
     if (GroupFor(cases, value) == nullptr) {
       Add(out, rule, *impl, body.line,
-          "'" + value + "' has no case in " + std::string(func) +
-          "(); its stats/trace label degrades to the unknown bucket");
+          "'" + value + "' has no case in " + std::string(func) + "(); " +
+          std::string(consequence));
     }
   }
 }
@@ -360,9 +369,11 @@ void CheckNameTable(const Tree& tree, const char* rule,
 
 void CheckStatsNameCoverage(const Tree& tree, std::vector<Finding>& out) {
   CheckNameTable(tree, "stats-name-coverage", "src/nfs3/proto.h", "Proc",
-                 "src/nfs3/proto.cpp", "ProcName", out);
+                 "src/nfs3/proto.cpp", "ProcName",
+                 "its stats/trace label degrades to the unknown bucket", out);
   CheckNameTable(tree, "stats-name-coverage", "src/gvfs/proto.h", "GvfsProc",
-                 "src/gvfs/proto.cpp", "GvfsProcName", out);
+                 "src/gvfs/proto.cpp", "GvfsProcName",
+                 "its stats/trace label degrades to the unknown bucket", out);
 }
 
 // ---------------------------------------------------------------------------
@@ -556,7 +567,53 @@ void CheckTraceCoverage(const Tree& tree, std::vector<Finding>& out) {
   // Every trace::EventType must have an EventTypeName case, or exporters
   // render events that cannot be told apart.
   CheckNameTable(tree, "trace-coverage", "src/trace/trace.h", "EventType",
-                 "src/trace/trace.cpp", "EventTypeName", out);
+                 "src/trace/trace.cpp", "EventTypeName",
+                 "its stats/trace label degrades to the unknown bucket", out);
+}
+
+// ---------------------------------------------------------------------------
+// anomaly-coverage
+// ---------------------------------------------------------------------------
+
+void CheckAnomalyCoverage(const Tree& tree, std::vector<Finding>& out) {
+  // Every obs::AnomalyKind must stay wired end to end through the diagnosis
+  // layer: a kDetectors registry entry (drives the per-kind observatory
+  // counters and the dump rendering), an AnomalyKindName case (the
+  // kebab-case wire name round-tripped through .gvfsdump files), and a
+  // gvfs-doctor VerdictFor case (the operator-facing remedy). A detector
+  // missing any link still fires online but renders as "?" offline — the
+  // post-mortem names an anomaly nobody can act on.
+  const FileUnit* decl = FindUnit(tree, "src/obs/anomaly.h");
+  const FileUnit* impl = FindUnit(tree, "src/obs/anomaly.cpp");
+  if (decl == nullptr || impl == nullptr) return;
+  int enum_line = 0;
+  std::vector<std::string> kinds =
+      EnumValues(decl->lex, "AnomalyKind", &enum_line);
+  if (kinds.empty()) return;
+
+  int table_line = 0;
+  std::vector<std::string> registered =
+      ArrayInitIdents(impl->lex, "kDetectors", &table_line);
+  if (registered.empty()) {
+    Add(out, "anomaly-coverage", *impl, 1,
+        "kDetectors registry not found; the watchdog has no detector table "
+        "to attach counters or render dumps from");
+  } else {
+    for (const std::string& kind : kinds) {
+      if (!Contains(registered, kind)) {
+        Add(out, "anomaly-coverage", *impl, table_line,
+            "AnomalyKind '" + kind + "' is missing from the kDetectors "
+            "registry; its observatory counter and dump rendering vanish");
+      }
+    }
+  }
+
+  CheckNameTable(tree, "anomaly-coverage", "src/obs/anomaly.h", "AnomalyKind",
+                 "src/obs/anomaly.cpp", "AnomalyKindName",
+                 "its wire name degrades to '?' in dumps and counters", out);
+  CheckNameTable(tree, "anomaly-coverage", "src/obs/anomaly.h", "AnomalyKind",
+                 "tools/doctor/doctor.cpp", "VerdictFor",
+                 "the doctor has no remedy text for that anomaly", out);
 }
 
 }  // namespace gvfs::lint

@@ -264,7 +264,7 @@ class CoverageTest : public ::testing::Test {
     }
     std::string error;
     LintOptions opts;
-    opts.dirs = {"src"};
+    opts.dirs = {"src", "tools"};
     auto findings = LintRoot(temp.string(), opts, &error);
     EXPECT_EQ(error, "");
     return findings;
@@ -342,6 +342,30 @@ TEST_F(CoverageTest, MissingMigrateFlushIsCaught) {
 TEST_F(CoverageTest, MissingEventTypeNameIsCaught) {
   const auto findings = LintVariant("missing_event_name");
   EXPECT_GE(CountRule(findings, "trace-coverage"), 1) << FormatText(findings);
+}
+
+TEST_F(CoverageTest, MissingDetectorRegistrationIsCaught) {
+  // An AnomalyKind dropped from kDetectors loses its observatory counter
+  // and its dump rendering while the rest of the pipeline still compiles.
+  const auto findings = LintVariant("missing_detector");
+  EXPECT_GE(CountRule(findings, "anomaly-coverage"), 1)
+      << FormatText(findings);
+}
+
+TEST_F(CoverageTest, MissingAnomalyNameIsCaught) {
+  // A kind without an AnomalyKindName case serialises as "?" in dumps, so
+  // the doctor can no longer round-trip it.
+  const auto findings = LintVariant("missing_anomaly_name");
+  EXPECT_GE(CountRule(findings, "anomaly-coverage"), 1)
+      << FormatText(findings);
+}
+
+TEST_F(CoverageTest, MissingVerdictIsCaught) {
+  // The doctor's remedy table is part of the detector contract: a kind the
+  // post-mortem cannot advise on is a finding, caught at lint time.
+  const auto findings = LintVariant("missing_verdict");
+  EXPECT_GE(CountRule(findings, "anomaly-coverage"), 1)
+      << FormatText(findings);
 }
 
 // ---------------------------------------------------------------------------

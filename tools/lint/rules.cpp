@@ -296,6 +296,7 @@ void CheckStatsNameCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckInvCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckMigrateCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckTraceCoverage(const Tree& tree, std::vector<Finding>& out);
+void CheckAnomalyCoverage(const Tree& tree, std::vector<Finding>& out);
 
 const std::vector<RuleInfo>& AllRules() {
   static const std::vector<RuleInfo> kRules = {
@@ -347,6 +348,10 @@ const std::vector<RuleInfo>& AllRules() {
       {"trace-coverage",
        "Invalidation appends must be traced; every EventType needs a name",
        nullptr, CheckTraceCoverage, nullptr},
+      {"anomaly-coverage",
+       "Every AnomalyKind needs a kDetectors entry, a wire name, and a "
+       "doctor remedy",
+       nullptr, CheckAnomalyCoverage, nullptr},
   };
   return kRules;
 }

@@ -1,0 +1,23 @@
+#include "anomaly.h"
+
+namespace obs {
+
+struct DetectorInfo {
+  AnomalyKind kind;
+  const char* name;
+};
+
+const DetectorInfo kDetectors[] = {
+    {AnomalyKind::kRecallStorm, "recall-storm"},
+    {AnomalyKind::kInvOverflow, "inv-overflow"},
+};
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kRecallStorm: return "recall-storm";
+    case AnomalyKind::kInvOverflow: return "inv-overflow";
+  }
+  return "?";
+}
+
+}  // namespace obs

@@ -1,0 +1,15 @@
+// Coverage fixture: the anomaly detector vocabulary.
+#pragma once
+
+#include <cstdint>
+
+namespace obs {
+
+enum class AnomalyKind : std::uint32_t {
+  kRecallStorm,
+  kInvOverflow,
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+
+}  // namespace obs

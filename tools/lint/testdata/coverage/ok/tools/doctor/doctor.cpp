@@ -1,0 +1,16 @@
+// Coverage fixture: the doctor's per-anomaly remedy table.
+#include "obs/anomaly.h"
+
+namespace doctor {
+
+const char* VerdictFor(obs::AnomalyKind kind) {
+  switch (kind) {
+    case obs::AnomalyKind::kRecallStorm:
+      return "raise the storm-breaker threshold or lengthen policy dwell";
+    case obs::AnomalyKind::kInvOverflow:
+      return "raise inv_buffer_capacity or shorten client poll periods";
+  }
+  return "?";
+}
+
+}  // namespace doctor

@@ -1,0 +1,25 @@
+#include "anomaly.h"
+
+namespace obs {
+
+struct DetectorInfo {
+  AnomalyKind kind;
+  const char* name;
+};
+
+const DetectorInfo kDetectors[] = {
+    {AnomalyKind::kRecallStorm, "recall-storm"},
+    {AnomalyKind::kInvOverflow, "inv-overflow"},
+};
+
+// Seeded violation: kInvOverflow lost its AnomalyKindName case, so the
+// anomaly serialises as "?" and a dump can no longer be round-tripped.
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kRecallStorm: return "recall-storm";
+    default: break;
+  }
+  return "?";
+}
+
+}  // namespace obs

@@ -1,0 +1,25 @@
+#include "anomaly.h"
+
+namespace obs {
+
+struct DetectorInfo {
+  AnomalyKind kind;
+  const char* name;
+};
+
+// Seeded violation: kInvOverflow was dropped from the registry, so its
+// observatory counter and dump rendering disappear while the name table
+// and the doctor still know the kind.
+const DetectorInfo kDetectors[] = {
+    {AnomalyKind::kRecallStorm, "recall-storm"},
+};
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kRecallStorm: return "recall-storm";
+    case AnomalyKind::kInvOverflow: return "inv-overflow";
+  }
+  return "?";
+}
+
+}  // namespace obs

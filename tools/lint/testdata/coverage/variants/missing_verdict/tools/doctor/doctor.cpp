@@ -1,0 +1,17 @@
+// Seeded violation: the doctor's remedy table forgot kInvOverflow, so a
+// post-mortem names the anomaly but offers no action to take.
+#include "obs/anomaly.h"
+
+namespace doctor {
+
+const char* VerdictFor(obs::AnomalyKind kind) {
+  switch (kind) {
+    case obs::AnomalyKind::kRecallStorm:
+      return "raise the storm-breaker threshold or lengthen policy dwell";
+    default:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace doctor
