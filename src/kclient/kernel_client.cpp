@@ -221,19 +221,35 @@ sim::Task<VfsResult<void>> KernelClient::FlushFile(Fh fh) {
   auto fc = file_cache_.find(fh);
   if (fc == file_cache_.end()) co_return Ok{};
 
+  // Snapshot the dirty block indices: the WRITE awaits below park this
+  // frame, and a concurrent Remove/truncate can DropFileData(fh) meanwhile,
+  // erasing the entry (and every block) a live range-for iterator would
+  // still point into.
+  std::vector<std::uint64_t> dirty;
+  for (const auto& [index, block] : fc->second.blocks) {
+    if (block.dirty) dirty.push_back(index);
+  }
+
   bool wrote = false;
-  for (auto& [index, block] : fc->second.blocks) {
-    if (!block.dirty) continue;
+  for (const std::uint64_t index : dirty) {
+    fc = file_cache_.find(fh);
+    if (fc == file_cache_.end()) co_return Ok{};  // dropped mid-flush
+    auto blk = fc->second.blocks.find(index);
+    if (blk == fc->second.blocks.end() || !blk->second.dirty) continue;
     nfs3::WriteArgs args;
     args.file = fh;
     args.offset = index * options_.io_size;
     args.stable = nfs3::StableHow::kUnstable;
-    args.data = block.data;
+    args.data = blk->second.data;
     auto res = co_await client_.Call<nfs3::WriteRes>(nfs3::kWrite, args, options_.rpc);
     if (!res) co_return Unexpected(Status::kIo);
     if (res->status != Status::kOk) co_return Unexpected(res->status);
     StoreAttr(fh, res->attr, /*own_write=*/true);
-    block.dirty = false;
+    fc = file_cache_.find(fh);
+    if (fc != file_cache_.end()) {
+      blk = fc->second.blocks.find(index);
+      if (blk != fc->second.blocks.end()) blk->second.dirty = false;
+    }
     wrote = true;
   }
   if (wrote) {
@@ -335,12 +351,15 @@ sim::Task<VfsResult<Bytes>> KernelClient::Read(Fd fd, std::uint64_t offset,
   auto attr = co_await GetAttr(fh, /*force_fresh=*/false);
   if (!attr) co_return Unexpected(attr.error());
 
-  auto& fc = file_cache_[fh];
-  if (fc.blocks.empty() && fc.mtime_seen == 0) {
-    fc.mtime_seen = attr->mtime;
-    fc.size_seen = attr->size;
+  // Held as a pointer so it can be re-acquired after each await: a
+  // concurrent Remove/truncate can DropFileData(fh) while this frame is
+  // parked on a READ, erasing the map node the reference would alias.
+  auto* fc = &file_cache_[fh];
+  if (fc->blocks.empty() && fc->mtime_seen == 0) {
+    fc->mtime_seen = attr->mtime;
+    fc->size_seen = attr->size;
   }
-  const std::uint64_t file_size = std::max(fc.size_seen, attr->size);
+  const std::uint64_t file_size = std::max(fc->size_seen, attr->size);
   if (offset >= file_size) co_return Bytes{};
   const std::uint64_t want_end =
       std::min<std::uint64_t>(offset + count, file_size);
@@ -351,19 +370,20 @@ sim::Task<VfsResult<Bytes>> KernelClient::Read(Fd fd, std::uint64_t offset,
   for (std::uint64_t pos = offset; pos < want_end;) {
     const std::uint64_t index = pos / bs;
     const std::uint64_t block_start = index * bs;
-    auto cached = fc.blocks.find(index);
-    if (cached == fc.blocks.end()) {
+    auto cached = fc->blocks.find(index);
+    if (cached == fc->blocks.end()) {
       ++stats_.page_misses;
       auto res = co_await client_.Call<nfs3::ReadRes>(
           nfs3::kRead, nfs3::ReadArgs{fh, block_start, bs}, options_.rpc);
       if (!res) co_return Unexpected(Status::kIo);
       if (res->status != Status::kOk) co_return Unexpected(res->status);
       StoreAttr(fh, res->attr, /*own_write=*/false);
+      fc = &file_cache_[fh];
       CachedBlock block;
       block.data = std::move(res->data);
       cached_bytes_ += block.data.size();
       lru_.push_back({fh, index});
-      cached = fc.blocks.emplace(index, std::move(block)).first;
+      cached = fc->blocks.emplace(index, std::move(block)).first;
     } else {
       ++stats_.page_hits;
     }
@@ -393,10 +413,13 @@ sim::Task<VfsResult<std::uint32_t>> KernelClient::Write(Fd fd, std::uint64_t off
   auto attr = co_await GetAttr(fh, /*force_fresh=*/false);
   if (!attr) co_return Unexpected(attr.error());
 
-  auto& fc = file_cache_[fh];
-  if (fc.blocks.empty() && fc.mtime_seen == 0) {
-    fc.mtime_seen = attr->mtime;
-    fc.size_seen = attr->size;
+  // Pointer, not reference, so the read-modify-write await below can
+  // re-acquire it: a concurrent Remove/truncate can DropFileData(fh) while
+  // this frame is parked, erasing the map node the reference would alias.
+  auto* fc = &file_cache_[fh];
+  if (fc->blocks.empty() && fc->mtime_seen == 0) {
+    fc->mtime_seen = attr->mtime;
+    fc->size_seen = attr->size;
   }
 
   const std::uint32_t bs = options_.io_size;
@@ -409,12 +432,12 @@ sim::Task<VfsResult<std::uint32_t>> KernelClient::Write(Fd fd, std::uint64_t off
     const std::uint64_t take =
         std::min<std::uint64_t>(bs - in_block, data.size() - consumed);
 
-    auto cached = fc.blocks.find(index);
-    if (cached == fc.blocks.end()) {
+    auto cached = fc->blocks.find(index);
+    if (cached == fc->blocks.end()) {
       // Partial overwrite of existing server data requires read-modify-write.
       const bool needs_fetch =
-          block_start < fc.size_seen && (in_block != 0 || take < bs) &&
-          !(block_start + in_block >= fc.size_seen);
+          block_start < fc->size_seen && (in_block != 0 || take < bs) &&
+          !(block_start + in_block >= fc->size_seen);
       CachedBlock block;
       if (needs_fetch) {
         ++stats_.page_misses;
@@ -423,10 +446,11 @@ sim::Task<VfsResult<std::uint32_t>> KernelClient::Write(Fd fd, std::uint64_t off
         if (!res) co_return Unexpected(Status::kIo);
         if (res->status != Status::kOk) co_return Unexpected(res->status);
         block.data = std::move(res->data);
+        fc = &file_cache_[fh];
       }
       cached_bytes_ += block.data.size();
       lru_.push_back({fh, index});
-      cached = fc.blocks.emplace(index, std::move(block)).first;
+      cached = fc->blocks.emplace(index, std::move(block)).first;
     }
 
     Bytes& dst = cached->second.data;
@@ -443,12 +467,12 @@ sim::Task<VfsResult<std::uint32_t>> KernelClient::Write(Fd fd, std::uint64_t off
     consumed += take;
   }
 
-  fc.size_seen = std::max(fc.size_seen, offset + data.size());
+  fc->size_seen = std::max(fc->size_seen, offset + data.size());
   // Keep the locally visible size in sync so Stat reflects our own writes.
   auto cached_attr = attr_cache_.find(fh);
   if (cached_attr != attr_cache_.end()) {
     cached_attr->second.attr.size =
-        std::max<std::uint64_t>(cached_attr->second.attr.size, fc.size_seen);
+        std::max<std::uint64_t>(cached_attr->second.attr.size, fc->size_seen);
   }
   EvictIfNeeded();
   co_return static_cast<std::uint32_t>(data.size());

@@ -97,6 +97,7 @@ class WaitGroup {
     Add();
     sim::Spawn([](Task<void> inner, WaitGroup* wg) -> Task<void> {
       co_await std::move(inner);
+      // gvfs-lint: allow(use-after-suspend): the WaitGroup outlives its spawned tasks by contract — Wait() joins them all before the owner may destroy it
       wg->Done();
     }(std::move(task), this));
   }

@@ -222,6 +222,41 @@ TEST_F(FailureTest, DoubleCrashClientAndServer) {
   EXPECT_EQ((*data)[0], 4);
 }
 
+TEST_F(FailureTest, FileDroppedDuringRecoveryProbeIsNotTouched) {
+  // Regression: RecoverFile captured the disk-cache entry pointer before
+  // awaiting the recovery GETATTR; dropping the file during that await (as
+  // a concurrent REMOVE does) left the pointer dangling for the conflict
+  // check. The lookup now happens after the await.
+  auto& session = bed_.CreateSession(Delegation(), {0}, Noac());
+  auto& a = session.mount(0);
+
+  auto fd = RunTask(bed_.sched(), a.Open("/r", kCreateWrite));
+  ASSERT_TRUE(fd.has_value());
+  (void)RunTask(bed_.sched(), a.Write(*fd, 0, Bytes(32, 7)));
+  (void)RunTask(bed_.sched(), a.Close(*fd));
+  auto fd2 = RunTask(bed_.sched(), a.Open("/r", kWrite));
+  (void)RunTask(bed_.sched(), a.Write(*fd2, 0, Bytes(32, 9)));
+  (void)RunTask(bed_.sched(), a.Close(*fd2));
+
+  const auto dirty = session.proxy(0).cache().FilesWithDirtyData();
+  ASSERT_GE(dirty.size(), 1u);
+  const nfs3::Fh fh = dirty.front();
+
+  session.proxy(0).Crash();
+  bool recovered = false;
+  sim::Spawn(testutil::MarkDone(session.proxy(0).Recover(), &recovered));
+  // Drop the file while the recovery probe is parked on its GETATTR — half
+  // the WAN round trip in.
+  bed_.sched().At(bed_.sched().Now() + Milliseconds(10),
+                  [this, &session, fh] {
+                    session.proxy(0).cache().DropFileData(fh);
+                  });
+  while (!recovered && !bed_.sched().Idle()) bed_.sched().Run(1);
+  ASSERT_TRUE(recovered);
+  // The entry is gone; recovery must neither resurrect nor flush it.
+  EXPECT_TRUE(session.proxy(0).cache().FilesWithDirtyData().empty());
+}
+
 TEST_F(FailureTest, AsymmetricLossRetriesViaDuplicateCache) {
   // Replies dropped one way: the kernel's retransmissions are absorbed by
   // the proxy chain's duplicate-request caches, so non-idempotent operations

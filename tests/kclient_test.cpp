@@ -352,6 +352,85 @@ TEST_F(KclientTest, ZeroByteCacheReadsReturnFileData) {
   EXPECT_EQ(client.CachedBytes(), 0u);  // nothing may stay resident
 }
 
+sim::Task<void> UnlinkAfter(sim::Scheduler* sched, KernelClient* client,
+                            std::string path, Duration d, bool* done) {
+  co_await sim::Sleep(*sched, d);
+  (void)co_await client->Unlink(std::move(path));
+  *done = true;
+}
+
+sim::Task<void> FsyncAndDiscard(KernelClient* client, Fd fd, bool* done) {
+  (void)co_await client->Fsync(fd);
+  *done = true;
+}
+
+// Regression: FlushFile used to range-for over the file's block map across
+// the WRITE awaits; an Unlink landing while the flush was parked dropped the
+// whole cache entry out from under the live iterator.
+TEST_F(KclientTest, UnlinkDuringFsyncDropsEntryCleanly) {
+  auto client = MakeClient(0);
+  auto fd = RunTask(sched_, client.Open("/f", kCreateWrite));
+  ASSERT_TRUE(fd.has_value());
+  ASSERT_TRUE(
+      RunTask(sched_, client.Write(*fd, 0, Bytes(96 * 1024, 0x11))).has_value());
+
+  bool flushed = false, unlinked = false;
+  sim::Spawn(FsyncAndDiscard(&client, *fd, &flushed));
+  sim::Spawn(UnlinkAfter(&sched_, &client, "/f", Milliseconds(5), &unlinked));
+  while ((!flushed || !unlinked) && !sched_.Idle()) sched_.Run(1);
+  EXPECT_TRUE(flushed);
+  EXPECT_TRUE(unlinked);
+  EXPECT_EQ(client.CachedBytes(), 0u);  // the drop reclaimed everything
+}
+
+// Regression: Read held a reference to the file's cache entry across the
+// block-fetch await; an Unlink landing mid-fetch erased the map node the
+// reference aliased. The assembled bytes must still come back intact.
+TEST_F(KclientTest, UnlinkDuringColdReadStillReturnsData) {
+  auto client = MakeClient(0);
+  auto ino = fs_.Create(fs_.root(), "f", 0644);
+  ASSERT_TRUE(ino.has_value());
+  ASSERT_TRUE(fs_.Write(*ino, 0, Bytes(64 * 1024, 0x07)).has_value());
+  auto fd = RunTask(sched_, client.Open("/f", kRead));
+  ASSERT_TRUE(fd.has_value());
+  // Warm block 0 and the attribute cache so the big read suspends only on
+  // block 1's fetch — after the cache-entry reference exists.
+  ASSERT_TRUE(RunTask(sched_, client.Read(*fd, 0, 1024)).has_value());
+
+  std::optional<VfsResult<Bytes>> out;
+  bool unlinked = false;
+  sim::Spawn(testutil::CaptureInto(client.Read(*fd, 0, 64 * 1024), &out));
+  sim::Spawn(UnlinkAfter(&sched_, &client, "/f", Milliseconds(5), &unlinked));
+  while ((!out.has_value() || !unlinked) && !sched_.Idle()) sched_.Run(1);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ(**out, Bytes(64 * 1024, 0x07));
+}
+
+// Regression: Write held the same entry reference across its
+// read-modify-write fetch; an Unlink landing mid-fetch dangled it.
+TEST_F(KclientTest, UnlinkDuringReadModifyWriteCompletes) {
+  auto client = MakeClient(0);
+  auto ino = fs_.Create(fs_.root(), "f", 0644);
+  ASSERT_TRUE(fs_.Write(*ino, 0, Bytes(64 * 1024, 0x07)).has_value());
+  auto fd = RunTask(sched_, client.Open("/f", kWrite));
+  ASSERT_TRUE(fd.has_value());
+  // Warm the attribute cache so the write's only suspend is the RMW fetch.
+  ASSERT_TRUE(RunTask(sched_, client.Stat("/f")).has_value());
+
+  // A partial overwrite of existing server data forces the RMW fetch. The
+  // payload must outlive the spawned frame — Write takes it by reference.
+  const Bytes payload(10, 0x22);
+  std::optional<VfsResult<std::uint32_t>> out;
+  bool unlinked = false;
+  sim::Spawn(testutil::CaptureInto(client.Write(*fd, 100, payload), &out));
+  sim::Spawn(UnlinkAfter(&sched_, &client, "/f", Milliseconds(5), &unlinked));
+  while ((!out.has_value() || !unlinked) && !sched_.Idle()) sched_.Run(1);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ(**out, 10u);
+}
+
 TEST_F(KclientTest, MkdirRmdirReadDir) {
   auto client = MakeClient(0);
   ASSERT_TRUE(RunTask(sched_, client.Mkdir("/d")).has_value());

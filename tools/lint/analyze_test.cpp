@@ -1,0 +1,709 @@
+// gvfs-analyze unit tests: the structural parser, the function outliner, the
+// suspend-safety dataflow pass, and the suppression audit. The golden
+// fire/pass/suppressed fixtures live in lint_test.cpp with the other rules;
+// this file tests the layers underneath them, in-process.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataflow.h"
+#include "lint.h"
+#include "outline.h"
+#include "parser.h"
+
+namespace gvfs::lint {
+namespace {
+
+std::vector<FunctionDef> Parse(std::string_view source) {
+  return ParseFunctions(Lex(source));
+}
+
+std::vector<Outline> Outlines(std::string_view source) {
+  return OutlineFile(Lex(source));
+}
+
+const Outline* Find(const std::vector<Outline>& outlines,
+                    std::string_view name) {
+  for (const Outline& o : outlines) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+/// Runs the three per-file suspend rules over `source` as a src/ file and
+/// returns the findings (suppressions not applied — these are engine tests).
+std::vector<Finding> Analyze(std::string_view source) {
+  const FileUnit unit = MakeUnit("src/gvfs/t.cpp", source);
+  std::vector<Finding> out;
+  CheckUseAfterSuspend(unit, out);
+  CheckIterAfterSuspend(unit, out);
+  CheckLockAcrossSuspend(unit, out);
+  return out;
+}
+
+bool HasRule(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(Parser, FindsPlainFunctions) {
+  const auto defs = Parse(R"(
+int Add(int a, int b) { return a + b; }
+void Noop() {}
+)");
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].name, "Add");
+  EXPECT_EQ(defs[1].name, "Noop");
+}
+
+TEST(Parser, SkipsDeclarationsAndCalls) {
+  const auto defs = Parse(R"(
+int Add(int a, int b);
+void Caller() {
+  int x = Add(1, Add(2, 3));
+  if (x > 0) { x = Add(x, 1); }
+}
+)");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "Caller");
+}
+
+TEST(Parser, HandlesMemberFunctionsAndQualifiers) {
+  const auto defs = Parse(R"(
+struct S {
+  int Get() const noexcept { return v_; }
+  int v_ = 0;
+};
+Task<int> S2::Fetch(const Key& k) const { co_return 1; }
+)");
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].name, "Get");
+  EXPECT_EQ(defs[1].name, "Fetch");
+}
+
+TEST(Parser, HandlesConstructorInitializerLists) {
+  const auto defs = Parse(R"(
+struct S {
+  S(int a, int b) : a_(a), b_{b}, v_{1, 2, 3} { Init(); }
+  int a_, b_;
+  std::vector<int> v_;
+};
+)");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "S");
+}
+
+TEST(Parser, TemplatedSignaturesAndDefaultArgs) {
+  const auto defs = Parse(R"(
+template <typename T, typename U = std::map<int, T>>
+T Pick(const std::vector<T>& v, std::size_t i = 0) { return v[i]; }
+)");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "Pick");
+}
+
+TEST(Parser, RawStringsWithBracesDoNotConfuse) {
+  const auto defs = Parse(R"__(
+const char* kJson = R"({"a": {"b": 1}})";
+void After() { Use(kJson); }
+)__");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "After");
+}
+
+TEST(Parser, UnbalancedPreprocessorBranchDegradesToSkip) {
+  // The #ifdef arm opens a brace the #else arm closes; the parser must not
+  // crash and must not fabricate a body for Broken().
+  const auto defs = Parse(R"(
+#ifdef WEIRD
+void Broken() {
+#else
+void Broken2() {
+#endif
+}
+void Fine() { int x = 0; }
+)");
+  for (const FunctionDef& def : defs) {
+    EXPECT_LT(def.body_end, 1000u);
+  }
+  const bool has_fine =
+      std::any_of(defs.begin(), defs.end(),
+                  [](const FunctionDef& d) { return d.name == "Fine"; });
+  EXPECT_TRUE(has_fine);
+}
+
+TEST(Parser, MacroInvocationAtNamespaceScopeIsNotAFunction) {
+  const auto defs = Parse(R"(
+DEFINE_THING(Widget, 42);
+static_assert(sizeof(int) == 4);
+void Real() {}
+)");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].name, "Real");
+}
+
+// ---------------------------------------------------------------------------
+// Outline
+// ---------------------------------------------------------------------------
+
+TEST(Outline, ClassifiesParameters) {
+  const auto outlines = Outlines(R"(
+void F(int a, const Bytes& data, Attr* attr, std::string_view name,
+       std::span<const Block> blocks, Fh fh) {}
+)");
+  const Outline* f = Find(outlines, "F");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->params.size(), 6u);
+  EXPECT_FALSE(f->params[0].reference_like);  // int a
+  EXPECT_TRUE(f->params[1].reference_like);   // const Bytes&
+  EXPECT_TRUE(f->params[2].reference_like);   // Attr*
+  EXPECT_TRUE(f->params[3].reference_like);   // string_view
+  EXPECT_TRUE(f->params[4].reference_like);   // span
+  EXPECT_FALSE(f->params[5].reference_like);  // Fh by value
+  EXPECT_EQ(f->params[1].name, "data");
+  EXPECT_EQ(f->params[2].name, "attr");
+}
+
+TEST(Outline, RecordsSuspendsInOrder) {
+  const auto outlines = Outlines(R"(
+Task<int> F() {
+  co_await A();
+  int x = co_await B();
+  co_yield x;
+  co_return x;
+}
+)");
+  const Outline* f = Find(outlines, "F");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->returns_task);
+  ASSERT_EQ(f->suspends.size(), 3u);
+  EXPECT_LT(f->suspends[0].tok, f->suspends[1].tok);
+  EXPECT_LT(f->suspends[1].tok, f->suspends[2].tok);
+}
+
+TEST(Outline, FindsReferencePointerAndIteratorLocals) {
+  const auto outlines = Outlines(R"(
+void F(Cache& cache_) {
+  auto& fc = cache_.Get(1);
+  const Attr* attr = fc.attr();
+  auto it = map_.find(key);
+  std::map<int, int>::iterator jt = map_.begin();
+  auto [kt, inserted] = map_.emplace(key, 1);
+  int plain = 3;
+}
+)");
+  const Outline* f = Find(outlines, "F");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->locals.size(), 5u);
+  EXPECT_EQ(f->locals[0].name, "fc");
+  EXPECT_EQ(f->locals[0].kind, LocalKind::kReference);
+  EXPECT_EQ(f->locals[1].name, "attr");
+  EXPECT_EQ(f->locals[1].kind, LocalKind::kPointer);
+  EXPECT_EQ(f->locals[2].name, "it");
+  EXPECT_EQ(f->locals[2].kind, LocalKind::kIterator);
+  EXPECT_EQ(f->locals[3].name, "jt");
+  EXPECT_EQ(f->locals[3].kind, LocalKind::kIterator);
+  EXPECT_EQ(f->locals[4].name, "kt");
+  EXPECT_EQ(f->locals[4].kind, LocalKind::kIterator);
+}
+
+TEST(Outline, NestedLambdaGetsItsOwnOutline) {
+  const auto outlines = Outlines(R"(
+void F() {
+  auto& big = state();
+  auto cb = [&big](int x) { return big.Use(x); };
+  cb(1);
+}
+)");
+  const Outline* f = Find(outlines, "F");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->lambda_ranges.size(), 1u);
+  const Outline* lam = Find(outlines, "F::[lambda]");
+  ASSERT_NE(lam, nullptr);
+  EXPECT_TRUE(lam->is_lambda);
+  ASSERT_EQ(lam->captures.size(), 1u);
+  EXPECT_EQ(lam->captures[0].name, "big");
+  EXPECT_TRUE(lam->captures[0].by_ref);
+}
+
+TEST(Outline, SubscriptIsNotALambda) {
+  const auto outlines = Outlines(R"(
+void F() {
+  int a[3] = {1, 2, 3};
+  int x = a[0] + a[1];
+  table_[key] = x;
+}
+)");
+  const Outline* f = Find(outlines, "F");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->lambda_ranges.empty());
+}
+
+TEST(Outline, RangeForIsRecorded) {
+  const auto outlines = Outlines(R"(
+void F() {
+  for (auto& [fh, st] : cache_) { Use(fh, st); }
+  for (int i = 0; i < 3; ++i) { Use(i); }
+}
+)");
+  const Outline* f = Find(outlines, "F");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->loops.size(), 2u);
+  EXPECT_TRUE(f->loops[0].is_range_for);
+  EXPECT_EQ(f->loops[0].range_expr, "cache_");
+  EXPECT_FALSE(f->loops[1].is_range_for);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow: use-after-suspend
+// ---------------------------------------------------------------------------
+
+TEST(UseAfterSuspend, FiresOnStaleReference) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto& fc = cache_[fh];
+  co_await Fetch(fh);
+  fc.Use();
+  co_return;
+}
+)");
+  ASSERT_TRUE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, CleanWhenReacquiredAfterSuspend) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto& fc = cache_[fh];
+  fc.Prep();
+  co_await Fetch(fh);
+  fc = cache_[fh];
+  fc.Use();
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, CleanWhenInitializerItselfAwaits) {
+  // `auto& r = co_await f();` — the value is created *after* that suspend.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto& r = co_await Open(fh);
+  r.Use();
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, UseInsideAwaitOperandIsPreSuspend) {
+  // Arguments are captured before the frame parks: `co_await Write(fc.data)`
+  // does not use fc after the suspend.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto& fc = cache_[fh];
+  co_await Write(fc.data());
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, AssignmentTargetWithAwaitedRhsFires) {
+  // `fc.attr = co_await Fetch()` writes fc *after* resumption.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto& fc = cache_[fh];
+  fc.attr = co_await FetchAttr(fh);
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, LoopBackEdgeFires) {
+  // The reference is created before the loop; the suspend and the use share
+  // the body, so the second iteration uses it stale.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto& fc = cache_[fh];
+  while (More()) {
+    fc.Step();
+    co_await Tick();
+  }
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, NamedFunctionRefParamIsCallerKeptAlive) {
+  // Caller-awaits convention: the caller's frame holds `data` for the whole
+  // co_await, so named coroutines' reference params are not tracked.
+  const auto findings = Analyze(R"(
+Task<void> F(const Bytes& data) {
+  co_await Flush();
+  Use(data);
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, LambdaRefParamFires) {
+  // Lambda coroutines are routinely detached (sim::Spawn / WaitGroup), so
+  // their reference-like parameters get no caller-keeps-alive guarantee.
+  const auto findings = Analyze(R"(
+void F() {
+  wg.Spawn([](Buffer* buf) -> Task<void> {
+    co_await Tick();
+    buf->Use();
+  }(&local));
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, BranchThatReturnsDoesNotTaintLaterCode) {
+  // The suspend sits in a branch that co_returns; straight-line code after
+  // the branch never crossed it.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto* child = cache_.Find(fh);
+  if (!child->valid()) {
+    co_await sim::Sleep(sched_, t);
+    co_return;
+  }
+  child->Use();
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, SuspendInsideNestedLambdaDoesNotCount) {
+  // The lambda body belongs to its own frame; the enclosing function has no
+  // suspend of its own.
+  const auto findings = Analyze(R"(
+void F() {
+  auto& fc = cache_[fh];
+  auto task = [&]() -> Task<void> { co_await Tick(); co_return; };
+  fc.Use();
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+TEST(UseAfterSuspend, ValueLocalsAreNotTracked) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  Attr attr = cache_[fh].attr();
+  co_await Fetch(fh);
+  Use(attr);
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "use-after-suspend"));
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow: iter-after-suspend
+// ---------------------------------------------------------------------------
+
+TEST(IterAfterSuspend, FiresOnFindHeldAcrossAwait) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto it = writes_.find(fh);
+  co_await Drain(fh);
+  if (it != writes_.end()) writes_.erase(it);
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "iter-after-suspend"));
+}
+
+TEST(IterAfterSuspend, CleanWhenReacquired) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  auto it = writes_.find(fh);
+  co_await Drain(fh);
+  it = writes_.find(fh);
+  if (it != writes_.end()) writes_.erase(it);
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "iter-after-suspend"));
+}
+
+TEST(IterAfterSuspend, RangeForOverMemberWithSuspendFires) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  for (auto& [fh, st] : cache_) {
+    co_await Revalidate(fh);
+  }
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "iter-after-suspend"));
+}
+
+TEST(IterAfterSuspend, RangeForOverLocalSnapshotIsClean) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  std::vector<Fh> snapshot;
+  for (Fh fh : snapshot) {
+    co_await Revalidate(fh);
+  }
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "iter-after-suspend"));
+}
+
+TEST(IterAfterSuspend, RangeForOverValueLocalMemberIsClean) {
+  // `info` is a frame-private value; nothing else can mutate info.victims
+  // while the frame is parked.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  OpInfo info = Classify(proc, args);
+  for (const auto& fh : info.victims) {
+    co_await Recall(fh);
+  }
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "iter-after-suspend"));
+}
+
+TEST(IterAfterSuspend, RangeForOverTrackedReferenceFires) {
+  // `aw` aliases member state, so the hidden iterator is exposed.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  AsyncWrites& aw = AsyncWritesFor(fh);
+  for (const auto& range : aw.ranges) {
+    co_await Probe(range);
+  }
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "iter-after-suspend"));
+}
+
+TEST(IterAfterSuspend, SuspendFollowedByBreakIsClean) {
+  // The loop never advances past that suspend: drain-then-break idiom.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  for (const auto& range : ranges_) {
+    if (Overlaps(range)) {
+      co_await Drain(fh);
+      break;
+    }
+  }
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "iter-after-suspend"));
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow: lock-across-suspend
+// ---------------------------------------------------------------------------
+
+TEST(LockAcrossSuspend, FiresWhenHeldOverAwait) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  co_await mu_.Lock();
+  co_await SlowWrite();
+  mu_.Unlock();
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "lock-across-suspend"));
+}
+
+TEST(LockAcrossSuspend, CleanWhenReleasedFirst) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  co_await mu_.Lock();
+  counter_++;
+  mu_.Unlock();
+  co_await SlowWrite();
+  co_return;
+}
+)");
+  EXPECT_FALSE(HasRule(findings, "lock-across-suspend"));
+}
+
+TEST(LockAcrossSuspend, SemaphoreAcquireFiresToo) {
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  co_await slots_.Acquire();
+  co_await Write();
+  slots_.Release();
+  co_return;
+}
+)");
+  EXPECT_TRUE(HasRule(findings, "lock-across-suspend"));
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow: detached-task
+// ---------------------------------------------------------------------------
+
+TEST(DetachedTask, FiresOnDiscardedTaskCall) {
+  Tree tree;
+  FileUnit unit = MakeUnit("src/gvfs/t.cpp", R"(
+Task<void> Background(Fh fh) { co_await Tick(); co_return; }
+void Caller(Fh fh) {
+  Background(fh);
+}
+)");
+  tree.emplace(unit.rel_path, std::move(unit));
+  std::vector<Finding> out;
+  CheckDetachedTask(tree, out);
+  ASSERT_TRUE(HasRule(out, "detached-task"));
+}
+
+TEST(DetachedTask, AwaitedAndSpawnedAreClean) {
+  Tree tree;
+  FileUnit unit = MakeUnit("src/gvfs/t.cpp", R"(
+Task<void> Background(Fh fh) { co_await Tick(); co_return; }
+Task<void> Caller(Fh fh) {
+  co_await Background(fh);
+  sim::Spawn(sched, Background(fh));
+  auto task = Background(fh);
+  co_return;
+}
+)");
+  tree.emplace(unit.rel_path, std::move(unit));
+  std::vector<Finding> out;
+  CheckDetachedTask(tree, out);
+  EXPECT_FALSE(HasRule(out, "detached-task"));
+}
+
+TEST(DetachedTask, NonTaskFunctionIsClean) {
+  Tree tree;
+  FileUnit unit = MakeUnit("src/gvfs/t.cpp", R"(
+void Log(Fh fh) { Record(fh); }
+void Caller(Fh fh) {
+  Log(fh);
+}
+)");
+  tree.emplace(unit.rel_path, std::move(unit));
+  std::vector<Finding> out;
+  CheckDetachedTask(tree, out);
+  EXPECT_FALSE(HasRule(out, "detached-task"));
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: the analyzer must never fire on what it cannot model
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, GnarlyInputProducesNoFalseFindings) {
+  const auto findings = Analyze(R"__(
+#define WRAP(x) do { Use(x); } while (0)
+const char* kBlob = R"({"nested": [1, {"deep": true}]})";
+template <typename T>
+struct Holder {
+  template <typename U>
+  auto Map(U&& u) -> decltype(auto) {
+    auto outer = [this](auto&& v) {
+      auto inner = [&v]() { return v; };
+      return inner();
+    };
+    return outer(u);
+  }
+};
+#if defined(NEVER)
+Task<void> Ghost() { auto& x = broken(
+#endif
+void Fine() { WRAP(kBlob); }
+)__");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Robustness, EpochGuardIdiomIsNotTracked) {
+  // The project's re-validation idiom: copy a value, await, compare. No
+  // reference-like value crosses the suspend.
+  const auto findings = Analyze(R"(
+Task<void> F() {
+  const std::uint64_t epoch = epoch_;
+  co_await Refresh();
+  if (epoch != epoch_) co_return;
+  Apply();
+  co_return;
+}
+)");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression audit
+// ---------------------------------------------------------------------------
+
+TEST(Audit, LiveSuppressionPasses) {
+  Tree tree;
+  FileUnit unit = MakeUnit("src/gvfs/t.cpp", R"(
+#include <map>
+// gvfs-lint: allow(unordered-container): scratch set, order never escapes
+std::unordered_map<int, int> scratch;
+)");
+  tree.emplace(unit.rel_path, std::move(unit));
+  EXPECT_TRUE(AuditSuppressions(tree).empty());
+}
+
+TEST(Audit, StaleSuppressionIsReported) {
+  Tree tree;
+  FileUnit unit = MakeUnit("src/gvfs/t.cpp", R"(
+// gvfs-lint: allow(unordered-container): leftover from a refactor
+std::map<int, int> ordered_now;
+)");
+  tree.emplace(unit.rel_path, std::move(unit));
+  const auto stale = AuditSuppressions(tree);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "unordered-container");
+  EXPECT_EQ(stale[0].file, "src/gvfs/t.cpp");
+}
+
+TEST(Audit, MalformedSuppressionIsSkippedNotStale) {
+  // No reason / unknown rule are bad-suppression findings, not audit stale.
+  Tree tree;
+  FileUnit unit = MakeUnit("src/gvfs/t.cpp", R"(
+// gvfs-lint: allow(unordered-container)
+std::map<int, int> a;
+// gvfs-lint: allow(no-such-rule): whatever
+std::map<int, int> b;
+)");
+  tree.emplace(unit.rel_path, std::move(unit));
+  EXPECT_TRUE(AuditSuppressions(tree).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug corpus
+// ---------------------------------------------------------------------------
+
+// The PR-8 kernel-client bug, reduced: a page-cache reference held across
+// the block-fetch await. This is the bug class the rule family exists for,
+// so the reduced shape is kept as a checked-in fixture.
+TEST(SeededBugs, CatchesPr8KclientShape) {
+  const std::filesystem::path path =
+      std::filesystem::path(LINT_TESTDATA_DIR) / "analyze" / "kclient_pr8.cpp";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing fixture: " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto findings = Analyze(ss.str());
+  EXPECT_TRUE(HasRule(findings, "use-after-suspend"));
+}
+
+}  // namespace
+}  // namespace gvfs::lint

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Times a repo-wide gvfs-lint/gvfs-analyze run and warns when it blows the
+# wall-clock budget. The analyzer sits on the inner loop of CI and of
+# developer pre-commit hooks, so keeping it fast is a feature; today a full
+# run is ~0.1s, and the budget leaves an order of magnitude of headroom.
+#
+# Usage: tools/lint/bench_lint.sh [path-to-gvfs-lint] [budget-seconds]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BIN="${1:-$ROOT/build/tools/lint/gvfs-lint}"
+BUDGET="${2:-5}"
+
+if [ ! -x "$BIN" ]; then
+  echo "bench_lint: analyzer binary not found at $BIN (build it first)" >&2
+  exit 2
+fi
+
+START=$(date +%s.%N 2>/dev/null || date +%s)
+# Findings are expected to be zero on a clean tree, but the bench measures
+# wall clock either way; don't let exit 1 abort the timing.
+"$BIN" --root "$ROOT" src tests bench examples tools >/dev/null || true
+END=$(date +%s.%N 2>/dev/null || date +%s)
+
+ELAPSED=$(awk -v a="$START" -v b="$END" 'BEGIN { printf "%.3f", b - a }')
+echo "bench_lint: repo-wide run took ${ELAPSED}s (budget ${BUDGET}s)"
+
+OVER=$(awk -v e="$ELAPSED" -v b="$BUDGET" 'BEGIN { print (e > b) ? 1 : 0 }')
+if [ "$OVER" = "1" ]; then
+  echo "bench_lint: WARNING: exceeded the ${BUDGET}s wall-clock budget" >&2
+  exit 1
+fi
+exit 0

@@ -1,0 +1,533 @@
+#include "dataflow.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string_view>
+
+namespace gvfs::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+void Add(std::vector<Finding>& out, const FileUnit& unit, const char* rule,
+         int line, std::string message) {
+  out.push_back({rule, unit.rel_path, line, std::move(message)});
+}
+
+/// True when the identifier at `i` is a member/scope selection
+/// (`x.name`, `p->name`, `NS::name`) — a different entity than a local
+/// called `name`.
+bool IsMemberSelection(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ".") || prev.text == "::") return true;
+  return i >= 2 && IsPunct(prev, ">") && IsPunct(toks[i - 2], "-");
+}
+
+/// The `=` of a whole-value assignment whose left-hand side starts at `i`
+/// (`name = ...`, but not `==`, `!=`, `+=`). Returns the '=' index or kNpos.
+std::size_t AssignmentEq(const std::vector<Token>& toks, std::size_t i,
+                         std::size_t limit) {
+  if (i + 1 >= limit || !IsPunct(toks[i + 1], "=")) return kNpos;
+  if (i + 2 < limit && IsPunct(toks[i + 2], "=")) return kNpos;  // ==
+  return i + 1;
+}
+
+// ---------------------------------------------------------------------------
+// The per-value timeline
+// ---------------------------------------------------------------------------
+
+enum class EvKind {
+  kSuspend = 0,  // ties sort first: the frame parks before the statement
+                 // carrying the suspend completes
+  kCreate = 1,
+  kKill = 2,
+  kReturn = 3,  // co_return/return: flow that continues past this point in
+                // token order never executed it, so it cannot have crossed a
+                // suspend that sits before it in the same straight line
+  kUse = 4,
+};
+
+struct Ev {
+  std::size_t pos = 0;
+  EvKind kind = EvKind::kUse;
+  int line = 0;
+  int aux_line = 0;  // suspends: their own source line for the message
+};
+
+bool EvBefore(const Ev& a, const Ev& b) {
+  if (a.pos != b.pos) return a.pos < b.pos;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+/// Unrolls each loop body twice so back-edge flows (created before the loop,
+/// used after a suspend the loop contains) appear in the linear scan. Depth
+/// is capped: beyond it a nested body is emitted once, which only loses
+/// findings.
+class Expander {
+ public:
+  Expander(const std::vector<Ev>& evs, std::vector<TokRange> loops)
+      : evs_(evs), loops_(std::move(loops)) {
+    std::sort(loops_.begin(), loops_.end(),
+              [](const TokRange& a, const TokRange& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end > b.end;  // outer loop first
+              });
+  }
+
+  std::vector<Ev> Run(std::size_t begin, std::size_t end) {
+    Range(begin, end, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void Range(std::size_t begin, std::size_t end, int depth) {
+    std::size_t cursor = begin;
+    for (const TokRange& loop : loops_) {
+      if (loop.begin < cursor || loop.begin >= end) continue;
+      if (loop.end > end) continue;
+      // A body equal to the whole range is the loop we just recursed into.
+      if (loop.begin == begin && loop.end == end) continue;
+      Emit(cursor, loop.begin);
+      const int times = depth < 3 ? 2 : 1;
+      for (int k = 0; k < times; ++k) Range(loop.begin, loop.end, depth + 1);
+      cursor = loop.end;
+    }
+    Emit(cursor, end);
+  }
+
+  void Emit(std::size_t begin, std::size_t end) {
+    for (const Ev& ev : evs_) {
+      if (ev.pos >= begin && ev.pos < end) out_.push_back(ev);
+    }
+  }
+
+  const std::vector<Ev>& evs_;
+  std::vector<TokRange> loops_;
+  std::vector<Ev> out_;
+};
+
+/// One value to follow through a function body.
+struct TrackedValue {
+  std::string name;
+  std::string what;          // "reference 'fc'", "parameter 'data'", ...
+  std::size_t live_from = 0;  // kNpos: live for the whole body (params)
+  bool track = true;
+};
+
+struct StaleUse {
+  int use_line = 0;
+  int suspend_line = 0;
+};
+
+/// Core query: does `value` have a use that observes it across a suspend?
+/// Returns the first offending use in (unrolled) program order.
+bool FindStaleUse(const std::vector<Token>& toks, const Outline& o,
+                  const TrackedValue& value, StaleUse* hit) {
+  std::vector<Ev> evs;
+  // Creation.
+  if (value.live_from == kNpos) {
+    evs.push_back({o.body_begin, EvKind::kCreate, o.line, 0});
+  } else {
+    evs.push_back({value.live_from, EvKind::kCreate, 0, 0});
+  }
+  // Suspends, positioned after their operand: uses inside the operand are
+  // captured before the frame parks.
+  for (const SuspendInfo& s : o.suspends) {
+    evs.push_back({s.operand_end, EvKind::kSuspend, s.line, s.line});
+  }
+  // Kills and uses.
+  for (std::size_t i = o.body_begin + 1; i < o.body_end; ++i) {
+    if (InRanges(o.lambda_ranges, i)) continue;
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "co_return" || t.text == "return")) {
+      // Only an *unconditional* return resets the crossing: `if (err)
+      // co_return;` is an exit some flows skip, so code after it may still
+      // have crossed the suspend. Unconditional means the return starts its
+      // own statement (previous token ends one) rather than being the
+      // braceless body of an if/else.
+      const bool own_statement =
+          i > 0 && (IsPunct(toks[i - 1], ";") || IsPunct(toks[i - 1], "{") ||
+                    IsPunct(toks[i - 1], "}"));
+      if (own_statement) {
+        evs.push_back(
+            {StatementEndTok(toks, i, o.body_end), EvKind::kReturn, t.line, 0});
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || t.text != value.name) continue;
+    if (IsMemberSelection(toks, i)) continue;
+    if (value.live_from != kNpos && i < value.live_from &&
+        StatementEndTok(toks, i, o.body_end) == value.live_from) {
+      continue;  // the declaration itself (incl. its initializer scan)
+    }
+    const std::size_t eq = AssignmentEq(toks, i, o.body_end);
+    if (eq != kNpos) {
+      // Whole-value assignment: re-acquisition, effective once the statement
+      // (and any suspend inside its right-hand side) completes.
+      evs.push_back(
+          {StatementEndTok(toks, i, o.body_end), EvKind::kKill, t.line, 0});
+      continue;
+    }
+    // A use on the left of an assignment whose right-hand side suspends
+    // (`fc.attr = co_await Fetch()`) is written after resumption: position
+    // it at the end of the statement.
+    std::size_t pos = i;
+    const std::size_t stmt_end = StatementEndTok(toks, i, o.body_end);
+    for (std::size_t j = i + 1; j + 1 < stmt_end; ++j) {
+      if (!IsPunct(toks[j], "=") || IsPunct(toks[j + 1], "=") ||
+          (j > 0 && IsPunct(toks[j - 1], "=")) ||
+          (j > 0 && (IsPunct(toks[j - 1], "!") || IsPunct(toks[j - 1], "<") ||
+                     IsPunct(toks[j - 1], ">")))) {
+        continue;
+      }
+      for (std::size_t k = j + 1; k < stmt_end; ++k) {
+        if (toks[k].kind == TokKind::kIdent &&
+            (toks[k].text == "co_await" || toks[k].text == "co_yield")) {
+          pos = stmt_end;
+          break;
+        }
+      }
+      break;  // only the first top-level-ish '='
+    }
+    evs.push_back({pos, EvKind::kUse, t.line, 0});
+  }
+  std::sort(evs.begin(), evs.end(), EvBefore);
+
+  std::vector<TokRange> loop_bodies;
+  for (const LoopInfo& l : o.loops) loop_bodies.push_back(l.body);
+  const std::vector<Ev> timeline =
+      Expander(evs, std::move(loop_bodies)).Run(o.body_begin, o.body_end + 1);
+
+  bool live = false;
+  bool crossed = false;
+  int suspend_line = 0;
+  for (const Ev& ev : timeline) {
+    switch (ev.kind) {
+      case EvKind::kCreate:
+      case EvKind::kKill:
+        live = true;
+        crossed = false;
+        break;
+      case EvKind::kSuspend:
+        if (live && !crossed) {
+          crossed = true;
+          suspend_line = ev.aux_line;
+        }
+        break;
+      case EvKind::kReturn:
+        crossed = false;
+        break;
+      case EvKind::kUse:
+        if (live && crossed) {
+          hit->use_line = ev.line;
+          hit->suspend_line = suspend_line;
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// use-after-suspend
+// ---------------------------------------------------------------------------
+
+void CheckUseAfterSuspend(const FileUnit& unit, std::vector<Finding>& out) {
+  const auto& toks = unit.lex.tokens;
+  for (const Outline& o : OutlineFile(unit.lex)) {
+    if (o.suspends.empty()) continue;
+    std::vector<TrackedValue> values;
+    for (const LocalInfo& l : o.locals) {
+      if (l.kind == LocalKind::kReference) {
+        values.push_back({l.name, "reference '" + l.name + "'", l.live_from});
+      } else if (l.kind == LocalKind::kPointer) {
+        values.push_back({l.name, "pointer '" + l.name + "'", l.live_from});
+      }
+    }
+    // Named coroutines follow the repo's caller-awaits convention: the
+    // caller keeps reference arguments alive for the whole co_await, so
+    // their reference-like parameters are stable across suspends. Lambda
+    // coroutines are routinely detached (sim::Spawn, WaitGroup::Spawn) and
+    // get no such guarantee, so only their parameters are tracked.
+    if (o.is_lambda) {
+      for (const ParamInfo& p : o.params) {
+        if (p.reference_like && !p.name.empty()) {
+          values.push_back(
+              {p.name, "reference-like parameter '" + p.name + "'", kNpos});
+        }
+      }
+    }
+    for (const CaptureInfo& c : o.captures) {
+      if (c.by_ref && !c.name.empty() && c.name != "this") {
+        values.push_back({c.name, "by-ref capture '" + c.name + "'", kNpos});
+      }
+    }
+    for (const TrackedValue& v : values) {
+      StaleUse hit;
+      if (FindStaleUse(toks, o, v, &hit)) {
+        Add(out, unit, "use-after-suspend", hit.use_line,
+            v.what + " in " + o.name + "() was created before the suspend "
+            "point on line " + std::to_string(hit.suspend_line) +
+            " and used after it; whatever it aliases may be gone — copy the "
+            "value before suspending or re-acquire it after");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// iter-after-suspend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A range expression whose storage other frames can reach while this one is
+/// parked. The root of the expression decides: a member (trailing-underscore
+/// convention or explicit `this`), or a local that itself aliases non-local
+/// state (tracked reference/pointer/iterator). Plain value locals — and
+/// temporaries returned by calls — are frame-private, so anything rooted in
+/// them stays silent.
+bool RangeExprIsNonLocal(const std::string& expr, const Outline& o) {
+  std::size_t root_end = 0;
+  while (root_end < expr.size() &&
+         (std::isalnum(static_cast<unsigned char>(expr[root_end])) ||
+          expr[root_end] == '_')) {
+    ++root_end;
+  }
+  if (root_end == 0) return false;
+  const std::string root = expr.substr(0, root_end);
+  if (root == "this") return true;
+  if (root.back() == '_') return true;
+  for (const LocalInfo& l : o.locals) {
+    if (l.name == root) return true;  // aliases state owned elsewhere
+  }
+  return false;
+}
+
+/// True when the statement carrying this suspend is immediately followed by
+/// an unconditional exit (`break`, `co_return`, `return`): the loop never
+/// advances its hidden iterator after that suspend.
+bool SuspendExitsLoop(const std::vector<Token>& toks, const SuspendInfo& s,
+                      std::size_t limit) {
+  const std::size_t stmt_end = StatementEndTok(toks, s.tok, limit);
+  if (stmt_end + 1 >= limit) return false;
+  const Token& next = toks[stmt_end + 1];
+  return next.kind == TokKind::kIdent &&
+         (next.text == "break" || next.text == "co_return" ||
+          next.text == "return");
+}
+
+}  // namespace
+
+void CheckIterAfterSuspend(const FileUnit& unit, std::vector<Finding>& out) {
+  const auto& toks = unit.lex.tokens;
+  for (const Outline& o : OutlineFile(unit.lex)) {
+    if (o.suspends.empty()) continue;
+    for (const LocalInfo& l : o.locals) {
+      if (l.kind != LocalKind::kIterator) continue;
+      StaleUse hit;
+      TrackedValue v{l.name, "", l.live_from};
+      if (FindStaleUse(toks, o, v, &hit)) {
+        Add(out, unit, "iter-after-suspend", hit.use_line,
+            "iterator '" + l.name + "' in " + o.name + "() was acquired "
+            "before the suspend point on line " +
+            std::to_string(hit.suspend_line) + " and used after it; the "
+            "container may have mutated while the frame was parked — "
+            "re-acquire the iterator after resuming");
+      }
+    }
+    // The hidden iterator of a range-for whose body suspends: if the
+    // sequence is non-local state, anything the body awaits can mutate it
+    // and invalidate the traversal.
+    for (const LoopInfo& loop : o.loops) {
+      if (!loop.is_range_for || !RangeExprIsNonLocal(loop.range_expr, o)) {
+        continue;
+      }
+      for (const SuspendInfo& s : o.suspends) {
+        if (s.tok >= loop.body.begin && s.tok < loop.body.end &&
+            !SuspendExitsLoop(toks, s, loop.body.end)) {
+          Add(out, unit, "iter-after-suspend", loop.line,
+              "range-for over '" + loop.range_expr + "' in " + o.name +
+              "() suspends on line " + std::to_string(s.line) + "; the "
+              "hidden iterator is invalidated if the container mutates "
+              "during the await — iterate a snapshot of the keys instead");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-suspend
+// ---------------------------------------------------------------------------
+
+void CheckLockAcrossSuspend(const FileUnit& unit, std::vector<Finding>& out) {
+  const auto& toks = unit.lex.tokens;
+  for (const Outline& o : OutlineFile(unit.lex)) {
+    if (o.suspends.size() < 2) continue;
+    for (std::size_t si = 0; si < o.suspends.size(); ++si) {
+      const SuspendInfo& s = o.suspends[si];
+      // Match `co_await <recv>.Lock()` / `co_await <recv>.Acquire()` inside
+      // the operand.
+      std::size_t dot = kNpos;
+      std::string verb;
+      for (std::size_t i = s.tok + 1; i + 2 < s.operand_end; ++i) {
+        if (!IsPunct(toks[i], ".")) continue;
+        if (toks[i + 1].kind == TokKind::kIdent &&
+            (toks[i + 1].text == "Lock" || toks[i + 1].text == "Acquire") &&
+            IsPunct(toks[i + 2], "(")) {
+          dot = i;
+          verb = toks[i + 1].text;
+          break;
+        }
+      }
+      if (dot == kNpos) continue;
+      const std::string recv = (dot > s.tok + 1)
+                                   ? toks[dot - 1].text
+                                   : std::string();
+      if (recv.empty()) continue;
+      const std::string_view release =
+          verb == "Lock" ? "Unlock" : "Release";
+      // Held until `<recv>.Unlock()` / `<recv>.Release()`; any suspend in
+      // between is a finding.
+      std::size_t release_pos = o.body_end;
+      for (std::size_t i = s.operand_end; i + 2 < o.body_end; ++i) {
+        if (toks[i].kind == TokKind::kIdent && toks[i].text == recv &&
+            IsPunct(toks[i + 1], ".") &&
+            toks[i + 2].kind == TokKind::kIdent &&
+            toks[i + 2].text == release) {
+          release_pos = i;
+          break;
+        }
+      }
+      for (std::size_t sj = si + 1; sj < o.suspends.size(); ++sj) {
+        const SuspendInfo& later = o.suspends[sj];
+        if (later.tok >= release_pos) break;
+        Add(out, unit, "lock-across-suspend", s.line,
+            "'" + recv + "' acquired here is still held at the suspend "
+            "point on line " + std::to_string(later.line) + " in " + o.name +
+            "(); other frames block on it for the whole await — release "
+            "first, or suppress with the serialization rationale");
+        break;  // one finding per acquire site
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// detached-task
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsStatementStartKeyword(std::string_view s) {
+  return s == "return" || s == "co_return" || s == "co_await" ||
+         s == "co_yield" || s == "if" || s == "for" || s == "while" ||
+         s == "do" || s == "switch" || s == "case" || s == "else" ||
+         s == "break" || s == "continue" || s == "goto" || s == "using" ||
+         s == "delete" || s == "new" || s == "throw" || s == "try";
+}
+
+/// If the statement [begin, end) is exactly a discarded call — a postfix
+/// chain ending in `(...)`, optionally behind a `(void)` cast — returns the
+/// callee's final name; empty otherwise.
+std::string DiscardedCallName(const std::vector<Token>& toks,
+                              std::size_t begin, std::size_t end) {
+  std::size_t i = begin;
+  if (i + 2 < end && IsPunct(toks[i], "(") &&
+      toks[i + 1].kind == TokKind::kIdent && toks[i + 1].text == "void" &&
+      IsPunct(toks[i + 2], ")")) {
+    i += 3;
+  }
+  if (i >= end || toks[i].kind != TokKind::kIdent ||
+      IsStatementStartKeyword(toks[i].text)) {
+    return {};
+  }
+  std::string last_ident;
+  std::string called;
+  while (i < end) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent) {
+      last_ident = t.text;
+      ++i;
+      continue;
+    }
+    if (IsPunct(t, ".") || t.text == "::") {
+      ++i;
+      continue;
+    }
+    if (IsPunct(t, "-") && i + 1 < end && IsPunct(toks[i + 1], ">")) {
+      i += 2;
+      continue;
+    }
+    if (IsPunct(t, "(")) {
+      const std::size_t close = MatchForward(toks, i);
+      if (close >= end) return {};
+      called = last_ident;
+      i = close + 1;
+      continue;
+    }
+    return {};  // any operator: not a plain discarded call
+  }
+  return called;
+}
+
+}  // namespace
+
+void CheckDetachedTask(const Tree& tree, std::vector<Finding>& out) {
+  // Pass 1: every function name whose definitions all return Task.
+  std::map<std::string, bool> returns_task;
+  std::map<std::string, std::vector<Outline>> outlines;
+  for (const auto& [rel, unit] : tree) {
+    std::vector<Outline> file_outlines = OutlineFile(unit.lex);
+    for (const Outline& o : file_outlines) {
+      if (o.is_lambda) continue;
+      auto [it, inserted] = returns_task.emplace(o.name, o.returns_task);
+      if (!inserted) it->second = it->second && o.returns_task;
+    }
+    outlines.emplace(rel, std::move(file_outlines));
+  }
+
+  // Pass 2: discarded bare-statement calls to those names.
+  for (const auto& [rel, unit] : tree) {
+    if (!InSrc(rel)) continue;
+    const auto& toks = unit.lex.tokens;
+    for (const Outline& o : outlines[rel]) {
+      std::size_t i = o.body_begin + 1;
+      while (i < o.body_end) {
+        if (InRanges(o.lambda_ranges, i)) {
+          ++i;
+          continue;
+        }
+        const std::size_t stmt_end = StatementEndTok(toks, i, o.body_end);
+        if (toks[i].kind == TokKind::kIdent ||
+            (IsPunct(toks[i], "(") && !InRanges(o.lambda_ranges, i))) {
+          const std::string callee = DiscardedCallName(toks, i, stmt_end);
+          auto it = returns_task.find(callee);
+          if (!callee.empty() && it != returns_task.end() && it->second) {
+            out.push_back(
+                {"detached-task", unit.rel_path, toks[i].line,
+                 "result of Task-returning '" + callee + "' is discarded; "
+                 "Task is lazy, so the coroutine never runs — co_await it, "
+                 "hand it to sim::Spawn, or store it"});
+          }
+        }
+        i = stmt_end + 1;
+      }
+    }
+  }
+}
+
+}  // namespace gvfs::lint

@@ -1,0 +1,50 @@
+// Suspend-safety dataflow rules for gvfs-analyze, built on the function
+// outlines (outline.h). The model is deliberately simple and biased so that
+// everything it cannot prove stays silent:
+//
+//   A reference-like value (reference/pointer local, iterator, by-ref lambda
+//   capture, reference-like parameter) is *created* when its declaration
+//   statement completes and *re-acquired* by any whole-value assignment.
+//   A use that observes a value whose creation point is separated from the
+//   use by a suspend point (`co_await` / `co_yield`) is a finding: whatever
+//   the value aliases may have been destroyed, moved, or rehashed while the
+//   frame was suspended.
+//
+// Ordering is token order with two refinements: uses inside the awaited
+// operand happen before the frame suspends (call arguments are captured
+// first), and assignment targets take effect only after the whole statement
+// — including any suspend on its right-hand side — has run. Loops are
+// modeled by unrolling each body twice, so a value created before a loop and
+// used inside it is seen to cross any suspend the loop also contains via the
+// back edge.
+#pragma once
+
+#include "lint.h"
+#include "outline.h"
+
+namespace gvfs::lint {
+
+/// use-after-suspend: reference-like locals, by-ref captures, and
+/// reference-like parameters used after a suspend point without
+/// re-acquisition.
+void CheckUseAfterSuspend(const FileUnit& unit, std::vector<Finding>& out);
+
+/// iter-after-suspend: iterators held across a suspend (the container may
+/// mutate while the frame is parked), including the hidden iterator of a
+/// range-for over non-local state whose body suspends.
+void CheckIterAfterSuspend(const FileUnit& unit, std::vector<Finding>& out);
+
+/// lock-across-suspend: a sim::Mutex lock or sim::Semaphore slot acquired
+/// by `co_await x.Lock()` / `co_await x.Acquire()` and still held at a later
+/// suspend point. Legitimate designs (whole-file flush serialization, write
+/// throttles) say so with a reasoned suppression.
+void CheckLockAcrossSuspend(const FileUnit& unit, std::vector<Finding>& out);
+
+/// detached-task (cross-file): a call to a Task-returning function whose
+/// result is discarded. Task is lazy: a discarded Task is a coroutine that
+/// never runs. The set of Task-returning names is collected from every
+/// definition in the scanned tree; a name with any non-Task definition is
+/// excluded.
+void CheckDetachedTask(const Tree& tree, std::vector<Finding>& out);
+
+}  // namespace gvfs::lint

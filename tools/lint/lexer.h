@@ -4,8 +4,8 @@
 // text, so a banned name inside a doc comment, a string literal (including raw
 // strings), or as a substring of a longer identifier (`ObserveMtime` vs
 // `time`) can never fire a rule. Comments are kept on the side: inline
-// suppressions (`// gvfs-lint: allow(wall-clock): why it is safe here`) are
-// parsed from them.
+// suppressions (an `allow(<rule>): <reason>` annotation behind the
+// analyzer's comment prefix) are parsed from them.
 //
 // This is deliberately not a preprocessor: macro bodies are tokenized like
 // ordinary code (so a banned call hidden in a #define still fires), and

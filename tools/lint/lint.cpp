@@ -87,7 +87,7 @@ FileUnit MakeUnit(std::string rel_path, std::string_view source) {
 // Core
 // ---------------------------------------------------------------------------
 
-std::vector<Finding> LintTree(const Tree& tree) {
+std::vector<Finding> RunAllRules(const Tree& tree) {
   std::vector<Finding> all;
   for (const RuleInfo& rule : AllRules()) {
     if (rule.check_file != nullptr) {
@@ -99,6 +99,11 @@ std::vector<Finding> LintTree(const Tree& tree) {
       rule.check_tree(tree, all);
     }
   }
+  return all;
+}
+
+std::vector<Finding> LintTree(const Tree& tree) {
+  std::vector<Finding> all = RunAllRules(tree);
 
   // Drop findings covered by a reasoned suppression on the same or the
   // preceding line. bad-suppression findings are never droppable: a
@@ -131,6 +136,32 @@ std::vector<Finding> LintTree(const Tree& tree) {
   return kept;
 }
 
+std::vector<StaleSuppression> AuditSuppressions(const Tree& tree) {
+  const std::vector<Finding> all = RunAllRules(tree);
+  std::vector<StaleSuppression> stale;
+  for (const auto& [rel, unit] : tree) {
+    for (const Suppression& s : unit.suppressions) {
+      if (s.reason.empty()) continue;  // bad-suppression territory
+      for (const std::string& rule : s.rules) {
+        if (!IsKnownRule(rule)) continue;  // likewise
+        const bool fires = std::any_of(
+            all.begin(), all.end(), [&](const Finding& f) {
+              return f.file == rel && f.line == s.covered_line &&
+                     f.rule == rule;
+            });
+        if (!fires) stale.push_back({rel, s.line, rule});
+      }
+    }
+  }
+  std::sort(stale.begin(), stale.end(),
+            [](const StaleSuppression& a, const StaleSuppression& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return stale;
+}
+
 // ---------------------------------------------------------------------------
 // Filesystem walk
 // ---------------------------------------------------------------------------
@@ -153,8 +184,8 @@ bool IsSkippedDir(const std::string& name) {
 
 }  // namespace
 
-std::vector<Finding> LintRoot(const std::string& root, const LintOptions& opts,
-                              std::string* error) {
+Tree LoadTree(const std::string& root, const LintOptions& opts,
+              std::string* error) {
   std::error_code ec;
   const fs::path root_path(root);
   if (!fs::is_directory(root_path, ec)) {
@@ -194,6 +225,17 @@ std::vector<Finding> LintRoot(const std::string& root, const LintOptions& opts,
         return {};
       }
     }
+  }
+  return tree;
+}
+
+std::vector<Finding> LintRoot(const std::string& root, const LintOptions& opts,
+                              std::string* error) {
+  std::string load_error;
+  Tree tree = LoadTree(root, opts, &load_error);
+  if (!load_error.empty()) {
+    if (error != nullptr) *error = std::move(load_error);
+    return {};
   }
   return LintTree(tree);
 }

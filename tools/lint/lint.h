@@ -17,10 +17,11 @@
 //     proc dispatch table, the Classify switch, RecordInvalidation, and the
 //     trace-event name table.
 //
-// Findings can be silenced inline, but only with a reason — the annotation
-// names one or more rules, then a colon, then the justification, e.g.:
+// Findings can be silenced inline, but only with a reason — behind the
+// analyzer's comment prefix, the annotation names one or more rules, then a
+// colon, then the justification:
 //
-//   // gvfs-lint: allow(unordered-container): scratch set, order never escapes
+//   allow(unordered-container): scratch set, order never escapes
 //
 // A suppression written on its own line covers the next line; one written
 // after code covers its own line. A suppression with no reason, or naming an
@@ -104,16 +105,41 @@ std::vector<Suppression> ParseSuppressions(const Lexed& lex);
 /// Lexes `source` as if it lived at `rel_path` (unit-test entry point).
 FileUnit MakeUnit(std::string rel_path, std::string_view source);
 
+/// Walks `root`'s configured dirs (skipping build litter: build*/,
+/// CMakeFiles/, Testing/, testdata/, .git/, _deps/), lexing every
+/// .h/.hpp/.cpp/.cc file into a Tree. On I/O failure sets *error and
+/// returns an empty tree.
+Tree LoadTree(const std::string& root, const LintOptions& opts,
+              std::string* error);
+
+/// Runs every applicable rule over the tree and returns the raw findings —
+/// no suppression filtering, no ordering guarantee. The audit uses this to
+/// ask "would this rule still fire here?".
+std::vector<Finding> RunAllRules(const Tree& tree);
+
 /// Lints an in-memory tree: runs every applicable rule, then drops findings
 /// covered by a reasoned suppression. This is the core the CLI and the tests
 /// share.
 std::vector<Finding> LintTree(const Tree& tree);
 
-/// Walks `root`'s configured dirs (skipping build litter: build*/,
-/// CMakeFiles/, Testing/, testdata/, .git/, _deps/), lexes every
-/// .h/.hpp/.cpp/.cc file, and lints the result.
+/// LoadTree + LintTree.
 std::vector<Finding> LintRoot(const std::string& root, const LintOptions& opts,
                               std::string* error);
+
+/// One suppression that silences nothing: its rule no longer fires on the
+/// line it covers. Stale suppressions are dead weight that hides future
+/// regressions, so `gvfs-lint --audit-suppressions` fails on them (exit 3).
+struct StaleSuppression {
+  std::string file;  // rel_path
+  int line = 0;      // where the annotation sits
+  std::string rule;  // the named rule that no longer fires
+};
+
+/// Re-runs every rule unsuppressed and reports each (suppression, rule) pair
+/// with no matching finding on the covered line. Malformed suppressions
+/// (empty reason, unknown rule) are bad-suppression findings already and are
+/// skipped here.
+std::vector<StaleSuppression> AuditSuppressions(const Tree& tree);
 
 // ---------------------------------------------------------------------------
 // Output

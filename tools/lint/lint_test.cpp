@@ -156,6 +156,10 @@ constexpr RuleFixture kRuleFixtures[] = {
     {"try-in-protocol", true},
     {"discarded-expected", true},
     {"bad-suppression", false},
+    {"use-after-suspend", true},
+    {"iter-after-suspend", true},
+    {"lock-across-suspend", true},
+    {"detached-task", true},
 };
 
 TEST(RuleFixtures, FirePassSuppressed) {

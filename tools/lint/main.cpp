@@ -1,11 +1,13 @@
 // gvfs-lint CLI.
 //
 //   gvfs-lint [--root DIR] [--format text|json|sarif] [--output FILE]
-//             [--list-rules] [dir...]
+//             [--list-rules] [--audit-suppressions] [dir...]
 //
 // Positional dirs (relative to --root, default: src tests bench examples
 // tools) narrow the scan. Exit 0 when clean, 1 on findings, 2 on usage or
 // I/O errors — so CI can gate on the exit code while uploading the SARIF.
+// --audit-suppressions instead re-runs every rule unsuppressed and exits 3
+// if any reasoned suppression no longer silences anything (stale).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,7 +22,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: gvfs-lint [--root DIR] [--format text|json|sarif]\n"
-      "                 [--output FILE] [--list-rules] [dir...]\n");
+      "                 [--output FILE] [--list-rules]\n"
+      "                 [--audit-suppressions] [dir...]\n");
   return 2;
 }
 
@@ -37,6 +40,7 @@ int main(int argc, char** argv) {
   std::string output;
   std::vector<std::string> dirs;
   bool list_rules = false;
+  bool audit = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       output = v;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--audit-suppressions") {
+      audit = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "gvfs-lint: unknown flag '%s'\n", arg.c_str());
       return Usage();
@@ -82,6 +88,24 @@ int main(int argc, char** argv) {
 
   LintOptions opts;
   if (!dirs.empty()) opts.dirs = dirs;
+
+  if (audit) {
+    std::string error;
+    const gvfs::lint::Tree tree = gvfs::lint::LoadTree(root, opts, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "gvfs-lint: %s\n", error.c_str());
+      return 2;
+    }
+    const auto stale = gvfs::lint::AuditSuppressions(tree);
+    for (const auto& s : stale) {
+      std::printf("%s:%d: stale suppression: '%s' no longer fires here — "
+                  "remove the allow() or fix the annotation\n",
+                  s.file.c_str(), s.line, s.rule.c_str());
+    }
+    std::fprintf(stderr, "gvfs-lint: %zu stale suppression%s\n", stale.size(),
+                 stale.size() == 1 ? "" : "s");
+    return stale.empty() ? 0 : 3;
+  }
 
   std::string error;
   const std::vector<Finding> findings = LintRoot(root, opts, &error);

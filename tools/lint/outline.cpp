@@ -1,0 +1,789 @@
+#include "outline.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace gvfs::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool IsTypeQualifier(std::string_view s) {
+  return s == "const" || s == "constexpr" || s == "static" ||
+         s == "thread_local" || s == "mutable" || s == "typename" ||
+         s == "volatile" || s == "register" || s == "inline";
+}
+
+/// Keywords that can never start a declaration's type.
+bool IsStatementKeyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 22> kKeywords = {
+      "if",       "else",     "for",       "while",    "do",
+      "switch",   "case",     "default",   "break",    "continue",
+      "return",   "co_return", "co_await", "co_yield", "goto",
+      "using",    "throw",    "delete",    "new",      "try",
+      "catch",    "namespace"};
+  return std::find(kKeywords.begin(), kKeywords.end(), s) != kKeywords.end();
+}
+
+/// Built-in type words that are never a declarator name.
+bool IsBuiltinTypeWord(std::string_view s) {
+  static constexpr std::array<std::string_view, 12> kTypes = {
+      "void", "bool",  "char",   "int",    "long",     "short",
+      "auto", "float", "double", "signed", "unsigned", "wchar_t"};
+  return std::find(kTypes.begin(), kTypes.end(), s) != kTypes.end();
+}
+
+std::string Flatten(const std::vector<Token>& toks, std::size_t b,
+                    std::size_t e) {
+  std::string out;
+  for (std::size_t i = b; i < e && i < toks.size(); ++i) {
+    const std::string& text = toks[i].text;
+    const bool tight = text == "::" || text == "." || text == "," ||
+                       text == "(" || text == ")" || text == "<" ||
+                       text == ">" || text == "[" || text == "]";
+    if (!out.empty() && !tight && out.back() != ':' && out.back() != '.' &&
+        out.back() != '(' && out.back() != '<' && out.back() != '[') {
+      out += ' ';
+    }
+    out += text;
+  }
+  return out;
+}
+
+/// Matching '>' for the '<' at `open`, or kNpos when this is not a template
+/// argument list we can model (comparison chains, shift soup, statement
+/// boundaries). Bounded so expression-heavy code cannot make this quadratic.
+std::size_t TryMatchAngle(const std::vector<Token>& toks, std::size_t open,
+                          std::size_t limit) {
+  int depth = 0;
+  const std::size_t bound = std::min(limit, open + 256);
+  for (std::size_t i = open; i < bound; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return i;
+    } else if (t.text == "(" || t.text == "[" || t.text == "{") {
+      const std::size_t close = MatchForward(toks, i);
+      if (close >= bound) return kNpos;
+      i = close;
+    } else if (t.text == ";" || t.text == "}") {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// ---------------------------------------------------------------------------
+// Parameters
+// ---------------------------------------------------------------------------
+
+/// Splits [begin, end) — the inside of a parameter list — at top-level
+/// commas. Template argument lists are kept whole via the angle heuristic
+/// (a '<' directly after an identifier opens one).
+std::vector<std::pair<std::size_t, std::size_t>> SplitParams(
+    const std::vector<Token>& toks, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      const std::size_t close = MatchForward(toks, i);
+      if (close >= end) break;
+      i = close;
+      continue;
+    }
+    if (t.text == "<" && i > begin && toks[i - 1].kind == TokKind::kIdent) {
+      const std::size_t close = TryMatchAngle(toks, i, end);
+      if (close != kNpos) i = close;
+      continue;
+    }
+    if (t.text == ",") {
+      chunks.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < end) chunks.emplace_back(start, end);
+  return chunks;
+}
+
+bool ReferenceLikeTypeName(std::string_view s) {
+  return s == "span" || s == "string_view" || s == "iterator" ||
+         s == "const_iterator";
+}
+
+ParamInfo ParseOneParam(const std::vector<Token>& toks, std::size_t b,
+                        std::size_t e) {
+  ParamInfo info;
+  if (b >= e) return info;
+  info.line = toks[b].line;
+
+  // Cut the default argument off at the top-level '='.
+  std::size_t decl_end = e;
+  for (std::size_t i = b; i < e; ++i) {
+    if (IsPunct(toks[i], "(") || IsPunct(toks[i], "{") ||
+        IsPunct(toks[i], "[")) {
+      const std::size_t close = MatchForward(toks, i);
+      if (close >= e) break;
+      i = close;
+      continue;
+    }
+    if (IsPunct(toks[i], "=")) {
+      decl_end = i;
+      break;
+    }
+  }
+
+  int angle_depth = 0;
+  std::size_t name_tok = kNpos;
+  for (std::size_t i = b; i < decl_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "<" && i > b && toks[i - 1].kind == TokKind::kIdent) {
+        ++angle_depth;
+      } else if (t.text == ">" && angle_depth > 0) {
+        --angle_depth;
+      } else if ((t.text == "&" || t.text == "*") && angle_depth == 0) {
+        info.reference_like = true;
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (ReferenceLikeTypeName(t.text)) info.reference_like = true;
+      if (!IsTypeQualifier(t.text) && !IsBuiltinTypeWord(t.text) &&
+          angle_depth == 0) {
+        name_tok = i;  // last plausible declarator identifier wins
+      }
+    }
+  }
+  // `Foo bar`: the last identifier is the name only if something type-ish
+  // precedes it; a single identifier (`Foo`) is an unnamed parameter.
+  if (name_tok != kNpos) {
+    bool has_type_before = false;
+    for (std::size_t i = b; i < name_tok; ++i) {
+      if (toks[i].kind == TokKind::kIdent || IsPunct(toks[i], "&") ||
+          IsPunct(toks[i], "*") || IsPunct(toks[i], ">")) {
+        has_type_before = true;
+        break;
+      }
+    }
+    if (has_type_before) {
+      info.name = toks[name_tok].text;
+      info.type_text = Flatten(toks, b, name_tok);
+    } else {
+      info.type_text = Flatten(toks, b, decl_end);
+    }
+  } else {
+    info.type_text = Flatten(toks, b, decl_end);
+  }
+  return info;
+}
+
+std::vector<ParamInfo> ParseParams(const std::vector<Token>& toks,
+                                   std::size_t open, std::size_t close) {
+  std::vector<ParamInfo> params;
+  if (close <= open + 1) return params;
+  for (const auto& [b, e] : SplitParams(toks, open + 1, close)) {
+    ParamInfo info = ParseOneParam(toks, b, e);
+    if (info.name.empty() && info.type_text.empty()) continue;
+    if (info.type_text == "void" && info.name.empty()) continue;
+    params.push_back(std::move(info));
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Lambdas
+// ---------------------------------------------------------------------------
+
+std::vector<CaptureInfo> ParseCaptures(const std::vector<Token>& toks,
+                                       std::size_t open, std::size_t close) {
+  std::vector<CaptureInfo> captures;
+  std::size_t i = open + 1;
+  while (i < close) {
+    CaptureInfo cap;
+    cap.line = toks[i].line;
+    if (IsPunct(toks[i], "&")) {
+      cap.by_ref = true;
+      ++i;
+    } else if (IsPunct(toks[i], "=")) {
+      ++i;
+    } else if (IsPunct(toks[i], "*")) {
+      ++i;  // *this: by value
+    }
+    if (i < close && toks[i].kind == TokKind::kIdent) {
+      cap.name = toks[i].text;
+      ++i;
+    }
+    captures.push_back(std::move(cap));
+    // Skip an init-capture's initializer and advance past the comma.
+    int depth = 0;
+    while (i < close) {
+      if (IsPunct(toks[i], "(") || IsPunct(toks[i], "{") ||
+          IsPunct(toks[i], "[")) {
+        ++depth;
+      } else if (IsPunct(toks[i], ")") || IsPunct(toks[i], "}") ||
+                 IsPunct(toks[i], "]")) {
+        --depth;
+      } else if (depth == 0 && IsPunct(toks[i], ",")) {
+        ++i;
+        break;
+      }
+      ++i;
+    }
+  }
+  return captures;
+}
+
+/// A lambda expression recovered from a body scan.
+struct LambdaSite {
+  TokRange whole;          // '[' .. matching '}' inclusive-end (+1)
+  std::size_t intro_open;  // '['
+  std::size_t intro_close; // ']'
+  std::size_t params_open = kNpos;   // '(' or kNpos
+  std::size_t params_close = kNpos;
+  std::size_t body_open = 0;  // '{'
+  std::size_t body_close = 0; // '}'
+};
+
+/// Top-level lambda expressions in [begin, end). Subscripts (`a[i]`) and
+/// attributes (`[[...]]`) are skipped; a '[' that never reaches a body brace
+/// is not a lambda. Nested lambdas are inside the returned ranges and found
+/// when the outer lambda is itself outlined.
+std::vector<LambdaSite> FindLambdas(const std::vector<Token>& toks,
+                                    std::size_t begin, std::size_t end) {
+  std::vector<LambdaSite> sites;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!IsPunct(toks[i], "[")) continue;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (prev.kind == TokKind::kIdent || prev.kind == TokKind::kNumber ||
+          IsPunct(prev, ")") || IsPunct(prev, "]")) {
+        const std::size_t close = MatchForward(toks, i);
+        if (close >= end) break;
+        i = close;
+        continue;  // subscript
+      }
+    }
+    if (i + 1 < end && IsPunct(toks[i + 1], "[")) {
+      const std::size_t close = MatchForward(toks, i);  // [[attribute]]
+      if (close >= end) break;
+      i = close;
+      continue;
+    }
+    LambdaSite site;
+    site.intro_open = i;
+    site.intro_close = MatchForward(toks, i);
+    if (site.intro_close >= end) break;
+    std::size_t j = site.intro_close + 1;
+    if (j < end && IsPunct(toks[j], "(")) {
+      site.params_open = j;
+      site.params_close = MatchForward(toks, j);
+      if (site.params_close >= end) {
+        i = site.intro_close;
+        continue;
+      }
+      j = site.params_close + 1;
+    }
+    // Specifiers and trailing return: anything up to the body brace, bailing
+    // at statement-ish punctuation that proves this was not a lambda.
+    bool found = false;
+    while (j < end) {
+      const Token& t = toks[j];
+      if (IsPunct(t, "{")) {
+        found = true;
+        break;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "," || t.text == ")" || t.text == "]" ||
+           t.text == "}" || t.text == "=")) {
+        break;
+      }
+      if (IsPunct(t, "(") || IsPunct(t, "<")) {
+        const std::size_t close = IsPunct(t, "(")
+                                      ? MatchForward(toks, j)
+                                      : TryMatchAngle(toks, j, end);
+        if (close == kNpos || close >= end) break;
+        j = close + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (!found) {
+      i = site.intro_close;
+      continue;
+    }
+    site.body_open = j;
+    site.body_close = MatchForward(toks, j);
+    if (site.body_close >= end) break;
+    site.whole = {site.intro_open, site.body_close + 1};
+    sites.push_back(site);
+    i = site.body_close;
+  }
+  return sites;
+}
+
+// ---------------------------------------------------------------------------
+// Suspend points
+// ---------------------------------------------------------------------------
+
+/// One past the awaited operand of the co_await/co_yield at `k`: unary
+/// prefixes, then a postfix chain of identifiers, member accesses, template
+/// arguments, calls, and subscripts. Arguments inside the operand are
+/// evaluated before the frame suspends.
+std::size_t AwaitOperandEnd(const std::vector<Token>& toks, std::size_t k,
+                            std::size_t limit) {
+  std::size_t j = k + 1;
+  while (j < limit &&
+         (IsPunct(toks[j], "*") || IsPunct(toks[j], "&") ||
+          IsPunct(toks[j], "!") || IsPunct(toks[j], "-") ||
+          IsPunct(toks[j], "+"))) {
+    ++j;
+  }
+  if (j < limit && IsPunct(toks[j], "(")) {
+    const std::size_t close = MatchForward(toks, j);
+    if (close >= limit) return limit;
+    j = close + 1;
+  } else if (j < limit && (toks[j].kind == TokKind::kIdent ||
+                           toks[j].kind == TokKind::kNumber)) {
+    ++j;
+  } else {
+    return j;
+  }
+  // Postfix continuations.
+  while (j < limit) {
+    const Token& t = toks[j];
+    if (IsPunct(t, ".") || t.text == "::") {
+      ++j;
+      if (j < limit && toks[j].kind == TokKind::kIdent) ++j;
+      continue;
+    }
+    if (IsPunct(t, "-") && j + 1 < limit && IsPunct(toks[j + 1], ">")) {
+      j += 2;
+      if (j < limit && toks[j].kind == TokKind::kIdent) ++j;
+      continue;
+    }
+    if (IsPunct(t, "(") || IsPunct(t, "[")) {
+      const std::size_t close = MatchForward(toks, j);
+      if (close >= limit) return limit;
+      j = close + 1;
+      continue;
+    }
+    if (IsPunct(t, "<") && j > 0 && toks[j - 1].kind == TokKind::kIdent) {
+      const std::size_t close = TryMatchAngle(toks, j, limit);
+      if (close == kNpos) break;
+      j = close + 1;
+      continue;
+    }
+    break;
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Locals
+// ---------------------------------------------------------------------------
+
+bool IsIteratorCallName(std::string_view s) {
+  return s == "find" || s == "begin" || s == "end" || s == "lower_bound" ||
+         s == "upper_bound" || s == "rbegin" || s == "rend" ||
+         s == "cbegin" || s == "cend";
+}
+
+bool IsInsertingCallName(std::string_view s) {
+  return s == "emplace" || s == "emplace_hint" || s == "insert" ||
+         s == "try_emplace";
+}
+
+/// Does [b, e) — an initializer — produce an iterator? `.find(...)`-family
+/// calls do directly; `.emplace(...)/.insert(...)` do via `.first`.
+bool InitializerYieldsIterator(const std::vector<Token>& toks, std::size_t b,
+                               std::size_t e) {
+  for (std::size_t i = b; i + 1 < e; ++i) {
+    const bool member = IsPunct(toks[i], ".") ||
+                        (i > 0 && IsPunct(toks[i - 1], "-") &&
+                         IsPunct(toks[i], ">"));
+    if (!member || toks[i + 1].kind != TokKind::kIdent) continue;
+    const std::string& callee = toks[i + 1].text;
+    if (i + 2 < e && IsPunct(toks[i + 2], "(")) {
+      if (IsIteratorCallName(callee)) return true;
+      if (IsInsertingCallName(callee)) {
+        const std::size_t close = MatchForward(toks, i + 2);
+        if (close + 2 < e && IsPunct(toks[close + 1], ".") &&
+            IsIdent(toks[close + 2], "first")) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+
+/// Tries to parse a dangle-capable local declaration at statement start `s`.
+/// Returns the locals found (possibly several for a structured binding) and
+/// sets `*consumed` past the declarator name(s) on success.
+std::vector<LocalInfo> TryParseLocal(const std::vector<Token>& toks,
+                                     std::size_t s, std::size_t limit,
+                                     std::size_t* consumed) {
+  std::vector<LocalInfo> out;
+  std::size_t j = s;
+  while (j < limit && toks[j].kind == TokKind::kIdent &&
+         IsTypeQualifier(toks[j].text)) {
+    ++j;
+  }
+  if (j >= limit || toks[j].kind != TokKind::kIdent ||
+      IsStatementKeyword(toks[j].text)) {
+    return out;
+  }
+  const std::size_t type_begin = j;
+  bool type_names_iterator = false;
+  // One type name: either a run of builtin words (`unsigned long`) or a
+  // single identifier extended by `::name` segments and template argument
+  // lists. Two adjacent non-builtin identifiers are type-then-declarator,
+  // never one type.
+  if (IsBuiltinTypeWord(toks[j].text)) {
+    while (j < limit && toks[j].kind == TokKind::kIdent &&
+           (IsBuiltinTypeWord(toks[j].text) || IsTypeQualifier(toks[j].text))) {
+      ++j;
+    }
+  } else {
+    ++j;
+    while (j < limit) {
+      const Token& t = toks[j];
+      if (t.text == "::" && j + 1 < limit &&
+          toks[j + 1].kind == TokKind::kIdent) {
+        if (toks[j + 1].text == "iterator" ||
+            toks[j + 1].text == "const_iterator") {
+          type_names_iterator = true;
+        }
+        j += 2;
+        continue;
+      }
+      if (IsPunct(t, "<") && toks[j - 1].kind == TokKind::kIdent) {
+        const std::size_t close = TryMatchAngle(toks, j, limit);
+        if (close == kNpos) return out;
+        j = close + 1;
+        continue;
+      }
+      break;
+    }
+  }
+  if (j >= limit || j == type_begin) return out;
+
+  bool is_ref = false;
+  bool is_ptr = false;
+  while (j < limit && IsPunct(toks[j], "&")) {
+    is_ref = true;
+    ++j;
+  }
+  while (j < limit && IsPunct(toks[j], "*")) {
+    if (!is_ref) is_ptr = true;
+    ++j;
+  }
+  while (j < limit && toks[j].kind == TokKind::kIdent &&
+         IsTypeQualifier(toks[j].text)) {
+    ++j;  // `T* const p`
+  }
+
+  const bool is_auto = toks[type_begin].text == "auto";
+
+  // Structured binding: `auto& [a, b] = ...` / `auto [it, ok] = ...`.
+  if (j < limit && IsPunct(toks[j], "[") && is_auto) {
+    const std::size_t close = MatchForward(toks, j);
+    if (close >= limit) return out;
+    const std::size_t live = StatementEndTok(toks, close + 1, limit);
+    std::vector<std::size_t> names;
+    for (std::size_t i = j + 1; i < close; ++i) {
+      if (toks[i].kind == TokKind::kIdent) names.push_back(i);
+    }
+    if (names.empty()) return out;
+    if (is_ref) {
+      for (std::size_t n : names) {
+        out.push_back(
+            {toks[n].text, LocalKind::kReference, n, live, toks[n].line});
+      }
+    } else if (close + 1 < limit && IsPunct(toks[close + 1], "=")) {
+      // By-value binding of an insert/emplace result: `.first` is the
+      // iterator member, bound to the first name.
+      bool inserts = false;
+      for (std::size_t i = close + 1; i + 1 < live; ++i) {
+        if ((IsPunct(toks[i], ".") ||
+             (IsPunct(toks[i], ">") && i > 0 && IsPunct(toks[i - 1], "-"))) &&
+            toks[i + 1].kind == TokKind::kIdent &&
+            IsInsertingCallName(toks[i + 1].text)) {
+          inserts = true;
+          break;
+        }
+      }
+      if (inserts) {
+        const std::size_t n = names.front();
+        out.push_back(
+            {toks[n].text, LocalKind::kIterator, n, live, toks[n].line});
+      }
+    }
+    *consumed = close + 1;
+    return out;
+  }
+
+  if (j >= limit || toks[j].kind != TokKind::kIdent ||
+      IsStatementKeyword(toks[j].text) || IsBuiltinTypeWord(toks[j].text)) {
+    return out;
+  }
+  const std::size_t name_tok = j;
+  const Token& next = j + 1 < limit ? toks[j + 1] : toks[j];
+  // `=` introduces an initializer only when it is not the first half of a
+  // split `==`: `while (running_ && epoch == epoch_)` must not parse as
+  // `running_&& epoch = ...`.
+  const bool next_is_init =
+      IsPunct(next, "=") && !(j + 2 < limit && IsPunct(toks[j + 2], "="));
+  const bool decl_shaped = next_is_init || IsPunct(next, ";") ||
+                           IsPunct(next, "{") || IsPunct(next, "(");
+  if (!decl_shaped) return out;
+  // References require an initializer.
+  if (is_ref && IsPunct(next, ";")) return out;
+
+  LocalKind kind;
+  if (is_ref) {
+    kind = LocalKind::kReference;
+  } else if (is_ptr) {
+    kind = LocalKind::kPointer;
+  } else if (type_names_iterator) {
+    kind = LocalKind::kIterator;
+  } else if (is_auto && IsPunct(next, "=")) {
+    const std::size_t stmt_end = StatementEndTok(toks, name_tok + 1, limit);
+    if (!InitializerYieldsIterator(toks, name_tok + 2, stmt_end)) return out;
+    kind = LocalKind::kIterator;
+  } else {
+    return out;  // owned value; cannot dangle across a suspend
+  }
+  out.push_back({toks[name_tok].text, kind, name_tok,
+                 StatementEndTok(toks, name_tok, limit), toks[name_tok].line});
+  *consumed = name_tok + 1;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-function walk
+// ---------------------------------------------------------------------------
+
+void ScanBody(const std::vector<Token>& toks, std::size_t body_begin,
+              std::size_t body_end, Outline* o) {
+  // Nested lambdas first: everything else skips their ranges.
+  std::vector<LambdaSite> lambdas = FindLambdas(toks, body_begin + 1, body_end);
+  for (const LambdaSite& site : lambdas) o->lambda_ranges.push_back(site.whole);
+
+  auto skip_lambdas = [&](std::size_t i) {
+    for (const TokRange& r : o->lambda_ranges) {
+      if (i >= r.begin && i < r.end) return r.end;
+    }
+    return i;
+  };
+
+  bool stmt_start = true;
+  for (std::size_t i = body_begin + 1; i < body_end; ++i) {
+    const std::size_t skipped = skip_lambdas(i);
+    if (skipped != i) {
+      i = skipped - 1;  // loop ++ lands on the first token after the lambda
+      stmt_start = false;
+      continue;
+    }
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      stmt_start = true;
+      continue;
+    }
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "co_await" || t.text == "co_yield")) {
+      SuspendInfo s;
+      s.tok = i;
+      s.operand_end = AwaitOperandEnd(toks, i, body_end);
+      s.line = t.line;
+      o->suspends.push_back(s);
+      stmt_start = false;
+      continue;
+    }
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "for" || t.text == "while" || t.text == "do" ||
+         t.text == "if" || t.text == "switch")) {
+      if (t.text == "do") {
+        if (i + 1 < body_end && IsPunct(toks[i + 1], "{")) {
+          const std::size_t close = MatchForward(toks, i + 1);
+          if (close < body_end) {
+            o->loops.push_back({{i + 2, close}, t.line, false, "", ""});
+          }
+        }
+        stmt_start = true;
+        continue;
+      }
+      if (i + 1 >= body_end || !IsPunct(toks[i + 1], "(")) continue;
+      const std::size_t header_close = MatchForward(toks, i + 1);
+      if (header_close >= body_end) continue;
+      if (t.text == "for" || t.text == "while") {
+        LoopInfo loop;
+        loop.line = t.line;
+        // Range-for: a top-level ':' inside the header.
+        if (t.text == "for") {
+          int depth = 0;
+          for (std::size_t h = i + 2; h < header_close; ++h) {
+            if (IsPunct(toks[h], "(") || IsPunct(toks[h], "[") ||
+                IsPunct(toks[h], "{")) {
+              ++depth;
+            } else if (IsPunct(toks[h], ")") || IsPunct(toks[h], "]") ||
+                       IsPunct(toks[h], "}")) {
+              --depth;
+            } else if (depth == 0 && IsPunct(toks[h], ":")) {
+              loop.is_range_for = true;
+              loop.range_expr = Flatten(toks, h + 1, header_close);
+              bool by_ref = false;
+              std::string var;
+              for (std::size_t d = i + 2; d < h; ++d) {
+                if (IsPunct(toks[d], "&")) by_ref = true;
+                if (toks[d].kind == TokKind::kIdent &&
+                    !IsTypeQualifier(toks[d].text) &&
+                    !IsBuiltinTypeWord(toks[d].text)) {
+                  var = toks[d].text;
+                }
+              }
+              if (by_ref) loop.ref_var = var;
+              break;
+            }
+          }
+        }
+        std::size_t body_open = header_close + 1;
+        if (body_open < body_end && IsPunct(toks[body_open], "{")) {
+          const std::size_t close = MatchForward(toks, body_open);
+          if (close >= body_end) continue;
+          loop.body = {body_open + 1, close};
+        } else {
+          loop.body = {body_open, StatementEndTok(toks, body_open, body_end)};
+        }
+        o->loops.push_back(std::move(loop));
+      }
+      // The header's init clause can declare locals (`for (auto it = ...;`,
+      // `if (auto it = ...; ...)`): scan it as a statement start.
+      if (!o->loops.empty() && o->loops.back().is_range_for &&
+          o->loops.back().line == t.line && t.text == "for") {
+        // Range-for variables re-bind every iteration; the loop-level
+        // hidden-iterator rule owns this case.
+        i = header_close;
+        stmt_start = true;
+        continue;
+      }
+      std::size_t consumed = 0;
+      std::vector<LocalInfo> locals =
+          TryParseLocal(toks, i + 2, header_close, &consumed);
+      for (LocalInfo& l : locals) o->locals.push_back(std::move(l));
+      stmt_start = false;
+      continue;
+    }
+    if (stmt_start && t.kind == TokKind::kIdent) {
+      std::size_t consumed = 0;
+      std::vector<LocalInfo> locals =
+          TryParseLocal(toks, i, body_end, &consumed);
+      if (!locals.empty()) {
+        for (LocalInfo& l : locals) o->locals.push_back(std::move(l));
+        i = consumed - 1;
+        stmt_start = false;
+        continue;
+      }
+    }
+    stmt_start = false;
+  }
+}
+
+Outline OutlineRange(const std::vector<Token>& toks, std::string name,
+                     int line, std::size_t sig_begin, std::size_t sig_end,
+                     std::size_t params_open, std::size_t params_close,
+                     std::size_t body_begin, std::size_t body_end,
+                     bool is_lambda) {
+  Outline o;
+  o.name = std::move(name);
+  o.line = line;
+  o.is_lambda = is_lambda;
+  o.body_begin = body_begin;
+  o.body_end = body_end;
+  if (params_open != kNpos) {
+    o.params = ParseParams(toks, params_open, params_close);
+  }
+  for (std::size_t i = sig_begin; i < sig_end && i < toks.size(); ++i) {
+    if (IsIdent(toks[i], "Task")) {
+      o.returns_task = true;
+      break;
+    }
+  }
+  ScanBody(toks, body_begin, body_end, &o);
+  return o;
+}
+
+}  // namespace
+
+bool InRanges(const std::vector<TokRange>& ranges, std::size_t i) {
+  for (const TokRange& r : ranges) {
+    if (i >= r.begin && i < r.end) return true;
+  }
+  return false;
+}
+
+std::size_t StatementEndTok(const std::vector<Token>& toks, std::size_t s,
+                            std::size_t limit) {
+  int depth = 0;
+  for (std::size_t i = s; i < limit; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "{" || t.text == "[") ++depth;
+    if (t.text == ")" || t.text == "}" || t.text == "]") {
+      if (depth == 0) return i;
+      --depth;
+    }
+    if (t.text == ";" && depth == 0) return i;
+  }
+  return limit;
+}
+
+std::vector<Outline> OutlineFile(const Lexed& lex) {
+  const auto& toks = lex.tokens;
+  std::vector<Outline> out;
+  for (const FunctionDef& def : ParseFunctions(lex)) {
+    out.push_back(OutlineRange(toks, def.name, def.line, def.sig_begin,
+                               def.name_tok, def.params_begin, def.params_end,
+                               def.body_begin, def.body_end,
+                               /*is_lambda=*/false));
+  }
+  // Outline nested lambdas breadth-first: each lambda becomes a function of
+  // its own, its by-ref captures recorded alongside its parameters.
+  for (std::size_t fi = 0; fi < out.size(); ++fi) {
+    // Copy what we need: out grows inside the loop and may reallocate.
+    const std::string parent_name = out[fi].name;
+    const std::vector<TokRange> ranges = out[fi].lambda_ranges;
+    for (const TokRange& r : ranges) {
+      std::vector<LambdaSite> sites = FindLambdas(toks, r.begin, r.end);
+      for (const LambdaSite& site : sites) {
+        if (site.whole.begin != r.begin) continue;  // only the range's own
+        Outline o = OutlineRange(
+            toks, parent_name + "::[lambda]", toks[site.intro_open].line,
+            site.intro_open, site.intro_open, site.params_open,
+            site.params_close, site.body_open, site.body_close,
+            /*is_lambda=*/true);
+        o.captures = ParseCaptures(toks, site.intro_open, site.intro_close);
+        out.push_back(std::move(o));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gvfs::lint

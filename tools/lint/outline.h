@@ -1,0 +1,120 @@
+// Function outlines for gvfs-analyze: the per-function summary the dataflow
+// pass consumes. For every definition the parser recovers, the outline
+// records
+//
+//   - the parameter list, with each parameter classified reference-like
+//     (T&, T&&, T*, std::span, std::string_view, iterator types) or owned;
+//   - local declarations that can dangle across a suspend: references
+//     (`auto& x = ...`, `T& x = ...`), pointers (`T* p = ...`), and
+//     iterators (declared iterator types, or `auto it = c.find(...)`-style
+//     initializers, including the `.first` of emplace/insert results);
+//   - lambda captures (by-ref captures can outlive their frame) and the
+//     token ranges of nested lambdas, which are *excluded* from the
+//     enclosing function's analysis — a suspend inside a lambda body belongs
+//     to the lambda's own coroutine frame, not the enclosing one;
+//   - the ordered suspend points (`co_await` / `co_yield`), each with the
+//     end of its awaited operand: arguments of the awaited call are captured
+//     before the frame suspends, so uses inside the operand are pre-suspend;
+//   - loop bodies (for/while/do ranges), so the dataflow pass can model the
+//     back edge: a value created before a loop and used inside it crosses
+//     any suspend the loop also contains.
+//
+// Nested lambdas are outlined as functions in their own right (is_lambda),
+// with their by-ref captures standing in for reference parameters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "parser.h"
+
+namespace gvfs::lint {
+
+struct ParamInfo {
+  std::string name;
+  std::string type_text;        // flattened declarator, for diagnostics
+  bool reference_like = false;  // can dangle if the frame outlives the caller
+  int line = 0;
+};
+
+struct CaptureInfo {
+  std::string name;  // empty for a default capture ([&] / [=])
+  bool by_ref = false;
+  int line = 0;
+};
+
+enum class LocalKind {
+  kReference,  // auto& / T&  — aliases storage owned elsewhere
+  kPointer,    // T* / auto*  — same, spelled with '*' (incl. &local escapes)
+  kIterator,   // container iterators — invalidated by mutation, not just
+               // destruction
+};
+
+struct LocalInfo {
+  std::string name;
+  LocalKind kind = LocalKind::kReference;
+  std::size_t decl_tok = 0;   // index of the name token
+  std::size_t live_from = 0;  // end of the declaration statement: the value
+                              // exists only after its initializer ran, which
+                              // matters when the initializer itself awaits
+                              // (`auto& r = co_await f();` is not stale)
+  int line = 0;
+};
+
+struct SuspendInfo {
+  std::size_t tok = 0;       // the co_await / co_yield token
+  std::size_t operand_end = 0;  // one past the awaited operand
+  int line = 0;
+};
+
+/// Half-open token range.
+struct TokRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// A for/while/do statement: `body` is the loop's statement range; for
+/// range-fors, `range_expr` flattens the sequence expression and `ref_var`
+/// names a by-reference loop variable (empty otherwise).
+struct LoopInfo {
+  TokRange body;
+  int line = 0;
+  bool is_range_for = false;
+  std::string range_expr;
+  std::string ref_var;
+};
+
+struct Outline {
+  std::string name;
+  int line = 0;
+  bool is_lambda = false;
+  bool returns_task = false;  // `Task` appears in the return segment
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::vector<ParamInfo> params;
+  std::vector<CaptureInfo> captures;  // lambdas only
+  std::vector<LocalInfo> locals;
+  std::vector<SuspendInfo> suspends;  // ordered; nested-lambda bodies excluded
+  std::vector<LoopInfo> loops;
+  std::vector<TokRange> lambda_ranges;  // nested lambdas, excluded from scans
+};
+
+/// Outlines every function definition in the file, then every nested lambda
+/// (flattened into the same list, after its enclosing function). Constructs
+/// the parser cannot model simply produce no outline.
+std::vector<Outline> OutlineFile(const Lexed& lex);
+
+/// True if token index `i` falls inside any of `ranges` (used to skip nested
+/// lambda bodies when scanning an enclosing function).
+bool InRanges(const std::vector<TokRange>& ranges, std::size_t i);
+
+/// End of the statement starting at `s`: the next ';' at the same nesting
+/// depth, stopping at an unmatched closer, capped at `limit`. Shared with the
+/// dataflow pass, which positions assignment effects after the whole
+/// right-hand side (including any suspend inside it) has run.
+std::size_t StatementEndTok(const std::vector<Token>& toks, std::size_t s,
+                            std::size_t limit);
+
+}  // namespace gvfs::lint

@@ -1,0 +1,161 @@
+#include "parser.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace gvfs::lint {
+
+namespace {
+
+/// Identifiers that can precede a '(' without being a function name. Control
+/// flow, operators-with-parens, and specifier-like keywords all qualify; a
+/// candidate match on any of them would attach a body to the wrong anchor.
+bool IsNonNameKeyword(std::string_view s) {
+  static constexpr std::array<std::string_view, 22> kKeywords = {
+      "if",       "for",      "while",     "switch",        "catch",
+      "return",   "co_return", "co_await", "co_yield",      "sizeof",
+      "alignof",  "alignas",  "decltype",  "noexcept",      "requires",
+      "new",      "delete",   "throw",     "static_assert", "assert",
+      "defined",  "__attribute__"};
+  return std::find(kKeywords.begin(), kKeywords.end(), s) != kKeywords.end();
+}
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+}  // namespace
+
+std::size_t MatchForward(const std::vector<Token>& toks, std::size_t open) {
+  if (open >= toks.size() || toks[open].kind != TokKind::kPunct) {
+    return toks.size();
+  }
+  const std::string& opener = toks[open].text;
+  std::string_view closer;
+  if (opener == "(") {
+    closer = ")";
+  } else if (opener == "{") {
+    closer = "}";
+  } else if (opener == "[") {
+    closer = "]";
+  } else {
+    return toks.size();
+  }
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == opener) {
+      ++depth;
+    } else if (toks[i].text == closer && --depth == 0) {
+      return i;
+    }
+  }
+  return toks.size();
+}
+
+std::vector<FunctionDef> ParseFunctions(const Lexed& lex) {
+  const auto& toks = lex.tokens;
+  std::vector<FunctionDef> out;
+
+  // Start of the current declaration, maintained as we pass statement and
+  // scope boundaries; the recovered signature is [sig_begin, body_begin).
+  std::size_t boundary = 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      boundary = i + 1;
+      continue;
+    }
+    // Access specifiers end a "declaration" too (class bodies).
+    if (t.kind == TokKind::kIdent && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], ":") &&
+        (t.text == "public" || t.text == "private" || t.text == "protected")) {
+      boundary = i + 2;
+      ++i;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || IsNonNameKeyword(t.text)) continue;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+
+    const std::size_t params_end = MatchForward(toks, i + 1);
+    if (params_end >= toks.size()) continue;  // unbalanced: degrade to skip
+
+    // Walk from the ')' towards a body '{'. Anything that ends the
+    // declaration first (';' for declarations and `= default;`, ',' / ')'
+    // / ']' when this was a call inside a larger expression) disqualifies
+    // the candidate. A ':' switches into constructor-initializer mode,
+    // where `name(...)` and `name{...}` elements are skipped as balanced
+    // groups rather than mistaken for the body.
+    std::size_t j = params_end + 1;
+    bool init_list = false;
+    std::size_t body = toks.size();
+    while (j < toks.size()) {
+      const Token& x = toks[j];
+      if (x.kind != TokKind::kPunct) {  // const / noexcept / override / types
+        ++j;
+        continue;
+      }
+      if (x.text == ";" || x.text == ")" || x.text == "]" || x.text == "=") {
+        break;
+      }
+      if (x.text == ",") {
+        // Commas separate constructor-initializer elements; anywhere else
+        // they mean this '(' was a call argument, not a parameter list.
+        if (!init_list) break;
+        ++j;
+        continue;
+      }
+      if (x.text == ":") {
+        init_list = true;
+        ++j;
+        continue;
+      }
+      if (x.text == "(" || x.text == "[") {
+        const std::size_t close = MatchForward(toks, j);
+        if (close >= toks.size()) break;
+        j = close + 1;
+        continue;
+      }
+      if (x.text == "{") {
+        if (init_list && j > 0 &&
+            (toks[j - 1].kind == TokKind::kIdent ||
+             IsPunct(toks[j - 1], ">"))) {
+          // Brace-init element of the initializer list: `member{...}`.
+          const std::size_t close = MatchForward(toks, j);
+          if (close >= toks.size()) break;
+          j = close + 1;
+          continue;
+        }
+        body = j;
+        break;
+      }
+      ++j;  // '&', '*', '->' pieces, template angles, ...
+    }
+    if (body >= toks.size()) continue;
+
+    const std::size_t body_end = MatchForward(toks, body);
+    if (body_end >= toks.size()) continue;  // unbalanced body: degrade
+
+    FunctionDef def;
+    def.name = t.text;
+    def.line = t.line;
+    def.name_tok = i;
+    def.sig_begin = boundary <= i ? boundary : i;
+    def.params_begin = i + 1;
+    def.params_end = params_end;
+    def.body_begin = body;
+    def.body_end = body_end;
+    out.push_back(std::move(def));
+
+    // Skip the body wholesale: statements inside it (if/for/calls) must not
+    // be re-examined as definition candidates.
+    i = body_end;
+    boundary = body_end + 1;
+  }
+  return out;
+}
+
+}  // namespace gvfs::lint

@@ -1,0 +1,47 @@
+// Structural front end for gvfs-analyze: a brace/paren matcher over the
+// lexer's token stream that recovers function *definitions* — name, signature
+// range, parameter-list range, body range — without building an AST.
+//
+// This is deliberately not a C++ parser. It understands exactly the structure
+// the suspend-safety rules need (balanced delimiters, constructor initializer
+// lists, trailing return types, statement boundaries) and degrades to
+// *skipping* on anything it cannot model: unbalanced preprocessor branches,
+// exotic macros, expression soup. The contract mirrors the lexer's — never a
+// crash, never a fabricated structure; at worst a function is not outlined
+// and the analyzer stays silent about it (losing findings, never inventing
+// them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace gvfs::lint {
+
+/// One function definition recovered from the token stream. All indices point
+/// into the Lexed::tokens vector the definition was parsed from.
+struct FunctionDef {
+  std::string name;  // last identifier before the parameter list
+  int line = 0;      // line of the name token
+
+  std::size_t sig_begin = 0;     // first token of the best-effort signature
+                                 // (return type, qualifiers, name)
+  std::size_t name_tok = 0;      // the name token itself
+  std::size_t params_begin = 0;  // the '(' opening the parameter list
+  std::size_t params_end = 0;    // the matching ')'
+  std::size_t body_begin = 0;    // the '{' opening the body
+  std::size_t body_end = 0;      // the matching '}'
+};
+
+/// Index of the delimiter matching the opener at `open` ('(' / '{' / '['),
+/// or tokens.size() when the stream ends unbalanced.
+std::size_t MatchForward(const std::vector<Token>& toks, std::size_t open);
+
+/// Every function definition in the stream, in token order. Bodies are
+/// skipped once matched, so control-flow statements inside them are never
+/// mistaken for definitions. Malformed regions yield no entry.
+std::vector<FunctionDef> ParseFunctions(const Lexed& lex);
+
+}  // namespace gvfs::lint

@@ -298,6 +298,12 @@ void CheckMigrateCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckTraceCoverage(const Tree& tree, std::vector<Finding>& out);
 void CheckAnomalyCoverage(const Tree& tree, std::vector<Finding>& out);
 
+// Defined in dataflow.cpp (the gvfs-analyze suspend-safety pass).
+void CheckUseAfterSuspend(const FileUnit& unit, std::vector<Finding>& out);
+void CheckIterAfterSuspend(const FileUnit& unit, std::vector<Finding>& out);
+void CheckLockAcrossSuspend(const FileUnit& unit, std::vector<Finding>& out);
+void CheckDetachedTask(const Tree& tree, std::vector<Finding>& out);
+
 const std::vector<RuleInfo>& AllRules() {
   static const std::vector<RuleInfo> kRules = {
       {"wall-clock",
@@ -352,6 +358,22 @@ const std::vector<RuleInfo>& AllRules() {
        "Every AnomalyKind needs a kDetectors entry, a wire name, and a "
        "doctor remedy",
        nullptr, CheckAnomalyCoverage, nullptr},
+      {"use-after-suspend",
+       "Reference-like values created before a co_await and used after it "
+       "may dangle; copy before suspending or re-acquire after",
+       CheckUseAfterSuspend, nullptr, InSrc},
+      {"iter-after-suspend",
+       "Iterators held across a suspend point are invalidated if the "
+       "container mutates while the frame is parked",
+       CheckIterAfterSuspend, nullptr, InSrc},
+      {"lock-across-suspend",
+       "A sim::Mutex/Semaphore held across a later co_await serializes "
+       "every peer for the whole await",
+       CheckLockAcrossSuspend, nullptr, InSrc},
+      {"detached-task",
+       "Discarding a Task-returning call drops a lazy coroutine that will "
+       "never run",
+       nullptr, CheckDetachedTask, nullptr},
   };
   return kRules;
 }

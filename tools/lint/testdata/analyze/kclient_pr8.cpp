@@ -1,0 +1,16 @@
+// Seeded reproduction of the PR-8 kernel-client bug shape: a reference into
+// the page cache is taken, the frame parks on the block fetch, and the cache
+// is touched through the stale reference after resuming. A concurrent frame
+// can erase the entry during the await (eviction, REMOVE, truncate), so the
+// post-await accesses alias freed memory. gvfs-analyze must flag this.
+#include "sim/task.h"
+
+sim::Task<Bytes> ReadBlock(Fh fh, std::uint64_t index) {
+  auto& fc = file_cache_[fh];
+  auto cached = fc.blocks.find(index);
+  if (cached == fc.blocks.end()) {
+    auto res = co_await client_.Call(fh, index);
+    cached = fc.blocks.emplace(index, res).first;
+  }
+  co_return cached->second.data;
+}

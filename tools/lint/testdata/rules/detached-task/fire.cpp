@@ -1,0 +1,8 @@
+// Fixture: Task is lazy — a call whose result is dropped never runs.
+#include "sim/task.h"
+
+sim::Task<void> Background() { co_return; }
+
+void Caller() {
+  Background();
+}

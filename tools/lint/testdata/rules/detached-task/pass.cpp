@@ -1,0 +1,10 @@
+// Fixture: awaiting the task or handing it to the scheduler consumes the
+// result; neither must fire detached-task.
+#include "sim/task.h"
+
+sim::Task<void> Background() { co_return; }
+
+sim::Task<void> Caller() {
+  co_await Background();
+  sim::Spawn(Background());
+}

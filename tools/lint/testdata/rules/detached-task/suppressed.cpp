@@ -1,0 +1,8 @@
+// Fixture: the same dropped task, silenced by a reasoned suppression.
+#include "sim/task.h"
+
+sim::Task<void> Background() { co_return; }
+
+void Caller() {
+  Background();  // gvfs-lint: allow(detached-task): prewarming only; the handle is intentionally dropped in this probe
+}

@@ -1,0 +1,9 @@
+// Fixture: an iterator acquired before a suspend point and dereferenced
+// after it must fire iter-after-suspend.
+#include "sim/task.h"
+
+sim::Task<void> Drain(int key) {
+  auto it = writes_.find(key);
+  co_await Flush(key);
+  Consume(it->second);
+}

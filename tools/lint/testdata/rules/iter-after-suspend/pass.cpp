@@ -1,0 +1,17 @@
+// Fixture: iterators acquired after the suspend, or re-acquired before
+// every post-suspend use, must not fire iter-after-suspend.
+#include "sim/task.h"
+
+sim::Task<void> Drain(int key) {
+  co_await Flush(key);
+  auto it = writes_.find(key);
+  Consume(it->second);
+}
+
+sim::Task<void> Refresh(int key) {
+  auto it = writes_.find(key);
+  Consume(it->second);
+  co_await Flush(key);
+  it = writes_.find(key);
+  Consume(it->second);
+}

@@ -1,0 +1,9 @@
+// Fixture: a lock acquired and then held across an unrelated await must
+// fire lock-across-suspend — every other frame queues for the full RPC.
+#include "sim/task.h"
+
+sim::Task<void> Critical() {
+  co_await gate_.Lock();
+  co_await Fetch(0);
+  gate_.Unlock();
+}

@@ -1,0 +1,10 @@
+// Fixture: releasing before the next await keeps the critical section
+// RPC-free; must not fire lock-across-suspend.
+#include "sim/task.h"
+
+sim::Task<void> Critical() {
+  co_await gate_.Lock();
+  Mutate();
+  gate_.Unlock();
+  co_await Fetch(0);
+}

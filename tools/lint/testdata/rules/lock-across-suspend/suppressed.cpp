@@ -1,0 +1,8 @@
+// Fixture: the same held lock, silenced by a reasoned suppression.
+#include "sim/task.h"
+
+sim::Task<void> Critical() {
+  co_await gate_.Lock();  // gvfs-lint: allow(lock-across-suspend): flushes must serialize across the RPC by design
+  co_await Fetch(0);
+  gate_.Unlock();
+}

@@ -1,0 +1,10 @@
+// Fixture: a reference local created before a suspend point and used after
+// it must fire use-after-suspend — the frame parks, the world moves, and
+// whatever the reference aliased may be gone when it resumes.
+#include "sim/task.h"
+
+sim::Task<void> Stale(std::map<int, Entry>& cache, int key) {
+  Entry& e = cache[key];
+  co_await Fetch(key);
+  e.bytes += 1;
+}

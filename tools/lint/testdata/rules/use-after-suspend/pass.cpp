@@ -1,0 +1,11 @@
+// Fixture: references used only before the suspend, or re-acquired after
+// it, must not fire use-after-suspend.
+#include "sim/task.h"
+
+sim::Task<void> Fresh(std::map<int, Entry>& cache, int key) {
+  Entry& before = cache[key];
+  before.bytes += 1;
+  co_await Fetch(key);
+  Entry& after = cache[key];
+  after.bytes += 1;
+}

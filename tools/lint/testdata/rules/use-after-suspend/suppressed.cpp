@@ -1,0 +1,9 @@
+// Fixture: the same stale reference, silenced by a reasoned suppression on
+// the flagged (post-suspend use) line.
+#include "sim/task.h"
+
+sim::Task<void> Stale(std::map<int, Entry>& cache, int key) {
+  Entry& e = cache[key];
+  co_await Fetch(key);
+  e.bytes += 1;  // gvfs-lint: allow(use-after-suspend): cache nodes are never erased while a frame is parked
+}
